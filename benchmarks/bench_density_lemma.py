@@ -1,0 +1,55 @@
+"""T-DENSE — Lemma 4.2 (timer/density lemma), empirically.
+
+From an ``alpha``-dense configuration, every ``m``-``rho``-producible state
+should reach count ``delta * n`` within one unit of parallel time, for a
+``delta`` that does not vanish as ``n`` grows.  The benchmark runs the
+3-state approximate-majority protocol (whose producible set from a balanced
+dense start is the full state set {X, Y, B}) at growing sizes and records the
+minimum producible-state fraction observed at time 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.majority import ApproximateMajorityProtocol
+from repro.termination.definitions import DenseInitialFamily
+from repro.termination.density import density_trajectory
+
+SIZES = [1_000, 4_000, 16_000]
+
+
+@pytest.mark.parametrize("population_size", SIZES)
+def bench_density_lemma_minimum_fraction(benchmark, population_size):
+    family = DenseInitialFamily(
+        base_fractions={"X": 0.5, "Y": 0.5}, description="balanced opinions"
+    )
+    holder = {}
+
+    def run_density_experiment():
+        observation = density_trajectory(
+            ApproximateMajorityProtocol(),
+            family,
+            population_size,
+            observation_time=1.0,
+            threshold_fraction=0.02,
+            samples=20,
+            seed=31,
+        )
+        holder["observation"] = observation
+        return observation
+
+    benchmark.pedantic(run_density_experiment, rounds=1, iterations=1)
+
+    observation = holder["observation"]
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["min_producible_fraction"] = observation.min_fraction
+    benchmark.extra_info["fractions"] = {
+        str(state): round(fraction, 4)
+        for state, fraction in observation.fractions.items()
+    }
+    # Lemma 4.2: the fraction is bounded away from zero, uniformly in n.
+    assert observation.min_fraction > 0.02
+    assert all(
+        reach_time is not None for reach_time in observation.first_reach_times.values()
+    )

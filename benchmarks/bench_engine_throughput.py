@@ -1,0 +1,60 @@
+"""T-ENGINE — supporting benchmark: raw throughput of the three engines.
+
+Not a paper artefact, but the number that determines how far the Figure 2
+sweep can be pushed: interactions per second of (a) the agent-level engine on
+the main protocol, (b) the count-based engine on a two-state epidemic and
+(c) the vectorised matching-round engine on the main protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_PARAMS
+from repro.core.array_simulator import ArrayLogSizeSimulator
+from repro.core.log_size_estimation import LogSizeEstimationProtocol
+from repro.core.parameters import ProtocolParameters
+from repro.engine.count_simulator import CountSimulator
+from repro.engine.simulator import Simulation
+from repro.protocols.epidemic import EpidemicProtocol
+
+
+def bench_agent_engine_throughput(benchmark):
+    """Agent-level engine running the main protocol (interactions/second)."""
+    interactions = 20_000
+    protocol = LogSizeEstimationProtocol(ProtocolParameters.fast_test())
+    simulation = Simulation(protocol, 256, seed=1)
+
+    def run_chunk():
+        simulation.run_interactions(interactions)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1)
+    benchmark.extra_info["interactions_per_round"] = interactions
+
+
+def bench_count_engine_throughput(benchmark):
+    """Count-based engine running an epidemic at n = 10^5 (interactions/second)."""
+    interactions = 50_000
+    simulator = CountSimulator(EpidemicProtocol(), 100_000, seed=1)
+
+    def run_chunk():
+        simulator.run_interactions(interactions)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1)
+    benchmark.extra_info["interactions_per_round"] = interactions
+
+
+@pytest.mark.parametrize("population_size", [1_024, 8_192])
+def bench_array_engine_throughput(benchmark, population_size):
+    """Vectorised engine: matching rounds per second at two population sizes."""
+    rounds = 2_000
+    simulator = ArrayLogSizeSimulator(population_size, params=PAPER_PARAMS, seed=1)
+
+    def run_rounds():
+        for _ in range(rounds):
+            simulator.run_round()
+
+    benchmark.pedantic(run_rounds, rounds=1, iterations=1)
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["matching_rounds"] = rounds
+    benchmark.extra_info["interactions"] = rounds * (population_size // 2)

@@ -1,0 +1,62 @@
+"""T-LEADER — Theorem 3.13: terminating size estimation with an initial leader.
+
+Measures, for growing population sizes, (a) the parallel time at which the
+leader-driven protocol produces its termination signal and (b) whether the
+signal appeared only after the underlying size estimate had converged, plus
+the accuracy of the announced estimate.  In contrast with the flat curve of
+``bench_termination_density``, the signal time here grows with ``n`` — the
+leader (a non-dense initial configuration) is what makes the delay possible.
+
+Scaled-down protocol constants are used so the sequential engine can sweep
+several sizes; the qualitative claims (termination after convergence, growth
+with ``n``, accurate announced estimate) are parameter-independent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.leader_terminating import (
+    LeaderTerminatingSizeEstimation,
+    all_agents_terminated,
+    termination_happened_after_convergence,
+)
+from repro.core.parameters import ProtocolParameters
+from repro.engine.simulator import Simulation
+
+SIZES = [32, 64, 128]
+PARAMS = ProtocolParameters.fast_test()
+
+
+@pytest.mark.parametrize("population_size", SIZES)
+def bench_leader_terminating_size_estimation(benchmark, population_size):
+    holder = {}
+
+    def run_to_termination():
+        protocol = LeaderTerminatingSizeEstimation(
+            params=PARAMS, phase_count=16, termination_rounds_factor=2
+        )
+        simulation = Simulation(protocol, population_size, seed=5)
+        elapsed = simulation.run_until(
+            all_agents_terminated, max_parallel_time=500_000
+        )
+        holder["simulation"] = simulation
+        holder["elapsed"] = elapsed
+        return elapsed
+
+    benchmark.pedantic(run_to_termination, rounds=1, iterations=1)
+
+    simulation = holder["simulation"]
+    target = math.log2(population_size)
+    outputs = [simulation.protocol.output(state) for state in simulation.states]
+    error = max(abs(value - target) for value in outputs if value is not None)
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["termination_parallel_time"] = holder["elapsed"]
+    benchmark.extra_info["terminated_after_convergence"] = (
+        termination_happened_after_convergence(simulation)
+    )
+    benchmark.extra_info["max_additive_error"] = error
+    assert termination_happened_after_convergence(simulation)
+    assert error < 5.7

@@ -1,0 +1,58 @@
+"""T-TERM — Theorem 4.1: termination-signal time of a uniform dense protocol stays O(1).
+
+Measures, for growing population sizes, the parallel time until the first
+agent of the uniform Figure-1 counter protocol (deployed from the dense
+all-identical configuration) sets ``terminated = True``.  Theorem 4.1 predicts
+this time does not grow with ``n`` — which also means the signal fires long
+before any ``omega(1)``-time task could have completed.  The companion
+benchmark ``bench_leader_terminating`` measures the contrasting leader-driven
+behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TERMINATION_SIZES
+from repro.protocols.leader_election import NonuniformCounterLeaderElection
+from repro.termination.definitions import TerminationSpec
+from repro.termination.impossibility import termination_time_sweep
+
+COUNTER_THRESHOLD = 8
+RUNS_PER_SIZE = 3
+
+
+@pytest.mark.parametrize("population_size", TERMINATION_SIZES)
+def bench_uniform_dense_termination_time(benchmark, population_size):
+    spec = TerminationSpec(
+        terminated_predicate=lambda state: state.terminated,
+        description="uniform counter protocol",
+    )
+    holder = {}
+
+    def run_sweep():
+        observations = termination_time_sweep(
+            protocol_factory=lambda: NonuniformCounterLeaderElection(
+                counter_threshold=COUNTER_THRESHOLD
+            ),
+            spec=spec,
+            population_sizes=[population_size],
+            runs_per_size=RUNS_PER_SIZE,
+            max_parallel_time=200.0,
+            seed=17,
+            check_interval=max(8, population_size // 8),
+        )
+        holder["observation"] = observations[0]
+        return observations
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    observation = holder["observation"]
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["mean_signal_time"] = observation.mean_time
+    benchmark.extra_info["max_signal_time"] = observation.max_time
+    benchmark.extra_info["termination_probability"] = observation.termination_probability
+    # Theorem 4.1's shape: the signal appears within O(1) time at every size
+    # (the counter only needs some agent to have `threshold` interactions).
+    assert observation.termination_probability == 1.0
+    assert observation.max_time is not None and observation.max_time < 40.0

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments where the ``wheel``
+package is unavailable (legacy ``setup.py develop`` installs need no wheel).
+"""
+
+from setuptools import setup
+
+setup()

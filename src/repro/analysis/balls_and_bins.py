@@ -1,0 +1,81 @@
+"""Balls-and-bins timer lemma (Appendix E: Lemmas E.1, E.2, Corollary E.3).
+
+The impossibility proof (Theorem 4.1) rests on the fact that the count of any
+state cannot *decrease* too fast: in one unit of parallel time each agent only
+has a constant expected number of interactions, so a state occupying ``k``
+agents still occupies ``Omega(k)`` agents a constant time later, w.h.p.  The
+paper formalises this with a balls-and-bins argument:
+
+* Lemma E.1 — throwing ``m`` balls into ``n`` bins of which ``k`` start empty
+  leaves at most ``delta k`` empty bins with probability less than
+  ``(2 delta e m / n)^{delta k}``;
+* Lemma E.2 — the count of a state ``s`` starting at ``k`` stays above
+  ``delta k`` for ``T`` time except with probability ``(2 delta e^{3T})^{delta k}``;
+* Corollary E.3 — with ``delta = 1/81`` and ``T = 1``: the count does not drop
+  below ``k/81`` within one unit of time except with probability ``2^{-k/81}``.
+
+These bounds are what the empirical density experiments
+(:mod:`repro.termination.density`) are checked against.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AnalysisError
+
+
+def empty_bins_bound(
+    total_bins: int, initially_empty: int, balls_thrown: int, delta: float
+) -> float:
+    """Lemma E.1: ``Pr[<= delta k bins remain empty] < (2 delta e m / n)^{delta k}``.
+
+    Parameters
+    ----------
+    total_bins:
+        ``n``, the number of bins (agents).
+    initially_empty:
+        ``k``, the number of initially empty bins (agents in the tracked state).
+    balls_thrown:
+        ``m``, the number of balls thrown (agent-selections).
+    delta:
+        The survival fraction, in ``(0, 1/2]``.
+    """
+    if total_bins < 1 or initially_empty < 1 or balls_thrown < 0:
+        raise AnalysisError("bins, empty bins and balls must be positive")
+    if initially_empty > total_bins:
+        raise AnalysisError("cannot have more empty bins than bins")
+    if not 0.0 < delta <= 0.5:
+        raise AnalysisError(f"delta must be in (0, 1/2], got {delta}")
+    base = 2.0 * delta * math.e * balls_thrown / total_bins
+    exponent = delta * initially_empty
+    if base <= 0:
+        return 0.0
+    return min(1.0, base**exponent)
+
+
+def state_depletion_bound(initial_count: int, delta: float, time: float) -> float:
+    """Lemma E.2: ``Pr[exists t <= T with count <= delta k] <= (2 delta e^{3T})^{delta k}``."""
+    if initial_count < 1:
+        raise AnalysisError(f"initial_count must be positive, got {initial_count}")
+    if not 0.0 < delta <= 0.5:
+        raise AnalysisError(f"delta must be in (0, 1/2], got {delta}")
+    if time < 0:
+        raise AnalysisError(f"time must be non-negative, got {time}")
+    base = 2.0 * delta * math.exp(3.0 * time)
+    return min(1.0, base ** (delta * initial_count))
+
+
+def count_survival_bound(initial_count: int) -> float:
+    """Corollary E.3: probability the count drops below ``k/81`` within time 1.
+
+    ``Pr[exists t in [0,1] with count <= k/81] <= 2^{-k/81}``.
+    """
+    if initial_count < 1:
+        raise AnalysisError(f"initial_count must be positive, got {initial_count}")
+    return min(1.0, 2.0 ** (-initial_count / 81.0))
+
+
+def survival_fraction() -> float:
+    """The fraction ``1/81`` used by Corollary E.3 (exported for experiments)."""
+    return 1.0 / 81.0

@@ -1,0 +1,97 @@
+"""Epidemic completion-time bounds (Lemma A.1, Corollaries 3.4 and 3.5).
+
+The time ``T`` for a one-way epidemic to reach all ``n`` agents satisfies
+``E[T] = (n-1)/n * H_{n-1}`` (about ``ln n``), with exponential upper tails.
+When the epidemic runs only inside a sub-population of ``n/c`` agents, every
+useful interaction is ``c^2`` times rarer, so the bound degrades only by a
+constant factor (Corollary 3.4).  Corollary 3.5 instantiates ``c = 3`` and
+``alpha_u = 24``: an epidemic among at least ``n/3`` agents finishes within
+``24 ln n`` time except with probability ``27 / n^3``.  These numbers are what
+fix the phase-clock constant 95 in the protocol.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.harmonic import harmonic_number
+from repro.exceptions import AnalysisError
+
+
+def expected_epidemic_time(population: int) -> float:
+    """Lemma A.1: ``E[T] = (n-1)/n * H_{n-1}`` for a full-population epidemic."""
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    n = population
+    return (n - 1) / n * harmonic_number(n - 1)
+
+
+def epidemic_upper_tail(population: int, alpha_u: float) -> float:
+    """Lemma A.1: ``Pr[T > alpha_u ln n] < 4 n^{-alpha_u/4 + 1}``."""
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    if alpha_u <= 0:
+        raise AnalysisError(f"alpha_u must be positive, got {alpha_u}")
+    return min(1.0, 4.0 * population ** (-alpha_u / 4.0 + 1.0))
+
+
+def epidemic_lower_tail(population: int) -> float:
+    """Lemma A.1: ``Pr[T < (1/4) ln n] < 2 e^{-sqrt n}``."""
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    return min(1.0, 2.0 * math.exp(-math.sqrt(population)))
+
+
+def subpopulation_epidemic_upper_tail(
+    population: int, subpopulation_fraction: float, alpha_u: float
+) -> float:
+    """Corollary 3.4: tail for an epidemic among ``a = n / c`` agents.
+
+    ``Pr[T > alpha_u ln a] < a^{-(alpha_u - 4c)^2 / (12 c)}``.
+
+    Parameters
+    ----------
+    population:
+        Total population ``n``.
+    subpopulation_fraction:
+        ``1/c``: the fraction of the population running the epidemic.
+    alpha_u:
+        The time multiplier in units of ``ln a``.
+    """
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    if not 0.0 < subpopulation_fraction <= 1.0:
+        raise AnalysisError(
+            f"subpopulation_fraction must be in (0, 1], got {subpopulation_fraction}"
+        )
+    c = 1.0 / subpopulation_fraction
+    if alpha_u <= 4 * c:
+        return 1.0
+    a = population * subpopulation_fraction
+    if a < 2:
+        return 1.0
+    exponent = (alpha_u - 4.0 * c) ** 2 / (12.0 * c)
+    return min(1.0, a ** (-exponent))
+
+
+def corollary_3_5_probability(population: int) -> float:
+    """Corollary 3.5: epidemic among ``n/3`` agents exceeds ``24 ln n`` w.p. ``< 27 n^{-3}``."""
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    return min(1.0, 27.0 * population**-3.0)
+
+
+def epidemic_time_bound(population: int, failure_probability: float = 1e-3) -> float:
+    """Smallest ``alpha_u ln n`` budget with tail below ``failure_probability``.
+
+    Convenience for sizing simulation budgets: inverts the Lemma A.1 tail
+    ``4 n^{-alpha_u/4 + 1} <= failure_probability``.
+    """
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    if not 0.0 < failure_probability < 1.0:
+        raise AnalysisError(
+            f"failure_probability must be in (0, 1), got {failure_probability}"
+        )
+    alpha_u = 4.0 * (1.0 + math.log(4.0 / failure_probability) / math.log(population))
+    return alpha_u * math.log(population)

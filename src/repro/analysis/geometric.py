@@ -1,0 +1,157 @@
+"""Maxima of geometric random variables (Appendix D.2 of the paper).
+
+A ``p``-geometric random variable ``G`` is the number of flips up to and
+including the first head of a ``p``-biased coin.  The protocol's central
+quantity is ``M = max_{i<N} G_i`` for fair coins: its expectation is
+``~ log2 N + 0.8`` (Eisenberg [28], Lemma D.4) and it concentrates within
+``[log2 N - log2 ln N, 2 log2 N]`` w.h.p. (Lemma D.7), which is what makes the
+maximum a weak estimate of ``log2 N`` and its average over ``K`` repetitions a
+``O(1)``-additive estimate (Appendix D.3).
+
+Functions here give the exact distribution (for validation), the Eisenberg
+expectation bracket, and the tail bounds in the exact form the paper uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.harmonic import EULER_MASCHERONI, harmonic_number
+from repro.exceptions import AnalysisError
+
+#: Constants of Lemma D.4 (Eisenberg's bracket).
+EPSILON_1 = 0.01
+EPSILON_2 = 0.0006
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p < 1.0:
+        raise AnalysisError(f"success probability must be in (0, 1), got {p}")
+
+
+def geometric_pmf(value: int, p: float = 0.5) -> float:
+    """``Pr[G = value]`` for a ``p``-geometric variable (support ``{1, 2, ...}``)."""
+    _check_probability(p)
+    if value < 1:
+        return 0.0
+    return (1.0 - p) ** (value - 1) * p
+
+
+def maximum_cdf(threshold: float, population: int, p: float = 0.5) -> float:
+    """``Pr[M <= threshold]`` for the maximum of ``population`` i.i.d. geometrics.
+
+    Uses the exact product form ``(1 - q^floor(threshold))^N``.
+    """
+    _check_probability(p)
+    if population < 1:
+        raise AnalysisError(f"population must be positive, got {population}")
+    if threshold < 1:
+        return 0.0
+    q = 1.0 - p
+    return (1.0 - q ** math.floor(threshold)) ** population
+
+
+def exact_expected_maximum(population: int, p: float = 0.5, terms: int = 200) -> float:
+    """Exact ``E[M]`` via ``E[M] = sum_{t>=0} Pr[M > t]`` (truncated).
+
+    The truncation error after ``terms`` terms is below
+    ``population * q^terms``, negligible for the defaults.
+    """
+    _check_probability(p)
+    if population < 1:
+        raise AnalysisError(f"population must be positive, got {population}")
+    q = 1.0 - p
+    expectation = 0.0
+    for t in range(terms):
+        expectation += 1.0 - (1.0 - q**t) ** population
+    return expectation
+
+
+def expected_maximum_of_geometrics(
+    population: int, p: float = 0.5
+) -> tuple[float, float]:
+    """Eisenberg's bracket on ``E[M]`` (Lemma D.4).
+
+    Returns ``(lower, upper)`` with
+    ``lower = (ln N + gamma)/ln(1/q) + 1/2 - eps2`` and
+    ``upper = (ln N + gamma + eps1)/ln(1/q) + 1/2 + eps2``
+    (``eps1 = 0.01`` accounts for ``H_N - ln N - gamma`` at ``N >= 50``); for
+    fair coins this gives ``log2 N + 1 < E[M] < log2 N + 3/2`` for ``N >= 50``.
+    """
+    _check_probability(p)
+    if population < 1:
+        raise AnalysisError(f"population must be positive, got {population}")
+    q = 1.0 - p
+    rate = math.log(1.0 / q)
+    base = math.log(population) + EULER_MASCHERONI
+    lower = base / rate + 0.5 - EPSILON_2
+    upper = (base + EPSILON_1) / rate + 0.5 + EPSILON_2
+    return lower, upper
+
+
+def maximum_upper_tail(deviation: float, p: float = 0.5) -> float:
+    """Lemma D.5's bound on ``Pr[M - E[M] >= deviation]``.
+
+    ``q^(d - 1/2 - eps2 - gamma ln q) + q^(2d - 1 - 2 eps2 - 2 gamma ln q)``.
+    """
+    _check_probability(p)
+    if deviation < 0:
+        raise AnalysisError(f"deviation must be non-negative, got {deviation}")
+    q = 1.0 - p
+    gamma_term = EULER_MASCHERONI * math.log(q)
+    first = q ** (deviation - 0.5 - EPSILON_2 - gamma_term)
+    second = q ** (2 * deviation - 1.0 - 2 * EPSILON_2 - 2 * gamma_term)
+    return min(1.0, first + second)
+
+
+def maximum_lower_tail(deviation: float, p: float = 0.5) -> float:
+    """Lemma D.5's bound on ``Pr[E[M] - M >= deviation]``.
+
+    ``exp(-q^(1/2 + eps2 - (gamma+1) ln q - deviation))``.
+    """
+    _check_probability(p)
+    if deviation < 0:
+        raise AnalysisError(f"deviation must be non-negative, got {deviation}")
+    q = 1.0 - p
+    exponent = 0.5 + EPSILON_2 - (EULER_MASCHERONI + 1.0) * math.log(q) - deviation
+    return min(1.0, math.exp(-(q**exponent)))
+
+
+def maximum_two_sided_tail(deviation: float, p: float = 0.5) -> float:
+    """Corollary D.6: ``Pr[|M - E[M]| >= deviation] < 3.31 e^(-deviation/2)``.
+
+    (Stated for fair coins; the function returns the fair-coin bound.)
+    """
+    if deviation < 0:
+        raise AnalysisError(f"deviation must be non-negative, got {deviation}")
+    return min(1.0, 3.31 * math.exp(-deviation / 2.0))
+
+
+def maximum_in_range_probability(population: int) -> float:
+    """Lemma D.7: probability that ``M`` *escapes* the likely range.
+
+    ``Pr[M >= 2 log2 N] < 1/N`` and ``Pr[M <= log2 N - log2 ln N] < 1/N``;
+    the function returns the union-bound failure probability ``2/N`` for the
+    event ``M`` outside ``[log2 N - log2 ln N, 2 log2 N]``.
+    """
+    if population < 2:
+        raise AnalysisError(f"population must be at least 2, got {population}")
+    return min(1.0, 2.0 / population)
+
+
+def likely_maximum_range(population: int) -> tuple[float, float]:
+    """The Lemma D.7 likely range ``[log2 N - log2 ln N, 2 log2 N]`` of ``M``."""
+    if population < 3:
+        raise AnalysisError(f"population must be at least 3, got {population}")
+    lower = math.log2(population) - math.log2(math.log(population))
+    upper = 2.0 * math.log2(population)
+    return lower, upper
+
+
+def expected_maximum_harmonic_form(population: int, p: float = 0.5) -> float:
+    """Mid-point estimate ``H_N / ln(1/q) + 1/2`` of ``E[M]`` (Eisenberg).
+
+    Useful as a single number (rather than the bracket) in reports.
+    """
+    _check_probability(p)
+    return harmonic_number(population) / math.log(1.0 / (1.0 - p)) + 0.5

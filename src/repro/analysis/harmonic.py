@@ -1,0 +1,51 @@
+"""Harmonic numbers and related constants.
+
+The expected completion time of a one-way epidemic is a harmonic sum
+(Lemma A.1: ``E[T] = (n-1)/n * H_{n-1}``), and the expectation of the maximum
+of geometric random variables involves the Euler–Mascheroni constant
+(Lemma D.4).  This module provides both, with an exact summation for small
+arguments and the asymptotic expansion for large ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import AnalysisError
+
+#: The Euler–Mascheroni constant, ``lim (H_n - ln n)``.
+EULER_MASCHERONI = 0.5772156649015329
+
+#: Switch-over point between exact summation and the asymptotic expansion.
+_EXACT_LIMIT = 10_000
+
+
+def euler_mascheroni() -> float:
+    """Return the Euler–Mascheroni constant ``gamma ~ 0.5772``."""
+    return EULER_MASCHERONI
+
+
+def harmonic_number(n: int) -> float:
+    """Return the ``n``-th harmonic number ``H_n = sum_{k=1..n} 1/k``.
+
+    Exact summation is used for ``n <= 10_000``; beyond that the standard
+    asymptotic expansion ``ln n + gamma + 1/(2n) - 1/(12 n^2)`` is used, whose
+    error is below ``1/(120 n^4)`` — far below anything the bounds here need.
+
+    Parameters
+    ----------
+    n:
+        A non-negative integer (``H_0 = 0``).
+    """
+    if n < 0:
+        raise AnalysisError(f"harmonic number needs n >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    if n <= _EXACT_LIMIT:
+        return sum(1.0 / k for k in range(1, n + 1))
+    return (
+        math.log(n)
+        + EULER_MASCHERONI
+        + 1.0 / (2 * n)
+        - 1.0 / (12 * n * n)
+    )

@@ -1,0 +1,245 @@
+"""Command-line interface of the reproduction library.
+
+Subcommands
+-----------
+``repro estimate --n 512``
+    Run one size-estimation simulation and print the outcome.
+``repro figure2 --sizes 128,256,512,1024 --runs 3``
+    Reproduce the Figure 2 sweep (vectorised engine) and print the table,
+    the ASCII plot and optionally a CSV file.
+``repro accuracy --sizes 256,1024``
+    Theorem 3.1 accuracy table.
+``repro states --sizes 256,1024``
+    Lemma 3.9 state-complexity table.
+``repro termination --sizes 64,128,256``
+    Theorem 4.1 experiment: termination-signal time of a uniform dense
+    protocol vs a leader-driven protocol.
+``repro bounds --n 4096``
+    Print the paper's claimed probability bounds for a population size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.analysis.error_bounds import theorem_3_1_summary
+from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
+from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
+from repro.core.parameters import ProtocolParameters
+from repro.harness.figures import reproduce_figure2
+from repro.harness.reporting import format_key_values, format_table
+from repro.harness.tables import accuracy_table, state_complexity_table
+from repro.protocols.leader_election import NonuniformCounterLeaderElection
+from repro.termination.definitions import TerminationSpec
+from repro.termination.impossibility import termination_time_sweep
+from repro.workloads.populations import parse_size_list
+
+
+def _parameters_from_args(args: argparse.Namespace) -> ProtocolParameters:
+    if getattr(args, "fast", False):
+        return ProtocolParameters.fast_test()
+    return ProtocolParameters.paper()
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    params = _parameters_from_args(args)
+    simulator = ArrayLogSizeSimulator(
+        population_size=args.n, params=params, seed=args.seed
+    )
+    outcome = simulator.run_until_done(
+        max_parallel_time=args.budget_factor
+        * expected_convergence_time(args.n, params)
+    )
+    print(format_key_values(outcome.as_dict()))
+    return 0 if outcome.converged else 1
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    params = _parameters_from_args(args)
+    sizes = parse_size_list(args.sizes)
+    result = reproduce_figure2(
+        population_sizes=sizes,
+        runs_per_size=args.runs,
+        params=params,
+        base_seed=args.seed,
+    )
+    print("Figure 2 reproduction (convergence time vs population size)")
+    print(result.table())
+    print()
+    print(result.ascii_plot())
+    print()
+    print(f"max additive error over all runs: {result.max_error_observed():.3f}")
+    print(f"non-converged runs: {result.non_converged_runs}")
+    slope = result.growth_exponent()
+    if slope is not None:
+        print(f"least-squares slope of time against log2(n)^2: {slope:.2f}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv())
+        print(f"raw points written to {args.csv}")
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    params = _parameters_from_args(args)
+    table = accuracy_table(
+        population_sizes=parse_size_list(args.sizes),
+        runs_per_size=args.runs,
+        params=params,
+        base_seed=args.seed,
+    )
+    print("Theorem 3.1 accuracy (observed vs claimed additive error)")
+    print(table.text)
+    return 0
+
+
+def _cmd_states(args: argparse.Namespace) -> int:
+    params = _parameters_from_args(args)
+    table = state_complexity_table(
+        population_sizes=parse_size_list(args.sizes),
+        params=params,
+        base_seed=args.seed,
+    )
+    print("Lemma 3.9 state complexity (realised field ranges)")
+    print(table.text)
+    return 0
+
+
+def _cmd_termination(args: argparse.Namespace) -> int:
+    sizes = parse_size_list(args.sizes)
+
+    print("Theorem 4.1 experiment: time until the first terminated agent")
+    print()
+    print(f"(a) uniform dense protocol (counter threshold {args.threshold}):")
+    uniform_spec = TerminationSpec(
+        terminated_predicate=lambda state: state.terminated,
+        description="uniform counter protocol",
+    )
+    uniform = termination_time_sweep(
+        protocol_factory=lambda: NonuniformCounterLeaderElection(
+            counter_threshold=args.threshold
+        ),
+        spec=uniform_spec,
+        population_sizes=sizes,
+        runs_per_size=args.runs,
+        max_parallel_time=args.budget,
+        seed=args.seed,
+    )
+    rows = [
+        [obs.population_size, obs.mean_time, obs.max_time, obs.termination_probability]
+        for obs in uniform
+    ]
+    print(format_table(["n", "mean time", "max time", "P(terminate)"], rows))
+    print()
+
+    print("(b) leader-driven terminating size estimation (Theorem 3.13):")
+    leader_spec = TerminationSpec(
+        terminated_predicate=lambda state: state.terminated,
+        description="leader-driven size estimation",
+    )
+    leader = termination_time_sweep(
+        protocol_factory=lambda: LeaderTerminatingSizeEstimation(
+            params=ProtocolParameters.fast_test(),
+            phase_count=8,
+            termination_rounds_factor=1,
+        ),
+        spec=leader_spec,
+        population_sizes=sizes,
+        runs_per_size=args.runs,
+        max_parallel_time=args.budget * 20,
+        seed=args.seed,
+    )
+    rows = [
+        [obs.population_size, obs.mean_time, obs.max_time, obs.termination_probability]
+        for obs in leader
+    ]
+    print(format_table(["n", "mean time", "max time", "P(terminate)"], rows))
+    print()
+    print(
+        "Expected shape: series (a) stays flat as n grows (Theorem 4.1); "
+        "series (b) grows with n (the leader can delay the signal)."
+    )
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    summary = theorem_3_1_summary(args.n)
+    if args.json:
+        print(json.dumps(summary, default=str, indent=2))
+    else:
+        print(f"Claimed bounds of Theorem 3.1 at n = {args.n}")
+        print(format_key_values(summary))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient Size Estimation and Impossibility of "
+            "Termination in Uniform Dense Population Protocols' (PODC 2019)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    estimate = subparsers.add_parser("estimate", help="run one size estimation")
+    estimate.add_argument("--n", type=int, default=512, help="population size")
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--budget-factor", type=float, default=4.0)
+    estimate.add_argument("--fast", action="store_true", help="use scaled-down constants")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    figure2 = subparsers.add_parser("figure2", help="reproduce Figure 2")
+    figure2.add_argument("--sizes", default="128,256,512,1024")
+    figure2.add_argument("--runs", type=int, default=3)
+    figure2.add_argument("--seed", type=int, default=2019)
+    figure2.add_argument("--csv", default="", help="optional CSV output path")
+    figure2.add_argument("--fast", action="store_true")
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    accuracy = subparsers.add_parser("accuracy", help="Theorem 3.1 accuracy table")
+    accuracy.add_argument("--sizes", default="256,512,1024")
+    accuracy.add_argument("--runs", type=int, default=3)
+    accuracy.add_argument("--seed", type=int, default=7)
+    accuracy.add_argument("--fast", action="store_true")
+    accuracy.set_defaults(handler=_cmd_accuracy)
+
+    states = subparsers.add_parser("states", help="Lemma 3.9 state-complexity table")
+    states.add_argument("--sizes", default="256,512,1024")
+    states.add_argument("--seed", type=int, default=11)
+    states.add_argument("--fast", action="store_true")
+    states.set_defaults(handler=_cmd_states)
+
+    termination = subparsers.add_parser(
+        "termination", help="Theorem 4.1 termination-time experiment"
+    )
+    termination.add_argument("--sizes", default="32,64,128")
+    termination.add_argument("--runs", type=int, default=3)
+    termination.add_argument("--threshold", type=int, default=10)
+    termination.add_argument("--budget", type=float, default=200.0)
+    termination.add_argument("--seed", type=int, default=0)
+    termination.set_defaults(handler=_cmd_termination)
+
+    bounds = subparsers.add_parser("bounds", help="print the claimed bounds for n")
+    bounds.add_argument("--n", type=int, default=4096)
+    bounds.add_argument("--json", action="store_true")
+    bounds.set_defaults(handler=_cmd_bounds)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

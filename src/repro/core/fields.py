@@ -1,0 +1,133 @@
+"""Per-agent state of the ``Log-Size-Estimation`` protocol (Protocol 1).
+
+The paper's agents store a constant number of integer fields; this module
+defines them as a mutable slotted dataclass (:class:`LogSizeAgentState`) plus
+the role labels (:class:`Role`).  The state object is mutable for speed —
+millions of interactions are simulated — but the protocol's transition always
+works on copies (:meth:`LogSizeAgentState.clone`), so the engine's
+value-semantics contract is respected.
+
+Field glossary (paper names in parentheses):
+
+===============  ==============  =====================================================
+Field            Paper name      Meaning
+===============  ==============  =====================================================
+``role``         ``role``        ``X`` (unassigned), ``A`` (worker), ``S`` (storage)
+``time``         ``time``        interactions counted in the current epoch
+``total``        ``sum``         sum of per-epoch maxima (held by ``S`` agents)
+``epoch``        ``epoch``       current epoch index
+``gr``           ``gr``          current epoch's geometric variable / running maximum
+``log_size2``    ``logSize2``    weak (2-factor) estimate of ``log2 n``; sets K and
+                                 the phase-clock threshold
+``protocol_done``  ``protocolDone``  all epochs finished
+``updated_sum``  ``updatedSUM``  this epoch's maximum has been deposited in an S agent
+``output``       ``output``      the final estimate of ``log2 n`` (``None`` until set)
+===============  ==============  =====================================================
+
+``sum`` is renamed ``total`` to avoid shadowing the Python built-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable
+
+
+class Role(str, Enum):
+    """Roles of Protocol 1's population split.
+
+    ``A`` agents generate geometric random variables, run the leaderless
+    phase clock and propagate maxima; ``S`` agents only store the running sum
+    of per-epoch maxima (the paper's *space multiplexing*).  ``X`` is the
+    initial unassigned role.
+    """
+
+    UNASSIGNED = "X"
+    WORKER = "A"
+    STORAGE = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class LogSizeAgentState:
+    """Mutable state record of one agent of ``Log-Size-Estimation``."""
+
+    role: Role = Role.UNASSIGNED
+    time: int = 0
+    total: int = 0
+    epoch: int = 0
+    gr: int = 1
+    log_size2: int = 1
+    protocol_done: bool = False
+    updated_sum: bool = False
+    output: float | None = None
+
+    def clone(self) -> "LogSizeAgentState":
+        """Return an independent copy of this state."""
+        return LogSizeAgentState(
+            role=self.role,
+            time=self.time,
+            total=self.total,
+            epoch=self.epoch,
+            gr=self.gr,
+            log_size2=self.log_size2,
+            protocol_done=self.protocol_done,
+            updated_sum=self.updated_sum,
+            output=self.output,
+        )
+
+    def signature(self) -> Hashable:
+        """Hashable signature for distinct-state counting and configurations.
+
+        The paper's state count is over the contents of the working tape,
+        i.e. exactly these fields.
+        """
+        return (
+            self.role.value,
+            self.time,
+            self.total,
+            self.epoch,
+            self.gr,
+            self.log_size2,
+            self.protocol_done,
+            self.updated_sum,
+            self.output,
+        )
+
+    # -- role helpers -----------------------------------------------------------
+
+    @property
+    def is_worker(self) -> bool:
+        """``True`` if the agent has role ``A``."""
+        return self.role is Role.WORKER
+
+    @property
+    def is_storage(self) -> bool:
+        """``True`` if the agent has role ``S``."""
+        return self.role is Role.STORAGE
+
+    @property
+    def is_unassigned(self) -> bool:
+        """``True`` if the agent has not been assigned a role yet."""
+        return self.role is Role.UNASSIGNED
+
+    def current_estimate(self, output_offset: float = 1.0) -> float | None:
+        """The estimate this agent would currently report.
+
+        ``S`` agents derive it from their running average; other agents report
+        their stored ``output`` field (copied from a finished ``S`` agent).
+        """
+        if self.is_storage and self.protocol_done and self.epoch > 0:
+            return self.total / self.epoch + output_offset
+        return self.output
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogSizeAgentState):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:  # pragma: no cover - states rarely hashed directly
+        return hash(self.signature())

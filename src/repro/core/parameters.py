@@ -1,0 +1,118 @@
+"""Numeric constants of the ``Log-Size-Estimation`` protocol.
+
+The paper fixes several constants inside the protocol:
+
+* the leaderless phase clock counts each agent's interactions up to
+  ``95 * logSize2`` before the agent may move to the next epoch
+  (Subprotocol 6; the 95 comes from Corollary 3.7: an agent has at most
+  ``~94 log n`` interactions during one maximum-propagation epidemic w.h.p.);
+* the number of epochs — hence the number ``K`` of geometric maxima that are
+  averaged — is ``5 * logSize2`` (Corollary A.4: this makes ``K >= 4 log2 n``
+  w.h.p., which Corollary D.10 needs for the additive-error bound);
+* ``logSize2`` is shifted by ``+2`` after generation (proof of Lemma 3.8), so
+  that w.h.p. it lies in ``[log n - log ln n, 2 log n + 1]``.
+
+:class:`ProtocolParameters` makes these constants explicit and configurable.
+Benchmarks and the Figure 2 reproduction use the paper values (the default);
+unit tests use the scaled-down presets so that runs finish in milliseconds
+while exercising exactly the same code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolParameters:
+    """Constants of Protocol 1 (``Log-Size-Estimation``).
+
+    Attributes
+    ----------
+    clock_threshold_factor:
+        The leaderless phase clock threshold is
+        ``clock_threshold_factor * logSize2`` interactions per epoch
+        (paper: 95).
+    epochs_factor:
+        The protocol runs ``epochs_factor * logSize2`` epochs, i.e. averages
+        that many geometric maxima (paper: 5).
+    log_size2_offset:
+        Additive shift applied to the freshly generated ``logSize2``
+        (paper: +2, proof of Lemma 3.8).
+    geometric_success_probability:
+        Success probability of the geometric draws (paper: fair coins, 1/2).
+    output_offset:
+        Constant added to the average of the epoch maxima when producing the
+        output (paper: +1, compensating for only ``~n/2`` agents being in
+        role ``A``; ``output = sum/epoch + 1``).
+    """
+
+    clock_threshold_factor: int = 95
+    epochs_factor: int = 5
+    log_size2_offset: int = 2
+    geometric_success_probability: float = 0.5
+    output_offset: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_threshold_factor < 1:
+            raise ProtocolError(
+                f"clock_threshold_factor must be >= 1, got {self.clock_threshold_factor}"
+            )
+        if self.epochs_factor < 1:
+            raise ProtocolError(
+                f"epochs_factor must be >= 1, got {self.epochs_factor}"
+            )
+        if self.log_size2_offset < 0:
+            raise ProtocolError(
+                f"log_size2_offset must be >= 0, got {self.log_size2_offset}"
+            )
+        if not 0.0 < self.geometric_success_probability < 1.0:
+            raise ProtocolError(
+                "geometric_success_probability must be in (0, 1), got "
+                f"{self.geometric_success_probability}"
+            )
+
+    # -- derived quantities ------------------------------------------------------
+
+    def clock_threshold(self, log_size2: int) -> int:
+        """Phase-clock threshold (interactions per epoch) for a given ``logSize2``."""
+        return self.clock_threshold_factor * log_size2
+
+    def total_epochs(self, log_size2: int) -> int:
+        """Number of epochs ``K`` the protocol runs for a given ``logSize2``."""
+        return self.epochs_factor * log_size2
+
+    # -- presets --------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls) -> "ProtocolParameters":
+        """The constants used in the paper (95 / 5 / +2 / fair coins)."""
+        return cls()
+
+    @classmethod
+    def fast_test(cls) -> "ProtocolParameters":
+        """Scaled-down constants for unit tests.
+
+        The phase clock fires after ``8 * logSize2`` interactions and only
+        ``2 * logSize2`` epochs run.  The protocol's mechanics (partition,
+        restart, epidemics, averaging) are identical; only the
+        high-probability guarantees are weaker, which the tests account for
+        with looser tolerances.
+        """
+        return cls(clock_threshold_factor=8, epochs_factor=2)
+
+    @classmethod
+    def moderate(cls) -> "ProtocolParameters":
+        """Intermediate constants for integration tests and quick demos."""
+        return cls(clock_threshold_factor=24, epochs_factor=3)
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return (
+            f"clock={self.clock_threshold_factor}*logSize2, "
+            f"epochs={self.epochs_factor}*logSize2, "
+            f"offset=+{self.log_size2_offset}, "
+            f"p={self.geometric_success_probability}"
+        )

@@ -1,0 +1,162 @@
+"""Phase clocks: leaderless (this paper) and leader-driven (Angluin et al.).
+
+A *phase clock* lets a population synchronise epochs of ``Theta(log n)``
+parallel time.  Two flavours appear in the paper:
+
+:class:`LeaderlessPhaseClock`
+    The paper's clock (Section 3.1): every agent simply counts its own
+    interactions and compares the count against a threshold
+    ``clock_factor * s`` where ``s`` is the weak size estimate (``logSize2``).
+    Lemma 3.6 / Corollary 3.7 show that in the ``~24 ln n`` time an epidemic
+    needs, no agent has more than ``~94 log n`` interactions w.h.p., so a
+    threshold of ``95 * logSize2`` guarantees (w.h.p.) that no agent finishes
+    an epoch before the epoch's epidemic has completed.  This object is the
+    reusable form of that counter, used by the composition scheme of
+    Section 1.1 (count to ``f(s)``, signal the next stage).
+
+:class:`LeaderDrivenPhaseClock`
+    The classic phase clock of Angluin, Aspnes and Eisenstat [9], needed for
+    the terminating-with-a-leader variant (Theorem 3.13).  Agents carry a
+    phase in ``0 .. phase_count-1``; followers adopt the leader-side maximum
+    (in the cyclic order), and the leader increments the phase when it meets
+    an agent that has caught up with it.  Each wrap of the clock takes
+    ``Theta(log n)`` time w.h.p.
+
+Both classes are plain state machines over per-agent values, so they can be
+embedded in any agent-level protocol (they carry no randomness of their own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderlessPhaseClock:
+    """Interaction-counting phase clock parameterised by a size estimate.
+
+    Parameters
+    ----------
+    clock_factor:
+        The threshold is ``clock_factor * size_estimate`` interactions
+        (the paper uses 95 for its own epochs; the composition scheme picks
+        the factor from the downstream protocol's convergence time).
+    size_estimate:
+        The weak estimate ``s`` of ``log2 n`` (``logSize2``), at least 1.
+    """
+
+    clock_factor: int
+    size_estimate: int
+
+    def __post_init__(self) -> None:
+        if self.clock_factor < 1:
+            raise ProtocolError(f"clock_factor must be >= 1, got {self.clock_factor}")
+        if self.size_estimate < 1:
+            raise ProtocolError(
+                f"size_estimate must be >= 1, got {self.size_estimate}"
+            )
+
+    @property
+    def threshold(self) -> int:
+        """Number of interactions after which the clock fires."""
+        return self.clock_factor * self.size_estimate
+
+    def expired(self, interaction_count: int) -> bool:
+        """Whether a counter value means the current epoch has ended."""
+        return interaction_count >= self.threshold
+
+    def with_estimate(self, size_estimate: int) -> "LeaderlessPhaseClock":
+        """Return a clock with an updated size estimate (after a restart)."""
+        return LeaderlessPhaseClock(
+            clock_factor=self.clock_factor, size_estimate=size_estimate
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseClockAgent:
+    """Per-agent state of the leader-driven phase clock.
+
+    Attributes
+    ----------
+    phase:
+        Current phase in ``0 .. phase_count - 1``.
+    round:
+        Number of completed clock wraps (each wrap is one "round" of
+        ``Theta(log n)`` time).
+    """
+
+    phase: int = 0
+    round: int = 0
+
+
+class LeaderDrivenPhaseClock:
+    """The Angluin–Aspnes–Eisenstat leader-driven phase clock.
+
+    The clock is defined by its number of phases (the paper's Theorem 3.13
+    uses "greater than 288" so that a full wrap takes at least ``36 ln n``
+    time w.h.p.; smaller values still work, just with weaker guarantees, and
+    the tests use small values for speed).
+
+    Usage: the embedding protocol stores a :class:`PhaseClockAgent` per agent
+    and calls :meth:`interact` with the leader flag of each participant; the
+    method returns the updated pair.
+    """
+
+    def __init__(self, phase_count: int = 289) -> None:
+        if phase_count < 3:
+            raise ProtocolError(f"phase_count must be at least 3, got {phase_count}")
+        self.phase_count = phase_count
+
+    # -- cyclic-order helpers -----------------------------------------------------
+
+    def _ahead(self, a: PhaseClockAgent, b: PhaseClockAgent) -> bool:
+        """Whether agent ``a``'s clock reading is strictly ahead of ``b``'s.
+
+        Readings are compared by (round, phase); the round counter removes the
+        ambiguity of the purely cyclic comparison used in the original paper
+        (it is information the agents legitimately maintain locally).
+        """
+        return (a.round, a.phase) > (b.round, b.phase)
+
+    def _advance(self, agent: PhaseClockAgent) -> PhaseClockAgent:
+        phase = agent.phase + 1
+        if phase >= self.phase_count:
+            return PhaseClockAgent(phase=0, round=agent.round + 1)
+        return PhaseClockAgent(phase=phase, round=agent.round)
+
+    # -- transition ----------------------------------------------------------------
+
+    def interact(
+        self,
+        receiver: PhaseClockAgent,
+        receiver_is_leader: bool,
+        sender: PhaseClockAgent,
+        sender_is_leader: bool,
+    ) -> tuple[PhaseClockAgent, PhaseClockAgent]:
+        """Update both participants' clocks for one interaction.
+
+        Followers adopt the later reading; the leader advances its phase when
+        it meets an agent that has caught up with it (same reading), which is
+        what makes each full wrap take ``Theta(log n)`` time.
+        """
+        new_receiver, new_sender = receiver, sender
+
+        # Followers catch up to the maximum reading they observe.
+        if not receiver_is_leader and self._ahead(sender, receiver):
+            new_receiver = PhaseClockAgent(phase=sender.phase, round=sender.round)
+        if not sender_is_leader and self._ahead(receiver, sender):
+            new_sender = PhaseClockAgent(phase=receiver.phase, round=receiver.round)
+
+        # The leader ticks when met by an agent that caught up with it.
+        if receiver_is_leader and not self._ahead(receiver, sender):
+            new_receiver = self._advance(receiver)
+        if sender_is_leader and not self._ahead(sender, receiver):
+            new_sender = self._advance(sender)
+
+        return new_receiver, new_sender
+
+    def rounds_completed(self, agent: PhaseClockAgent) -> int:
+        """Number of full clock wraps the agent has observed."""
+        return agent.round

@@ -1,0 +1,282 @@
+"""Subroutines of Protocol 1, mirroring the paper's pseudocode.
+
+Each function below corresponds to one named subprotocol of Section 3.2 and
+mutates the :class:`~repro.core.fields.LogSizeAgentState` objects it is given
+(the top-level protocol passes clones, so the engine's inputs are never
+touched).  The mapping is:
+
+=========================================  =======================================
+Paper subprotocol                            Function
+=========================================  =======================================
+``Partition-Into-A/S`` (Subprotocol 2)       :func:`partition_into_roles`
+``Propagate-Max-Clock-Value`` (3)            :func:`propagate_max_clock_value`
+``Restart`` (4)                              :func:`restart`
+``Propagate-Max-G.R.V.`` (5)                 :func:`propagate_max_grv`
+``Check-if-Timer-Done-...`` (6)              :func:`check_timer_and_increment_epoch`
+``Propagate-Incremented-Epoch`` (7)          :func:`propagate_incremented_epoch`
+``Move-to-Next-G.R.V`` (8)                   :func:`move_to_next_grv`
+``Update-Sum`` (9)                           :func:`update_sum`
+=========================================  =======================================
+
+Interpretation choices (documented in ``DESIGN.md``): the timer test uses
+``>=`` rather than ``==``; ``Restart`` clears ``updated_sum``; S–S propagation
+at equal epochs takes the maximum ``sum``; role assignment is symmetric in
+which participant is still unassigned.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import LogSizeAgentState, Role
+from repro.core.parameters import ProtocolParameters
+from repro.rng import RandomSource
+
+
+def draw_log_size2(rng: RandomSource, params: ProtocolParameters) -> int:
+    """Draw a fresh ``logSize2`` value (geometric variable plus the +2 shift)."""
+    return rng.geometric(params.geometric_success_probability) + params.log_size2_offset
+
+
+def draw_gr(rng: RandomSource, params: ProtocolParameters) -> int:
+    """Draw a fresh per-epoch geometric variable ``gr``."""
+    return rng.geometric(params.geometric_success_probability)
+
+
+def partition_into_roles(
+    receiver: LogSizeAgentState,
+    sender: LogSizeAgentState,
+    rng: RandomSource,
+    params: ProtocolParameters,
+) -> None:
+    """``Partition-Into-A/S``: split the population into workers and storage.
+
+    Two unassigned agents split into one worker (the sender) and one storage
+    agent (the receiver).  An unassigned agent meeting an already-assigned
+    agent takes the *opposite* role, which keeps the two sub-populations
+    balanced (Lemma 3.2) while converging in ``O(log n)`` time.
+    A fresh worker immediately generates its ``logSize2`` variable.
+    """
+    if sender.is_unassigned and receiver.is_unassigned:
+        sender.role = Role.WORKER
+        sender.log_size2 = draw_log_size2(rng, params)
+        receiver.role = Role.STORAGE
+        return
+    if receiver.is_unassigned and not sender.is_unassigned:
+        if sender.is_worker:
+            receiver.role = Role.STORAGE
+        else:
+            receiver.role = Role.WORKER
+            receiver.log_size2 = draw_log_size2(rng, params)
+        return
+    if sender.is_unassigned and not receiver.is_unassigned:
+        if receiver.is_worker:
+            sender.role = Role.STORAGE
+        else:
+            sender.role = Role.WORKER
+            sender.log_size2 = draw_log_size2(rng, params)
+
+
+def restart(
+    agent: LogSizeAgentState, rng: RandomSource, params: ProtocolParameters
+) -> None:
+    """``Restart``: reset everything downstream of ``logSize2``.
+
+    Called whenever the agent learns a strictly larger ``logSize2``: the whole
+    computation so far was based on a too-small estimate, so the epoch
+    structure, the accumulated sum, the phase-clock counter and the output are
+    discarded and a fresh geometric variable is drawn for the current epoch.
+    """
+    agent.time = 0
+    agent.total = 0
+    agent.epoch = 0
+    agent.gr = draw_gr(rng, params)
+    agent.protocol_done = False
+    agent.updated_sum = False
+    agent.output = None
+
+
+def propagate_max_clock_value(
+    first: LogSizeAgentState,
+    second: LogSizeAgentState,
+    rng: RandomSource,
+    params: ProtocolParameters,
+) -> None:
+    """``Propagate-Max-Clock-Value``: spread the maximum ``logSize2`` by epidemic.
+
+    The agent holding the smaller value adopts the larger one and restarts its
+    downstream computation.
+    """
+    if first.log_size2 < second.log_size2:
+        first.log_size2 = second.log_size2
+        restart(first, rng, params)
+    elif second.log_size2 < first.log_size2:
+        second.log_size2 = first.log_size2
+        restart(second, rng, params)
+
+
+def propagate_max_grv(first: LogSizeAgentState, second: LogSizeAgentState) -> None:
+    """``Propagate-Max-G.R.V.``: spread the epoch's maximum geometric variable.
+
+    Only meaningful between two worker agents in the *same* epoch; agents in
+    different epochs are generating different variables.
+    """
+    if first.epoch != second.epoch:
+        return
+    if first.gr < second.gr:
+        first.gr = second.gr
+    elif second.gr < first.gr:
+        second.gr = first.gr
+
+
+def move_to_next_grv(
+    agent: LogSizeAgentState, rng: RandomSource, params: ProtocolParameters
+) -> None:
+    """``Move-to-Next-G.R.V``: begin a fresh epoch for this worker agent."""
+    agent.time = 0
+    agent.gr = draw_gr(rng, params)
+    agent.updated_sum = False
+
+
+def check_timer_and_increment_epoch(
+    agent: LogSizeAgentState, rng: RandomSource, params: ProtocolParameters
+) -> None:
+    """``Check-if-Timer-Done-and-Increment-Epoch``.
+
+    A worker whose phase-clock counter has reached the threshold *and* whose
+    epoch maximum has already been deposited into an ``S`` agent moves to the
+    next epoch; after the last epoch it sets ``protocolDone``.
+    """
+    if agent.protocol_done or not agent.is_worker:
+        return
+    if agent.time < params.clock_threshold(agent.log_size2):
+        return
+    if not agent.updated_sum:
+        return
+    agent.epoch += 1
+    move_to_next_grv(agent, rng, params)
+    if agent.epoch >= params.total_epochs(agent.log_size2):
+        agent.protocol_done = True
+
+
+def propagate_incremented_epoch(
+    first: LogSizeAgentState,
+    second: LogSizeAgentState,
+    rng: RandomSource,
+    params: ProtocolParameters,
+) -> None:
+    """``Propagate-Incremented-Epoch``: lagging agents catch up to the max epoch.
+
+    Between two workers, the lagging one jumps to the larger epoch and starts
+    a fresh geometric variable (its own maximum for the skipped epoch was
+    already deposited by some other worker).  Between two storage agents, the
+    lagging one adopts both the larger epoch and the associated sum; at equal
+    epochs the storage agents agree on the maximum sum, which is what makes
+    every agent converge to a common output value.
+    """
+    if first.is_worker and second.is_worker:
+        if first.epoch < second.epoch:
+            first.epoch = second.epoch
+            move_to_next_grv(first, rng, params)
+            _maybe_finish_worker(first, params)
+        elif second.epoch < first.epoch:
+            second.epoch = first.epoch
+            move_to_next_grv(second, rng, params)
+            _maybe_finish_worker(second, params)
+        return
+    if first.is_storage and second.is_storage:
+        if first.epoch < second.epoch:
+            first.epoch = second.epoch
+            first.total = second.total
+        elif second.epoch < first.epoch:
+            second.epoch = first.epoch
+            second.total = first.total
+        else:
+            maximum = max(first.total, second.total)
+            first.total = maximum
+            second.total = maximum
+        _maybe_finish_storage(first, params)
+        _maybe_finish_storage(second, params)
+
+
+def _maybe_finish_worker(agent: LogSizeAgentState, params: ProtocolParameters) -> None:
+    """Mark a worker done when it has caught up to (or past) the final epoch."""
+    if agent.epoch >= params.total_epochs(agent.log_size2):
+        agent.protocol_done = True
+
+
+def _maybe_finish_storage(agent: LogSizeAgentState, params: ProtocolParameters) -> None:
+    """Mark a storage agent done when it has accumulated all epoch maxima.
+
+    A finished storage agent's announced estimate is ``total / epoch + 1``
+    (Protocol 1's ``output <- sum/epoch + 1``).  The estimate is refreshed
+    whenever the stored sum changes (storage agents keep agreeing on the
+    maximum sum), so all announcements converge to a single common value.
+    """
+    if not agent.is_storage:
+        return
+    if (
+        not agent.protocol_done
+        and agent.epoch >= params.total_epochs(agent.log_size2)
+        and agent.epoch > 0
+    ):
+        agent.protocol_done = True
+    if agent.protocol_done and agent.epoch > 0:
+        agent.output = agent.total / agent.epoch + params.output_offset
+
+
+def update_sum(
+    first: LogSizeAgentState,
+    second: LogSizeAgentState,
+    params: ProtocolParameters,
+) -> None:
+    """``Update-Sum``: a finished worker deposits its epoch maximum into storage.
+
+    Requires exactly one worker and one storage agent.  If the worker's phase
+    clock has expired and both agents are in the same epoch, the storage agent
+    accumulates the worker's ``gr`` and advances its epoch; the worker marks
+    the deposit so its own epoch may advance at its next check.  If the
+    storage agent is already ahead, the worker's maximum for this epoch was
+    deposited by another worker, so the worker just marks the deposit.
+    """
+    if first.is_worker and second.is_storage:
+        worker, storage = first, second
+    elif second.is_worker and first.is_storage:
+        worker, storage = second, first
+    else:
+        return
+    if worker.protocol_done:
+        return
+    if (
+        worker.epoch == storage.epoch
+        and worker.time >= params.clock_threshold(worker.log_size2)
+    ):
+        storage.epoch += 1
+        storage.total += worker.gr
+        worker.updated_sum = True
+        _maybe_finish_storage(storage, params)
+    elif worker.epoch < storage.epoch:
+        worker.updated_sum = True
+
+
+def propagate_output(first: LogSizeAgentState, second: LogSizeAgentState) -> None:
+    """Spread the final estimate to every agent.
+
+    A finished storage agent announces its (possibly refined) estimate and its
+    partner overwrites its stored output with it; between other agents the
+    output spreads epidemically to agents that have none yet.  Because storage
+    agents keep agreeing on the maximum sum (so their announcements converge
+    to a single value) and those announcements overwrite stale copies, all
+    agents converge to a common output value — the probability-1 convergence
+    of Lemma 3.12.
+    """
+    for announcer, listener in ((first, second), (second, first)):
+        if announcer.output is None:
+            continue
+        if listener.is_storage and listener.protocol_done:
+            # A finished storage agent keeps its own (authoritative) estimate.
+            continue
+        if announcer.is_storage and announcer.protocol_done:
+            # Authoritative announcements always overwrite.
+            listener.output = announcer.output
+        elif listener.output is None:
+            # Second-hand copies only fill empty slots; they never overwrite.
+            listener.output = announcer.output

@@ -1,0 +1,63 @@
+"""Simulation engines for population protocols.
+
+Two engines are provided:
+
+* :class:`repro.engine.simulator.Simulation` — the *agent-level* engine.  It
+  stores one state object per agent and applies the protocol's transition to
+  uniformly random ordered pairs, exactly as in the paper's model.  This is
+  the reference engine: every protocol in the library runs on it and all
+  correctness tests use it.
+
+* :class:`repro.engine.count_simulator.CountSimulator` — the
+  *configuration-level* engine for finite-state protocols.  It stores only
+  the count of each state, which makes classic constant-state protocols
+  (epidemics, majority, leader election) fast even for very large
+  populations, and it is the representation the termination analysis
+  operates on.
+
+Supporting pieces: the interaction schedulers
+(:mod:`repro.engine.scheduler`), configuration multisets
+(:mod:`repro.engine.configuration`), convergence detectors
+(:mod:`repro.engine.convergence`), metric collection
+(:mod:`repro.engine.metrics`), event hooks (:mod:`repro.engine.events`) and
+execution traces (:mod:`repro.engine.trace`).
+"""
+
+from repro.engine.configuration import Configuration
+from repro.engine.convergence import (
+    ConvergenceDetector,
+    all_agents_satisfy,
+    output_within_tolerance,
+    stable_for,
+)
+from repro.engine.count_simulator import CountSimulator
+from repro.engine.events import EventLog, InteractionEvent, PeriodicProbe
+from repro.engine.metrics import SimulationMetrics, StateUsageTracker
+from repro.engine.scheduler import (
+    InteractionScheduler,
+    RandomMatchingScheduler,
+    SequentialScheduler,
+)
+from repro.engine.simulator import Simulation, SimulationReport
+from repro.engine.trace import ExecutionTrace, TraceRecorder
+
+__all__ = [
+    "Configuration",
+    "ConvergenceDetector",
+    "all_agents_satisfy",
+    "output_within_tolerance",
+    "stable_for",
+    "CountSimulator",
+    "EventLog",
+    "InteractionEvent",
+    "PeriodicProbe",
+    "SimulationMetrics",
+    "StateUsageTracker",
+    "InteractionScheduler",
+    "RandomMatchingScheduler",
+    "SequentialScheduler",
+    "Simulation",
+    "SimulationReport",
+    "ExecutionTrace",
+    "TraceRecorder",
+]

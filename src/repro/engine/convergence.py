@@ -1,0 +1,132 @@
+"""Convergence detection.
+
+Section 2.1 of the paper defines an execution to *converge* at interaction
+``i`` when configuration ``i`` is not correct but every later configuration
+is; for the size-estimation protocol, "correct" means every agent's output is
+within a fixed additive tolerance of ``log2 n``.  For the simulation in
+Appendix C (Figure 2), convergence is detected when every agent has finished
+the protocol (``epoch = 5 * logSize2``) — at which point, empirically, the
+estimate is within additive error 2.
+
+This module provides the pieces both notions need:
+
+* predicate builders (:func:`all_agents_satisfy`,
+  :func:`output_within_tolerance`) over the live simulation, and
+* :class:`ConvergenceDetector`, a probe that records the first interaction
+  index from which a predicate held continuously until the end of the run.
+
+Because a predicate may hold transiently and then fail again (the output can
+still change before the protocol settles), the detector clears its tentative
+convergence point whenever the predicate is observed to fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Predicate = Callable[[Any], bool]
+
+
+def all_agents_satisfy(condition: Callable[[Any], bool]) -> Predicate:
+    """Build a predicate that holds when every agent state satisfies ``condition``."""
+
+    def predicate(simulation: Any) -> bool:
+        return all(condition(state) for state in simulation.states)
+
+    return predicate
+
+
+def output_within_tolerance(tolerance: float) -> Predicate:
+    """Predicate: every agent's numeric output is within ``tolerance`` of ``log2 n``.
+
+    Agents whose output is ``None`` (undefined) make the predicate fail, in
+    line with the paper's local output convention ("the output is undefined if
+    some agents have different values").
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+
+    def predicate(simulation: Any) -> bool:
+        target = math.log2(simulation.population_size)
+        for state in simulation.states:
+            value = simulation.protocol.output(state)
+            if value is None:
+                return False
+            try:
+                error = abs(float(value) - target)
+            except (TypeError, ValueError):
+                return False
+            if error > tolerance:
+                return False
+        return True
+
+    return predicate
+
+
+def stable_for(base: Predicate, consecutive_checks: int) -> Predicate:
+    """Wrap ``base`` so it only holds after passing ``consecutive_checks`` times in a row.
+
+    Useful for protocols whose output oscillates briefly; the returned
+    predicate is stateful, so build a fresh one per run.
+    """
+    if consecutive_checks <= 0:
+        raise ValueError("consecutive_checks must be positive")
+    streak = {"count": 0}
+
+    def predicate(simulation: Any) -> bool:
+        if base(simulation):
+            streak["count"] += 1
+        else:
+            streak["count"] = 0
+        return streak["count"] >= consecutive_checks
+
+    return predicate
+
+
+@dataclass
+class ConvergenceDetector:
+    """Probe recording when a predicate starts holding permanently.
+
+    The detector is invoked periodically (via the simulation's probe
+    machinery).  It keeps the earliest interaction index at which the
+    predicate was observed to hold with no later observed failure; if the
+    predicate fails again, the tentative point is discarded.
+
+    Attributes
+    ----------
+    predicate:
+        The convergence condition, evaluated against the simulation.
+    convergence_interaction:
+        Interaction index of the first check in the current uninterrupted
+        streak of successes, or ``None`` if the predicate is not currently
+        holding.
+    """
+
+    predicate: Predicate
+    convergence_interaction: int | None = None
+    checks_performed: int = field(default=0)
+    _holding: bool = field(default=False, repr=False)
+
+    def __call__(self, simulation: Any) -> None:
+        """Probe entry point: evaluate the predicate against ``simulation``."""
+        self.checks_performed += 1
+        if self.predicate(simulation):
+            if not self._holding:
+                self._holding = True
+                self.convergence_interaction = simulation.metrics.interactions
+        else:
+            self._holding = False
+            self.convergence_interaction = None
+
+    @property
+    def converged(self) -> bool:
+        """Whether the predicate currently holds (and has a recorded start)."""
+        return self._holding and self.convergence_interaction is not None
+
+    def convergence_time(self, population_size: int) -> float | None:
+        """Parallel time of the recorded convergence point, or ``None``."""
+        if self.convergence_interaction is None:
+            return None
+        return self.convergence_interaction / population_size

@@ -1,0 +1,251 @@
+"""Configuration-level (count-based) simulation of finite-state protocols.
+
+For a constant-state protocol the population configuration is fully described
+by the count of each state, so a simulation step only needs to
+
+1. sample the ordered pair of *states* participating in the next interaction
+   (with probability proportional to the product of their counts, adjusting
+   for ordered pairs of the same state), and
+2. move one agent from each input state to the corresponding output state.
+
+This keeps memory at ``O(|states|)`` and each step at ``O(|states|)`` instead
+of ``O(n)``, which is what lets the epidemic, majority, leader-election and
+exact-counting baselines — and the dense-configuration termination
+experiments — run at populations of 10^5–10^7 in pure Python.
+
+The semantics match the sequential agent-level engine exactly: the same
+uniform-random ordered-pair scheduler, just expressed over counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.engine.configuration import Configuration
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.base import FiniteStateProtocol
+from repro.rng import RandomSource
+from repro.types import interactions_for_time
+
+
+@dataclass
+class CountTracePoint:
+    """One sampled configuration of a count-level run."""
+
+    interaction: int
+    parallel_time: float
+    configuration: Configuration
+
+
+class CountSimulator:
+    """Simulate a :class:`~repro.protocols.base.FiniteStateProtocol` by counts.
+
+    Parameters
+    ----------
+    protocol:
+        The finite-state protocol to simulate.
+    population_size:
+        Number of agents.  The initial configuration is built from
+        ``protocol.initial_state(agent_id)`` unless ``initial_configuration``
+        is supplied.
+    seed:
+        Seed for the random source.
+    initial_configuration:
+        Optional explicit starting configuration; its size must equal
+        ``population_size``.
+    """
+
+    def __init__(
+        self,
+        protocol: FiniteStateProtocol,
+        population_size: int,
+        seed: int | None = None,
+        initial_configuration: Configuration | None = None,
+    ) -> None:
+        if population_size < 2:
+            raise SimulationError(
+                f"population must contain at least 2 agents, got {population_size}"
+            )
+        self.protocol = protocol
+        self.population_size = population_size
+        self.rng = RandomSource(seed=seed)
+        if initial_configuration is not None:
+            if initial_configuration.size != population_size:
+                raise SimulationError(
+                    f"initial configuration has size {initial_configuration.size}, "
+                    f"expected {population_size}"
+                )
+            self._counts: Counter = initial_configuration.to_counter()
+        else:
+            self._counts = Counter(
+                protocol.initial_state(agent_id) for agent_id in range(population_size)
+            )
+        self.interactions = 0
+        self._states_seen: set[Hashable] = set(self._counts)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def parallel_time(self) -> float:
+        """Parallel time elapsed so far."""
+        return self.interactions / self.population_size
+
+    def configuration(self) -> Configuration:
+        """Return the current configuration (immutable copy)."""
+        return Configuration(dict(self._counts))
+
+    def count(self, state: Hashable) -> int:
+        """Return the current count of ``state``."""
+        return self._counts.get(state, 0)
+
+    def states_seen(self) -> frozenset[Hashable]:
+        """All states that have had positive count at any point of the run."""
+        return frozenset(self._states_seen)
+
+    def outputs(self) -> Counter:
+        """Histogram of outputs over the population."""
+        histogram: Counter = Counter()
+        for state, count in self._counts.items():
+            histogram[self.protocol.output(state)] += count
+        return histogram
+
+    # -- stepping -----------------------------------------------------------------
+
+    def _sample_ordered_state_pair(self) -> tuple[Hashable, Hashable]:
+        """Sample the (receiver-state, sender-state) of the next interaction.
+
+        Equivalent to sampling a uniform ordered pair of distinct agents and
+        reading off their states: the probability of the ordered state pair
+        ``(a, b)`` with ``a != b`` is ``c(a) c(b) / (n (n-1))`` and of
+        ``(a, a)`` is ``c(a) (c(a)-1) / (n (n-1))``.
+
+        Implemented by sampling the receiver agent uniformly by state weight,
+        then the sender uniformly among the remaining ``n - 1`` agents.
+        """
+        n = self.population_size
+        receiver_state = self._sample_state_weighted(exclude=None)
+        sender_state = self._sample_state_weighted(exclude=receiver_state)
+        return receiver_state, sender_state
+
+    def _sample_state_weighted(self, exclude: Hashable | None) -> Hashable:
+        """Sample a state with probability proportional to its count.
+
+        When ``exclude`` is given, one agent of that state is set aside (it is
+        the already-chosen receiver), so its weight is reduced by one.
+        """
+        total = self.population_size if exclude is None else self.population_size - 1
+        threshold = self.rng.randrange(total)
+        cumulative = 0
+        for state, count in self._counts.items():
+            weight = count - 1 if state == exclude else count
+            cumulative += weight
+            if threshold < cumulative:
+                return state
+        raise SimulationError("state sampling failed; counts are inconsistent")
+
+    def step(self) -> None:
+        """Execute one interaction."""
+        receiver_state, sender_state = self._sample_ordered_state_pair()
+        outcomes = self.protocol.transitions(receiver_state, sender_state)
+        self.interactions += 1
+        if not outcomes:
+            return
+        draw = self.rng.random()
+        cumulative = 0.0
+        chosen = None
+        for outcome in outcomes:
+            cumulative += outcome.probability
+            if draw < cumulative:
+                chosen = outcome
+                break
+        if chosen is None:
+            return  # residual mass = null transition
+        if (chosen.receiver_out, chosen.sender_out) == (receiver_state, sender_state):
+            return
+        self._counts[receiver_state] -= 1
+        self._counts[sender_state] -= 1
+        self._counts[chosen.receiver_out] += 1
+        self._counts[chosen.sender_out] += 1
+        self._states_seen.add(chosen.receiver_out)
+        self._states_seen.add(chosen.sender_out)
+        for state in (receiver_state, sender_state):
+            if self._counts[state] == 0:
+                del self._counts[state]
+
+    def run_interactions(self, count: int) -> None:
+        """Execute exactly ``count`` additional interactions."""
+        if count < 0:
+            raise SimulationError(f"interaction count must be non-negative, got {count}")
+        for _ in range(count):
+            self.step()
+
+    def run_parallel_time(self, time: float) -> None:
+        """Execute (at least) ``time`` additional units of parallel time."""
+        self.run_interactions(interactions_for_time(time, self.population_size))
+
+    def run_until(
+        self,
+        predicate: Callable[["CountSimulator"], bool],
+        max_parallel_time: float,
+        check_interval: int | None = None,
+    ) -> float:
+        """Run until ``predicate(self)`` holds; return the parallel time reached.
+
+        Raises
+        ------
+        ConvergenceError
+            If the predicate does not hold within ``max_parallel_time``.
+        """
+        interval = check_interval if check_interval is not None else self.population_size
+        if interval <= 0:
+            raise SimulationError("check_interval must be positive")
+        budget = interactions_for_time(max_parallel_time, self.population_size)
+        executed = 0
+        if predicate(self):
+            return self.parallel_time
+        while executed < budget:
+            chunk = min(interval, budget - executed)
+            self.run_interactions(chunk)
+            executed += chunk
+            if predicate(self):
+                return self.parallel_time
+        raise ConvergenceError(
+            f"predicate did not hold within {max_parallel_time} units of parallel time "
+            f"(n={self.population_size})"
+        )
+
+    def run_with_trace(
+        self, total_parallel_time: float, samples: int
+    ) -> list[CountTracePoint]:
+        """Run for ``total_parallel_time`` and return ``samples`` evenly spaced snapshots.
+
+        The initial configuration is always included as the first point.
+        """
+        if samples < 1:
+            raise SimulationError("samples must be at least 1")
+        total_interactions = interactions_for_time(
+            total_parallel_time, self.population_size
+        )
+        chunk = max(1, total_interactions // samples)
+        trace = [
+            CountTracePoint(
+                interaction=self.interactions,
+                parallel_time=self.parallel_time,
+                configuration=self.configuration(),
+            )
+        ]
+        executed = 0
+        while executed < total_interactions:
+            step = min(chunk, total_interactions - executed)
+            self.run_interactions(step)
+            executed += step
+            trace.append(
+                CountTracePoint(
+                    interaction=self.interactions,
+                    parallel_time=self.parallel_time,
+                    configuration=self.configuration(),
+                )
+            )
+        return trace

@@ -1,0 +1,92 @@
+"""Event hooks and probes for the agent-level simulation engine.
+
+A simulation accepts *probes*: callables invoked on a fixed cadence (every
+``interval`` interactions) with the live :class:`~repro.engine.simulator.Simulation`
+object.  Probes implement convergence detection, trajectory recording for the
+density experiments, and progress logging, without the engine having to know
+about any of them.
+
+:class:`EventLog` is a lightweight recorder of individual interactions used by
+small-scale debugging tests and by the execution traces of
+:mod:`repro.engine.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """Record of a single executed interaction."""
+
+    index: int
+    receiver: int
+    sender: int
+    receiver_before: Hashable
+    sender_before: Hashable
+    receiver_after: Hashable
+    sender_after: Hashable
+
+    @property
+    def changed(self) -> bool:
+        """Whether either participant changed state."""
+        return (
+            self.receiver_before != self.receiver_after
+            or self.sender_before != self.sender_after
+        )
+
+
+@dataclass
+class EventLog:
+    """In-memory log of interaction events (for small populations/tests)."""
+
+    events: list[InteractionEvent] = field(default_factory=list)
+    capacity: int | None = None
+
+    def append(self, event: InteractionEvent) -> None:
+        """Append an event, dropping the oldest when over capacity."""
+        self.events.append(event)
+        if self.capacity is not None and len(self.events) > self.capacity:
+            del self.events[0]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def changed_events(self) -> list[InteractionEvent]:
+        """Return only the events in which some agent changed state."""
+        return [event for event in self.events if event.changed]
+
+
+@dataclass
+class PeriodicProbe:
+    """A callback invoked every ``interval`` interactions.
+
+    Parameters
+    ----------
+    interval:
+        Number of interactions between invocations.  The default of ``None``
+        means "once per ``n`` interactions" and is resolved by the simulation
+        when the probe is registered.
+    callback:
+        Callable receiving the simulation object.  Its return value is
+        ignored.
+    name:
+        Optional identifier (handy when inspecting probe lists in tests).
+    """
+
+    callback: Callable[[Any], None]
+    interval: int | None = None
+    name: str = ""
+
+    def resolve_interval(self, population_size: int) -> int:
+        """Return the concrete interval for a given population size."""
+        if self.interval is not None:
+            if self.interval <= 0:
+                raise ValueError(f"probe interval must be positive, got {self.interval}")
+            return self.interval
+        return max(1, population_size)

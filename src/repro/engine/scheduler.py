@@ -1,0 +1,122 @@
+"""Interaction schedulers.
+
+The population-protocol model repeatedly selects an ordered pair of distinct
+agents uniformly at random.  :class:`SequentialScheduler` implements exactly
+that.  :class:`RandomMatchingScheduler` implements the standard synchronous
+approximation in which each "round" is a uniformly random perfect matching of
+the population, giving every agent exactly one interaction per round; it is
+the scheduling model used by the vectorised large-``n`` simulator
+(:mod:`repro.core.array_simulator`) and is documented as a substitution in
+``DESIGN.md``.
+
+Both schedulers are iterators over :class:`repro.types.InteractionPair` and
+expose the number of interactions they have emitted, so callers can convert
+to parallel time uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.exceptions import SimulationError
+from repro.rng import RandomSource
+from repro.types import InteractionPair
+
+
+class InteractionScheduler(ABC):
+    """Base class for interaction schedulers.
+
+    A scheduler is bound to a population size ``n`` and a random source, and
+    yields an unbounded stream of ordered interaction pairs.
+    """
+
+    def __init__(self, n: int, rng: RandomSource) -> None:
+        if n < 2:
+            raise SimulationError(f"population must contain at least 2 agents, got {n}")
+        self.n = n
+        self.rng = rng
+        self._emitted = 0
+
+    @property
+    def interactions_emitted(self) -> int:
+        """Number of interaction pairs produced so far."""
+        return self._emitted
+
+    @property
+    def parallel_time_elapsed(self) -> float:
+        """Parallel time corresponding to the interactions emitted so far."""
+        return self._emitted / self.n
+
+    @abstractmethod
+    def _next_pair(self) -> InteractionPair:
+        """Produce the next interaction pair (implemented by subclasses)."""
+
+    def next_pair(self) -> InteractionPair:
+        """Return the next scheduled interaction pair."""
+        pair = self._next_pair()
+        self._emitted += 1
+        return pair
+
+    def pairs(self) -> Iterator[InteractionPair]:
+        """Iterate over scheduled pairs forever."""
+        while True:
+            yield self.next_pair()
+
+
+class SequentialScheduler(InteractionScheduler):
+    """The paper's scheduler: each interaction picks a uniform ordered pair.
+
+    The receiver and the sender are distinct agents chosen uniformly at random
+    among all ``n * (n - 1)`` ordered pairs, independently for every
+    interaction.
+    """
+
+    def _next_pair(self) -> InteractionPair:
+        receiver, sender = self.rng.uniform_pair(self.n)
+        return InteractionPair(receiver=receiver, sender=sender)
+
+
+class RandomMatchingScheduler(InteractionScheduler):
+    """Synchronous random-matching scheduler.
+
+    Each round draws a uniformly random permutation of the agents, pairs
+    consecutive entries, and assigns sender/receiver roles uniformly within
+    each pair.  Pairs are then emitted one at a time so the interface matches
+    the sequential scheduler.  When ``n`` is odd the last agent of the
+    permutation idles for that round.
+
+    Every agent participates in exactly one interaction per round (rather than
+    a Poisson-distributed number under the sequential scheduler), so one round
+    corresponds to ``floor(n / 2) / n ~ 1/2`` units of parallel time.  The
+    approximation preserves epidemic completion times and phase-clock
+    behaviour up to constant factors; see ``DESIGN.md`` (Substitutions).
+    """
+
+    def __init__(self, n: int, rng: RandomSource) -> None:
+        super().__init__(n, rng)
+        self._queue: list[InteractionPair] = []
+        self._rounds = 0
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of full matching rounds drawn so far."""
+        return self._rounds
+
+    def _refill(self) -> None:
+        order = list(range(self.n))
+        self.rng.shuffle(order)
+        batch: list[InteractionPair] = []
+        for index in range(0, self.n - 1, 2):
+            first, second = order[index], order[index + 1]
+            if self.rng.fair_coin():
+                first, second = second, first
+            batch.append(InteractionPair(receiver=first, sender=second))
+        # Reverse so .pop() emits pairs in matching order.
+        self._queue = list(reversed(batch))
+        self._rounds += 1
+
+    def _next_pair(self) -> InteractionPair:
+        if not self._queue:
+            self._refill()
+        return self._queue.pop()

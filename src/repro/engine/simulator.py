@@ -1,0 +1,320 @@
+"""Agent-level simulation engine.
+
+:class:`Simulation` is the reference implementation of the paper's execution
+model: a population of ``n`` agents, each holding a protocol-defined state
+object, interacting in uniformly random ordered pairs.  It supports
+
+* running for a fixed number of interactions or amount of parallel time,
+* running until a predicate holds (with an interaction budget),
+* periodic probes (convergence detectors, trajectory recorders),
+* optional tracking of the distinct states used (space complexity), and
+* snapshots of the population as :class:`~repro.engine.configuration.Configuration`
+  multisets.
+
+The engine never mutates state objects in place; protocols return fresh state
+values from their transition, which keeps snapshots and traces meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.engine.configuration import Configuration
+from repro.engine.convergence import ConvergenceDetector
+from repro.engine.events import EventLog, InteractionEvent, PeriodicProbe
+from repro.engine.metrics import SimulationMetrics, StateUsageTracker
+from repro.engine.scheduler import InteractionScheduler, SequentialScheduler
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.base import AgentProtocol
+from repro.rng import RandomSource
+from repro.types import interactions_for_time
+
+
+@dataclass
+class SimulationReport:
+    """Summary of a completed (or stopped) simulation run."""
+
+    population_size: int
+    interactions: int
+    parallel_time: float
+    converged: bool
+    convergence_interaction: int | None
+    convergence_time: float | None
+    distinct_states: int | None
+    outputs: list[Any]
+
+    def as_dict(self) -> dict:
+        """Return a JSON-friendly dictionary view of the report."""
+        return {
+            "population_size": self.population_size,
+            "interactions": self.interactions,
+            "parallel_time": self.parallel_time,
+            "converged": self.converged,
+            "convergence_interaction": self.convergence_interaction,
+            "convergence_time": self.convergence_time,
+            "distinct_states": self.distinct_states,
+        }
+
+
+class Simulation:
+    """Drive an :class:`~repro.protocols.base.AgentProtocol` on ``n`` agents.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to run.
+    population_size:
+        Number of agents ``n`` (at least 2).
+    seed:
+        Seed for the shared random source (scheduler choices and agent coin
+        flips).  Identical seeds reproduce identical executions.
+    scheduler:
+        Optional scheduler instance; defaults to the paper's
+        :class:`~repro.engine.scheduler.SequentialScheduler`.
+    track_states:
+        When ``True``, the distinct state signatures visited by any agent are
+        recorded (used for the space-complexity experiments).  Adds overhead
+        proportional to the number of interactions.
+    initial_states:
+        Optional explicit list of initial states, overriding
+        ``protocol.initial_state``.  Must have length ``population_size``.
+    event_log_capacity:
+        When not ``None``, keep an :class:`~repro.engine.events.EventLog` of
+        the most recent interactions (for debugging / trace tests).
+    """
+
+    def __init__(
+        self,
+        protocol: AgentProtocol,
+        population_size: int,
+        seed: int | None = None,
+        scheduler: InteractionScheduler | None = None,
+        track_states: bool = False,
+        initial_states: Sequence[Any] | None = None,
+        event_log_capacity: int | None = None,
+    ) -> None:
+        if population_size < 2:
+            raise SimulationError(
+                f"population must contain at least 2 agents, got {population_size}"
+            )
+        self.protocol = protocol
+        self.population_size = population_size
+        self.rng = RandomSource(seed=seed)
+        self.scheduler = scheduler or SequentialScheduler(population_size, self.rng)
+        if self.scheduler.n != population_size:
+            raise SimulationError(
+                "scheduler population size does not match the simulation population size"
+            )
+        if initial_states is not None:
+            if len(initial_states) != population_size:
+                raise SimulationError(
+                    f"initial_states has length {len(initial_states)}, "
+                    f"expected {population_size}"
+                )
+            self.states: list[Any] = list(initial_states)
+        else:
+            self.states = [
+                protocol.initial_state(agent_id) for agent_id in range(population_size)
+            ]
+        tracker = StateUsageTracker() if track_states else None
+        if tracker is not None:
+            tracker.observe_many(
+                protocol.state_signature(state) for state in self.states
+            )
+        self.metrics = SimulationMetrics(
+            population_size=population_size, state_usage=tracker
+        )
+        self.event_log = (
+            EventLog(capacity=event_log_capacity) if event_log_capacity is not None else None
+        )
+        self._probes: list[tuple[PeriodicProbe, int]] = []
+
+    # -- probes ----------------------------------------------------------------
+
+    def add_probe(
+        self,
+        callback: Callable[["Simulation"], None],
+        interval: int | None = None,
+        name: str = "",
+    ) -> PeriodicProbe:
+        """Register a callback invoked every ``interval`` interactions.
+
+        The default interval is once per ``n`` interactions (once per unit of
+        parallel time).  Returns the :class:`PeriodicProbe` so callers can
+        keep a handle on stateful probes such as convergence detectors.
+        """
+        probe = PeriodicProbe(callback=callback, interval=interval, name=name)
+        self._probes.append((probe, probe.resolve_interval(self.population_size)))
+        return probe
+
+    def add_convergence_detector(
+        self, predicate: Callable[["Simulation"], bool], interval: int | None = None
+    ) -> ConvergenceDetector:
+        """Attach a :class:`ConvergenceDetector` probe and return it."""
+        detector = ConvergenceDetector(predicate=predicate)
+        self.add_probe(detector, interval=interval, name="convergence")
+        return detector
+
+    def _fire_probes(self) -> None:
+        interactions = self.metrics.interactions
+        for probe, interval in self._probes:
+            if interactions % interval == 0:
+                probe.callback(self)
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self) -> InteractionEvent:
+        """Execute a single interaction and return its event record."""
+        pair = self.scheduler.next_pair()
+        receiver_id, sender_id = pair.receiver, pair.sender
+        receiver_before = self.states[receiver_id]
+        sender_before = self.states[sender_id]
+        receiver_after, sender_after = self.protocol.transition(
+            receiver_before, sender_before, self.rng
+        )
+        self.states[receiver_id] = receiver_after
+        self.states[sender_id] = sender_after
+        changed = receiver_after != receiver_before or sender_after != sender_before
+        self.metrics.record_interaction(changed=changed)
+        if self.metrics.state_usage is not None and changed:
+            self.metrics.state_usage.observe(
+                self.protocol.state_signature(receiver_after)
+            )
+            self.metrics.state_usage.observe(self.protocol.state_signature(sender_after))
+        event = InteractionEvent(
+            index=self.metrics.interactions,
+            receiver=receiver_id,
+            sender=sender_id,
+            receiver_before=receiver_before,
+            sender_before=sender_before,
+            receiver_after=receiver_after,
+            sender_after=sender_after,
+        )
+        if self.event_log is not None:
+            self.event_log.append(event)
+        if self._probes:
+            self._fire_probes()
+        return event
+
+    def run_interactions(self, count: int) -> None:
+        """Execute exactly ``count`` additional interactions."""
+        if count < 0:
+            raise SimulationError(f"interaction count must be non-negative, got {count}")
+        for _ in range(count):
+            self.step()
+
+    def run_parallel_time(self, time: float) -> None:
+        """Execute (at least) ``time`` additional units of parallel time."""
+        self.run_interactions(interactions_for_time(time, self.population_size))
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulation"], bool],
+        max_parallel_time: float,
+        check_interval: int | None = None,
+    ) -> float:
+        """Run until ``predicate`` holds; return the parallel time at that point.
+
+        The predicate is evaluated every ``check_interval`` interactions
+        (default: every ``n`` interactions, i.e. once per unit of parallel
+        time).
+
+        Raises
+        ------
+        ConvergenceError
+            If the predicate never holds within ``max_parallel_time``.
+        """
+        interval = check_interval if check_interval is not None else self.population_size
+        if interval <= 0:
+            raise SimulationError("check_interval must be positive")
+        budget = interactions_for_time(max_parallel_time, self.population_size)
+        executed = 0
+        if predicate(self):
+            return self.metrics.parallel_time
+        while executed < budget:
+            chunk = min(interval, budget - executed)
+            self.run_interactions(chunk)
+            executed += chunk
+            if predicate(self):
+                return self.metrics.parallel_time
+        raise ConvergenceError(
+            f"predicate did not hold within {max_parallel_time} units of parallel time "
+            f"(n={self.population_size}, interactions={self.metrics.interactions})"
+        )
+
+    # -- inspection ----------------------------------------------------------------
+
+    def outputs(self) -> list[Any]:
+        """Return the per-agent outputs as computed by the protocol."""
+        return [self.protocol.output(state) for state in self.states]
+
+    def configuration(self) -> Configuration:
+        """Return the current population as a configuration multiset.
+
+        State signatures (which are hashable) are used as the multiset
+        elements, so this works for protocols with unhashable state objects
+        too.
+        """
+        return Configuration.from_states(
+            self.protocol.state_signature(state) for state in self.states
+        )
+
+    def agent_state(self, agent_id: int) -> Any:
+        """Return the current state of one agent."""
+        if not 0 <= agent_id < self.population_size:
+            raise SimulationError(
+                f"agent id {agent_id} out of range for population {self.population_size}"
+            )
+        return self.states[agent_id]
+
+    def count_where(self, condition: Callable[[Any], bool]) -> int:
+        """Count agents whose state satisfies ``condition``."""
+        return sum(1 for state in self.states if condition(state))
+
+    def report(
+        self, detector: ConvergenceDetector | None = None
+    ) -> SimulationReport:
+        """Build a :class:`SimulationReport` from the current run state."""
+        convergence_interaction = (
+            detector.convergence_interaction if detector is not None else None
+        )
+        converged = detector.converged if detector is not None else False
+        convergence_time = (
+            convergence_interaction / self.population_size
+            if convergence_interaction is not None
+            else None
+        )
+        return SimulationReport(
+            population_size=self.population_size,
+            interactions=self.metrics.interactions,
+            parallel_time=self.metrics.parallel_time,
+            converged=converged,
+            convergence_interaction=convergence_interaction,
+            convergence_time=convergence_time,
+            distinct_states=self.metrics.distinct_states,
+            outputs=self.outputs(),
+        )
+
+
+def run_protocol(
+    protocol: AgentProtocol,
+    population_size: int,
+    predicate: Callable[[Simulation], bool],
+    max_parallel_time: float,
+    seed: int | None = None,
+    track_states: bool = False,
+) -> tuple[Simulation, float]:
+    """Convenience wrapper: build a simulation and run it until ``predicate``.
+
+    Returns the simulation object (for inspection of final states/outputs) and
+    the parallel time at which the predicate first held.
+    """
+    simulation = Simulation(
+        protocol=protocol,
+        population_size=population_size,
+        seed=seed,
+        track_states=track_states,
+    )
+    elapsed = simulation.run_until(predicate, max_parallel_time=max_parallel_time)
+    return simulation, elapsed

@@ -1,0 +1,109 @@
+"""Execution traces.
+
+An *execution* in the paper is a sequence of configurations.  The
+:class:`TraceRecorder` probe snapshots the population configuration on a fixed
+parallel-time cadence, producing an :class:`ExecutionTrace`: the time series
+of state counts that the density experiments (Lemma 4.2 / Theorem 4.1) and
+several benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from repro.engine.configuration import Configuration
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sampled point of an execution trace."""
+
+    interaction: int
+    parallel_time: float
+    configuration: Configuration
+
+
+@dataclass
+class ExecutionTrace:
+    """A sampled execution: configurations indexed by parallel time."""
+
+    population_size: int
+    points: list[TracePoint] = field(default_factory=list)
+
+    def append(self, interaction: int, configuration: Configuration) -> None:
+        """Add a sample taken at the given interaction count."""
+        self.points.append(
+            TracePoint(
+                interaction=interaction,
+                parallel_time=interaction / self.population_size,
+                configuration=configuration,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def times(self) -> list[float]:
+        """Parallel times of the samples."""
+        return [point.parallel_time for point in self.points]
+
+    def counts_of(self, state: Hashable) -> list[int]:
+        """Time series of the count of ``state``."""
+        return [point.configuration.count(state) for point in self.points]
+
+    def states_seen(self) -> frozenset[Hashable]:
+        """All states appearing anywhere in the trace."""
+        seen: set[Hashable] = set()
+        for point in self.points:
+            seen.update(point.configuration.states_present())
+        return frozenset(seen)
+
+    def first_time_reaching(self, state: Hashable, threshold: int) -> float | None:
+        """Earliest sampled parallel time at which ``count(state) >= threshold``.
+
+        Returns ``None`` if the threshold is never reached in the trace.  Used
+        by the empirical check of the timer/density lemma: from a dense
+        configuration every producible state should reach count ``delta * n``
+        within O(1) time.
+        """
+        for point in self.points:
+            if point.configuration.count(state) >= threshold:
+                return point.parallel_time
+        return None
+
+    def final_configuration(self) -> Configuration:
+        """The last sampled configuration."""
+        if not self.points:
+            raise ValueError("trace is empty")
+        return self.points[-1].configuration
+
+
+@dataclass
+class TraceRecorder:
+    """Simulation probe that builds an :class:`ExecutionTrace`.
+
+    Register it with ``simulation.add_probe(recorder, interval=...)``; it
+    snapshots the configuration each time it fires.  A starting snapshot can
+    be taken explicitly with :meth:`record_initial`.
+    """
+
+    trace: ExecutionTrace
+
+    @classmethod
+    def for_simulation(cls, simulation: Any) -> "TraceRecorder":
+        """Create a recorder bound to ``simulation`` and record the initial point."""
+        recorder = cls(trace=ExecutionTrace(population_size=simulation.population_size))
+        recorder.record_initial(simulation)
+        return recorder
+
+    def record_initial(self, simulation: Any) -> None:
+        """Record the configuration before any interaction has happened."""
+        self.trace.append(0, simulation.configuration())
+
+    def __call__(self, simulation: Any) -> None:
+        """Probe entry point."""
+        self.trace.append(simulation.metrics.interactions, simulation.configuration())

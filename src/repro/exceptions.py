@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``ValueError`` raised by numpy, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid population configuration was supplied or produced.
+
+    Examples: negative state counts, an empty population, or an initial
+    configuration whose total size disagrees with the declared population
+    size.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is inconsistent.
+
+    Examples: a transition function returning states of the wrong type, a
+    finite-state protocol producing a state outside its declared state set,
+    or protocol parameters outside their documented domain.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation driver was used incorrectly or reached a bad state.
+
+    Examples: stepping a simulation that has already been exhausted, asking
+    for a snapshot of an agent index that does not exist, or exceeding a
+    hard interaction budget without satisfying a required predicate.
+    """
+
+
+class ConvergenceError(SimulationError):
+    """A run failed to converge within its interaction or time budget."""
+
+
+class CompositionError(ProtocolError):
+    """A protocol composition (restart scheme / staging) is ill-formed.
+
+    Examples: composing with a downstream protocol that does not implement
+    the restartable interface, or declaring zero stages.
+    """
+
+
+class AnalysisError(ReproError):
+    """A closed-form analysis routine was called with invalid arguments.
+
+    Examples: a tail-bound evaluated at a negative deviation, or a
+    probability outside ``[0, 1]``.
+    """
+
+
+class TerminationSpecError(ReproError):
+    """A termination experiment specification is invalid.
+
+    Examples: a non-positive density parameter ``alpha``, a producibility
+    depth ``m < 0`` or rate threshold ``rho`` outside ``(0, 1]``.
+    """

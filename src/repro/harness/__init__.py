@@ -1,0 +1,51 @@
+"""Experiment harness: sweeps, statistics and table/figure regeneration.
+
+The harness turns the simulators into the artefacts the paper reports:
+
+* :mod:`repro.harness.results` — result records and summary statistics;
+* :mod:`repro.harness.experiment` — repeatable experiment runners (one
+  protocol, several seeds) for both engines;
+* :mod:`repro.harness.figures` — the Figure 2 reproduction (convergence time
+  vs population size) as data series plus an ASCII rendering and CSV export;
+* :mod:`repro.harness.tables` — the theorem-level tables (accuracy, state
+  complexity, termination times, baseline comparison);
+* :mod:`repro.harness.reporting` — plain-text table formatting used by the
+  CLI, the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.harness.results import (
+    RunRecord,
+    SeriesSummary,
+    SweepResult,
+    summarize,
+)
+from repro.harness.experiment import (
+    ExperimentSpec,
+    run_array_experiment,
+    run_sequential_experiment,
+)
+from repro.harness.figures import Figure2Point, Figure2Result, reproduce_figure2
+from repro.harness.tables import (
+    accuracy_table,
+    baseline_comparison_table,
+    state_complexity_table,
+)
+from repro.harness.reporting import format_table, render_ascii_series
+
+__all__ = [
+    "RunRecord",
+    "SeriesSummary",
+    "SweepResult",
+    "summarize",
+    "ExperimentSpec",
+    "run_array_experiment",
+    "run_sequential_experiment",
+    "Figure2Point",
+    "Figure2Result",
+    "reproduce_figure2",
+    "accuracy_table",
+    "baseline_comparison_table",
+    "state_complexity_table",
+    "format_table",
+    "render_ascii_series",
+]

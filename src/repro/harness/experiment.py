@@ -1,0 +1,144 @@
+"""Repeatable experiment runners for the size-estimation protocol.
+
+Two runners are provided, one per engine:
+
+* :func:`run_sequential_experiment` — the agent-level engine (exact paper
+  scheduler), used for small populations and for cross-validating the
+  vectorised engine;
+* :func:`run_array_experiment` — the vectorised engine
+  (:class:`~repro.core.array_simulator.ArrayLogSizeSimulator`), used for the
+  Figure 2 sweep at larger populations.
+
+Both return :class:`~repro.harness.results.RunRecord` lists so downstream
+figure/table builders do not care which engine produced the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
+from repro.core.log_size_estimation import (
+    LogSizeEstimationProtocol,
+    all_agents_done,
+    estimate_error,
+)
+from repro.core.parameters import ProtocolParameters
+from repro.engine.simulator import Simulation
+from repro.exceptions import ConvergenceError
+from repro.harness.results import RunRecord, SweepResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Specification of a size-estimation sweep.
+
+    Attributes
+    ----------
+    population_sizes:
+        The sizes to sweep over.
+    runs_per_size:
+        Independent runs (seeds) per size; the paper's Figure 2 uses 10.
+    params:
+        Protocol constants (paper values by default).
+    time_budget_factor:
+        Multiple of the a-priori convergence-time estimate allotted to each
+        run before it is declared non-converged.
+    base_seed:
+        Seed of the first run; run ``j`` at size index ``i`` uses
+        ``base_seed + 1000 i + j``.
+    """
+
+    population_sizes: Sequence[int]
+    runs_per_size: int = 3
+    params: ProtocolParameters = field(default_factory=ProtocolParameters.paper)
+    time_budget_factor: float = 4.0
+    base_seed: int = 0
+
+    def seed_for(self, size_index: int, run_index: int) -> int:
+        """Deterministic per-run seed."""
+        return self.base_seed + 1000 * size_index + run_index
+
+    def budget_for(self, population_size: int) -> float:
+        """Parallel-time budget for one run at ``population_size``."""
+        return self.time_budget_factor * expected_convergence_time(
+            population_size, self.params
+        )
+
+
+def run_array_experiment(spec: ExperimentSpec, name: str = "figure2-array") -> SweepResult:
+    """Run the sweep on the vectorised engine and collect run records."""
+    result = SweepResult(name=name)
+    for size_index, population_size in enumerate(spec.population_sizes):
+        for run_index in range(spec.runs_per_size):
+            seed = spec.seed_for(size_index, run_index)
+            simulator = ArrayLogSizeSimulator(
+                population_size=population_size, params=spec.params, seed=seed
+            )
+            outcome = simulator.run_until_done(
+                max_parallel_time=spec.budget_for(population_size)
+            )
+            result.add(
+                RunRecord(
+                    population_size=population_size,
+                    seed=seed,
+                    converged=outcome.converged,
+                    convergence_time=outcome.convergence_time,
+                    max_additive_error=outcome.max_additive_error,
+                    extra={
+                        "engine": "array",
+                        "log_size2": outcome.log_size2,
+                        "interactions": outcome.interactions,
+                        "distinct_state_bound": outcome.distinct_state_bound,
+                        "final_estimate_mean": outcome.final_estimate_mean,
+                    },
+                )
+            )
+    return result
+
+
+def run_sequential_experiment(
+    spec: ExperimentSpec, name: str = "figure2-sequential", track_states: bool = False
+) -> SweepResult:
+    """Run the sweep on the agent-level engine and collect run records."""
+    result = SweepResult(name=name)
+    for size_index, population_size in enumerate(spec.population_sizes):
+        for run_index in range(spec.runs_per_size):
+            seed = spec.seed_for(size_index, run_index)
+            protocol = LogSizeEstimationProtocol(spec.params)
+            simulation = Simulation(
+                protocol=protocol,
+                population_size=population_size,
+                seed=seed,
+                track_states=track_states,
+            )
+            converged = True
+            convergence_time: float | None = None
+            try:
+                convergence_time = simulation.run_until(
+                    all_agents_done,
+                    max_parallel_time=spec.budget_for(population_size),
+                )
+            except ConvergenceError:
+                converged = False
+            try:
+                error = estimate_error(simulation)["max_additive_error"]
+            except ValueError:
+                error = math.nan
+            result.add(
+                RunRecord(
+                    population_size=population_size,
+                    seed=seed,
+                    converged=converged,
+                    convergence_time=convergence_time,
+                    max_additive_error=error,
+                    extra={
+                        "engine": "sequential",
+                        "interactions": simulation.metrics.interactions,
+                        "distinct_states": simulation.metrics.distinct_states,
+                    },
+                )
+            )
+    return result

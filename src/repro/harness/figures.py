@@ -1,0 +1,182 @@
+"""Reproduction of Figure 2: convergence time of ``Log-Size-Estimation`` vs ``n``.
+
+Figure 2 of the paper (Appendix C) plots, for population sizes
+``10^2 .. 10^5`` (10 runs each), the parallel time at which all agents reach
+``epoch = 5 * logSize2``; the paper notes the estimate is within additive
+error 2 of ``log2 n`` in every run.  The population axis is logarithmic, so
+the ``O(log^2 n)`` bound appears as a gently super-linear curve.
+
+:func:`reproduce_figure2` runs the same sweep on the vectorised engine (the
+sequential engine is too slow beyond ~10^3 agents in pure Python; see
+``DESIGN.md``), returning per-size statistics plus the raw points, a CSV
+export and an ASCII rendering of the scatter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.parameters import ProtocolParameters
+from repro.harness.experiment import ExperimentSpec, run_array_experiment
+from repro.harness.reporting import format_table, render_ascii_series
+from repro.harness.results import SeriesSummary, SweepResult
+
+
+@dataclass(frozen=True)
+class Figure2Point:
+    """One run of the Figure 2 sweep."""
+
+    population_size: int
+    seed: int
+    convergence_time: float
+    max_additive_error: float
+
+
+@dataclass
+class Figure2Result:
+    """The reproduced Figure 2 data set."""
+
+    points: list[Figure2Point]
+    summaries: dict[int, SeriesSummary]
+    params: ProtocolParameters
+    non_converged_runs: int
+
+    def sizes(self) -> list[int]:
+        """Population sizes present, ascending."""
+        return sorted(self.summaries)
+
+    def mean_times(self) -> list[float]:
+        """Mean convergence time per size (same order as :meth:`sizes`)."""
+        return [self.summaries[size].mean for size in self.sizes()]
+
+    def max_error_observed(self) -> float:
+        """Largest additive error over every run (paper: always below 2)."""
+        if not self.points:
+            return math.nan
+        return max(point.max_additive_error for point in self.points)
+
+    def table(self) -> str:
+        """Aligned text table: size, runs, mean/min/max time, max error."""
+        rows = []
+        for size in self.sizes():
+            summary = self.summaries[size]
+            errors = [
+                point.max_additive_error
+                for point in self.points
+                if point.population_size == size
+            ]
+            rows.append(
+                [
+                    size,
+                    summary.count,
+                    summary.mean,
+                    summary.minimum,
+                    summary.maximum,
+                    max(errors) if errors else math.nan,
+                ]
+            )
+        return format_table(
+            ["n", "runs", "mean time", "min time", "max time", "max |err|"], rows
+        )
+
+    def ascii_plot(self) -> str:
+        """Coarse ASCII scatter matching the paper's log-x convergence plot."""
+        xs = [float(point.population_size) for point in self.points]
+        ys = [point.convergence_time for point in self.points]
+        return render_ascii_series(
+            xs,
+            ys,
+            x_label="population size n",
+            y_label="convergence time (parallel)",
+            log_x=True,
+        )
+
+    def to_csv(self) -> str:
+        """CSV of the raw points (``n,seed,convergence_time,max_additive_error``)."""
+        lines = ["population_size,seed,convergence_time,max_additive_error"]
+        for point in self.points:
+            lines.append(
+                f"{point.population_size},{point.seed},"
+                f"{point.convergence_time},{point.max_additive_error}"
+            )
+        return "\n".join(lines)
+
+    def growth_exponent(self) -> float | None:
+        """Least-squares slope of ``time`` against ``log2(n)^2``.
+
+        The paper's bound is ``O(log^2 n)``; a roughly constant positive slope
+        (rather than one growing with ``n``) indicates the measured times
+        scale like ``log^2 n``.  Returns ``None`` with fewer than two sizes.
+        """
+        sizes = self.sizes()
+        if len(sizes) < 2:
+            return None
+        xs = [math.log2(size) ** 2 for size in sizes]
+        ys = [self.summaries[size].mean for size in sizes]
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        denominator = sum((x - mean_x) ** 2 for x in xs)
+        if denominator == 0:
+            return None
+        return numerator / denominator
+
+
+def reproduce_figure2(
+    population_sizes: Sequence[int],
+    runs_per_size: int = 3,
+    params: ProtocolParameters | None = None,
+    base_seed: int = 2019,
+    time_budget_factor: float = 4.0,
+) -> Figure2Result:
+    """Run the Figure 2 sweep on the vectorised engine.
+
+    Parameters
+    ----------
+    population_sizes:
+        Sizes to sweep (the paper uses ``10^2 .. 10^5``; benchmarks default to
+        a smaller grid — see ``benchmarks/bench_figure2_convergence.py``).
+    runs_per_size:
+        Independent runs per size (paper: 10).
+    params:
+        Protocol constants (paper values by default).
+    base_seed:
+        Base seed for reproducibility.
+    time_budget_factor:
+        Safety factor over the a-priori convergence-time estimate.
+    """
+    spec = ExperimentSpec(
+        population_sizes=list(population_sizes),
+        runs_per_size=runs_per_size,
+        params=params or ProtocolParameters.paper(),
+        base_seed=base_seed,
+        time_budget_factor=time_budget_factor,
+    )
+    sweep = run_array_experiment(spec, name="figure2")
+    return figure2_from_sweep(sweep, spec.params)
+
+
+def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure2Result:
+    """Convert a sweep (from either engine) into a :class:`Figure2Result`."""
+    points = []
+    non_converged = 0
+    for record in sweep.records:
+        if record.converged and record.convergence_time is not None:
+            points.append(
+                Figure2Point(
+                    population_size=record.population_size,
+                    seed=record.seed,
+                    convergence_time=record.convergence_time,
+                    max_additive_error=record.max_additive_error,
+                )
+            )
+        else:
+            non_converged += 1
+    return Figure2Result(
+        points=points,
+        summaries=sweep.summary_by_size(),
+        params=params,
+        non_converged_runs=non_converged,
+    )

@@ -1,0 +1,49 @@
+"""Library of population protocols used as substrates and baselines.
+
+This package contains:
+
+* the abstract interfaces every protocol implements
+  (:mod:`repro.protocols.base`),
+* classic building blocks the paper relies on (one-way epidemic,
+  max-propagation by epidemic),
+* baseline protocols from the related-work the paper positions itself
+  against: the nonuniform counter protocol of Figure 1, pairwise-elimination
+  leader election, 3-state approximate majority, the approximate counting
+  protocol of Alistarh et al. [2], Michail's leader-driven exact counting
+  [32], and
+* the slow probability-1 exact upper-bound protocol of Section 3.3
+  (:mod:`repro.protocols.exact_backup`).
+"""
+
+from repro.protocols.base import (
+    AgentProtocol,
+    FiniteStateProtocol,
+    ProtocolOutput,
+    RandomizedTransition,
+)
+from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
+from repro.protocols.max_propagation import MaxPropagationProtocol
+from repro.protocols.leader_election import (
+    NonuniformCounterLeaderElection,
+    PairwiseEliminationLeaderElection,
+)
+from repro.protocols.majority import ApproximateMajorityProtocol
+from repro.protocols.approximate_counting import AlistarhApproximateCounting
+from repro.protocols.exact_counting_leader import LeaderExactCounting
+from repro.protocols.exact_backup import ExactUpperBoundBackup
+
+__all__ = [
+    "AgentProtocol",
+    "FiniteStateProtocol",
+    "ProtocolOutput",
+    "RandomizedTransition",
+    "EpidemicProtocol",
+    "EpidemicState",
+    "MaxPropagationProtocol",
+    "NonuniformCounterLeaderElection",
+    "PairwiseEliminationLeaderElection",
+    "ApproximateMajorityProtocol",
+    "AlistarhApproximateCounting",
+    "LeaderExactCounting",
+    "ExactUpperBoundBackup",
+]

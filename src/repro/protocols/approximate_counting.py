@@ -1,0 +1,100 @@
+"""Approximate size estimation of Alistarh et al. [2] (the paper's first stage).
+
+Each agent generates one ``1/2``-geometric random variable and the population
+propagates the maximum ``M = max_i G_i`` by epidemic.  Since
+``E[M] ~ log2 n`` and ``log2 n - log2 ln n <= M <= 2 log2 n`` w.h.p.
+(Lemma D.7 / Corollary A.2 of the paper), the resulting value ``k`` estimates
+``log2 n`` within a *constant multiplicative factor*, i.e. it estimates ``n``
+within a polynomial factor.
+
+The paper's contribution improves this to a constant *additive* error on
+``log2 n`` by averaging ``K = Theta(log n)`` such maxima; this module is both
+the baseline it is compared against (benchmark ``T-BASE``) and the exact
+mechanism used for ``logSize2`` inside the main protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable
+
+from repro.protocols.base import AgentProtocol
+from repro.rng import RandomSource
+
+
+@dataclass(frozen=True, slots=True)
+class ApproximateCountingState:
+    """State of one agent of the Alistarh et al. protocol.
+
+    Attributes
+    ----------
+    value:
+        The agent's current estimate: initially ``None`` (the geometric
+        variable is drawn lazily at the agent's first interaction, which keeps
+        the initial configuration a single identical state), afterwards the
+        maximum geometric value seen so far.
+    """
+
+    value: int | None = None
+
+
+class AlistarhApproximateCounting(AgentProtocol[ApproximateCountingState]):
+    """Uniform converging protocol computing ``max`` of per-agent geometric draws.
+
+    The output of an agent is its current maximum (``None`` until its first
+    interaction).  The protocol converges in ``O(log n)`` time w.h.p.; it is
+    converging but, by Theorem 4.1, cannot be made terminating from its dense
+    (all-identical) initial configuration.
+
+    Parameters
+    ----------
+    success_probability:
+        Parameter ``p`` of the geometric draws; the paper uses fair coins
+        (``p = 1/2``).
+    """
+
+    is_uniform = True
+
+    def __init__(self, success_probability: float = 0.5) -> None:
+        if not 0.0 < success_probability < 1.0:
+            raise ValueError(
+                f"success probability must be in (0, 1), got {success_probability}"
+            )
+        self.success_probability = success_probability
+
+    def initial_state(self, agent_id: int) -> ApproximateCountingState:
+        return ApproximateCountingState()
+
+    def _ensure_value(
+        self, state: ApproximateCountingState, rng: RandomSource
+    ) -> ApproximateCountingState:
+        if state.value is None:
+            return replace(state, value=rng.geometric(self.success_probability))
+        return state
+
+    def transition(
+        self,
+        receiver: ApproximateCountingState,
+        sender: ApproximateCountingState,
+        rng: RandomSource,
+    ) -> tuple[ApproximateCountingState, ApproximateCountingState]:
+        receiver = self._ensure_value(receiver, rng)
+        sender = self._ensure_value(sender, rng)
+        maximum = max(receiver.value, sender.value)  # type: ignore[arg-type]
+        return replace(receiver, value=maximum), replace(sender, value=maximum)
+
+    def output(self, state: ApproximateCountingState) -> int | None:
+        """The agent's current estimate of ``log2 n`` (``None`` before first interaction)."""
+        return state.value
+
+    def state_signature(self, state: ApproximateCountingState) -> Hashable:
+        return state.value
+
+    def describe(self) -> str:
+        return f"AlistarhApproximateCounting(p={self.success_probability})"
+
+
+def approximate_counting_converged(simulation) -> bool:
+    """Predicate: every agent holds the same (defined) estimate."""
+    values = {simulation.protocol.output(state) for state in simulation.states}
+    return len(values) == 1 and None not in values

@@ -1,0 +1,171 @@
+"""Leader-election protocols used as baselines and composition targets.
+
+Two protocols are provided:
+
+:class:`PairwiseEliminationLeaderElection`
+    The classic uniform two-state protocol ``L, L -> L, F``: all agents start
+    as leader candidates and a candidate is demoted whenever two candidates
+    meet.  It stabilises to exactly one leader with probability 1 but needs
+    ``Theta(n)`` parallel time — the slow baseline that motivates the
+    polylog-time literature discussed in the paper's introduction.
+
+:class:`NonuniformCounterLeaderElection`
+    The Figure-1 style *nonuniform* protocol: candidates increment a counter
+    on every interaction and a candidate that reaches a hard-coded threshold
+    (``counter_threshold``, meant to be ``~c * log2 n``) declares the election
+    finished (sets a ``terminated`` flag which then spreads by epidemic).
+    This is the representative example the paper gives of protocols that need
+    the value ``log n`` "hardcoded into the reactions" — the protocols our
+    size-estimation protocol is meant to make uniform, and the protocols whose
+    uniform variants Theorem 4.1 proves cannot be terminating.  It is also
+    the downstream protocol used by the composition examples and by the
+    termination experiments (the same transition algorithm run on a larger
+    population terminates prematurely, illustrating the proof of
+    Theorem 4.1).
+
+Both protocols elect a *unique* leader only eventually; the counter variant is
+tuned for the demonstration above rather than for optimal leader-election
+guarantees (it mirrors the simplified fragment shown in the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import AgentProtocol
+from repro.rng import RandomSource
+
+
+class PairwiseEliminationLeaderElection(AgentProtocol[str]):
+    """Uniform two-state leader election ``L, L -> L, F``.
+
+    Every agent starts in state ``"L"``; when two leaders meet the sender is
+    demoted to follower ``"F"``.  Exactly one leader remains after
+    ``Theta(n)`` parallel time.
+    """
+
+    is_uniform = True
+    LEADER = "L"
+    FOLLOWER = "F"
+
+    def initial_state(self, agent_id: int) -> str:
+        return self.LEADER
+
+    def transition(self, receiver: str, sender: str, rng: RandomSource) -> tuple[str, str]:
+        if receiver == self.LEADER and sender == self.LEADER:
+            return self.LEADER, self.FOLLOWER
+        return receiver, sender
+
+    def output(self, state: str) -> bool:
+        """``True`` iff the agent currently believes it is the leader."""
+        return state == self.LEADER
+
+    def describe(self) -> str:
+        return "PairwiseEliminationLeaderElection"
+
+
+@dataclass(frozen=True, slots=True)
+class CounterLeaderState:
+    """State of the Figure-1 counter protocol.
+
+    Attributes
+    ----------
+    candidate:
+        Whether the agent is still a leader candidate.
+    counter:
+        Number of interactions this candidate has counted so far.
+    terminated:
+        Whether the agent has observed (or produced) the termination signal.
+    """
+
+    candidate: bool = True
+    counter: int = 0
+    terminated: bool = False
+
+
+class NonuniformCounterLeaderElection(AgentProtocol[CounterLeaderState]):
+    """Figure-1 style leader election with a hard-coded counter threshold.
+
+    Parameters
+    ----------
+    counter_threshold:
+        The hard-coded value at which a candidate "terminates" the election.
+        For the protocol to behave as intended this must be roughly
+        ``c * log2 n`` for the population it is deployed into — which is
+        exactly the nonuniform knowledge of ``n`` the paper's Figure 1
+        criticises.  Deploying the same threshold into a much larger
+        population produces the termination signal far too early, which is
+        the phenomenon Theorem 4.1 formalises.
+    eliminate_on_meeting:
+        When ``True`` (default), two candidates meeting also demote the
+        sender, so the protocol eventually has a single candidate; when
+        ``False`` the protocol only counts interactions (the bare fragment of
+        Figure 1).
+    """
+
+    is_uniform = False
+
+    def __init__(self, counter_threshold: int, eliminate_on_meeting: bool = True) -> None:
+        if counter_threshold < 1:
+            raise ProtocolError(
+                f"counter threshold must be at least 1, got {counter_threshold}"
+            )
+        self.counter_threshold = counter_threshold
+        self.eliminate_on_meeting = eliminate_on_meeting
+
+    def initial_state(self, agent_id: int) -> CounterLeaderState:
+        return CounterLeaderState()
+
+    def transition(
+        self,
+        receiver: CounterLeaderState,
+        sender: CounterLeaderState,
+        rng: RandomSource,
+    ) -> tuple[CounterLeaderState, CounterLeaderState]:
+        new_receiver, new_sender = receiver, sender
+
+        # Termination signal spreads by epidemic.
+        if receiver.terminated or sender.terminated:
+            new_receiver = replace(new_receiver, terminated=True)
+            new_sender = replace(new_sender, terminated=True)
+
+        # Candidate elimination (optional).
+        if (
+            self.eliminate_on_meeting
+            and new_receiver.candidate
+            and new_sender.candidate
+        ):
+            new_sender = replace(new_sender, candidate=False)
+
+        # Candidates count their interactions; reaching the hard-coded
+        # threshold produces the termination signal.
+        if new_receiver.candidate and not new_receiver.terminated:
+            counter = new_receiver.counter + 1
+            new_receiver = replace(
+                new_receiver,
+                counter=counter,
+                terminated=counter >= self.counter_threshold,
+            )
+        if new_sender.candidate and not new_sender.terminated:
+            counter = new_sender.counter + 1
+            new_sender = replace(
+                new_sender,
+                counter=counter,
+                terminated=counter >= self.counter_threshold,
+            )
+        return new_receiver, new_sender
+
+    def output(self, state: CounterLeaderState) -> bool:
+        """``True`` iff the agent is a (still-standing) leader candidate."""
+        return state.candidate
+
+    def state_signature(self, state: CounterLeaderState) -> Hashable:
+        return (state.candidate, state.counter, state.terminated)
+
+    def describe(self) -> str:
+        return (
+            f"NonuniformCounterLeaderElection(threshold={self.counter_threshold}, "
+            f"eliminate={self.eliminate_on_meeting})"
+        )

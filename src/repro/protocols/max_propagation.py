@@ -1,0 +1,71 @@
+"""Max-propagation by epidemic.
+
+Transitions of the form ``i, j -> j, j`` for ``i <= j`` spread the maximum of
+the agents' initial values to the entire population in ``O(log n)`` time.
+The paper's protocol uses this twice: to agree on ``logSize2`` (the maximum of
+the initial geometric variables) and, within each epoch, to agree on the
+maximum ``gr``.
+
+:class:`MaxPropagationProtocol` is the agent-level form over arbitrary
+comparable values; it also serves as the reference implementation the core
+protocol's ``Propagate-Max-*`` subroutines are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.protocols.base import AgentProtocol
+from repro.rng import RandomSource
+
+
+class MaxPropagationProtocol(AgentProtocol[int]):
+    """Propagate the maximum of the agents' initial values.
+
+    Parameters
+    ----------
+    initial_value:
+        Callable mapping an agent id to its initial (comparable) value.  For
+        the paper's usage this is an independent geometric random sample per
+        agent; tests use deterministic assignments.
+    """
+
+    is_uniform = True
+
+    def __init__(self, initial_value: Callable[[int], int]) -> None:
+        self._initial_value = initial_value
+
+    def initial_state(self, agent_id: int) -> int:
+        return self._initial_value(agent_id)
+
+    def transition(
+        self, receiver: int, sender: int, rng: RandomSource
+    ) -> tuple[int, int]:
+        maximum = receiver if receiver >= sender else sender
+        return maximum, maximum
+
+    def output(self, state: int) -> int:
+        return state
+
+    def state_signature(self, state: int) -> Hashable:
+        return state
+
+    def describe(self) -> str:
+        return "MaxPropagation"
+
+
+def geometric_max_initializer(seed: int | None, p: float = 0.5) -> Callable[[int], int]:
+    """Build an initializer assigning each agent an i.i.d. ``p``-geometric value.
+
+    The values are drawn lazily but deterministically per agent id (the draw
+    for agent ``i`` does not depend on how many other agents exist), so the
+    resulting protocol remains uniform.
+    """
+    from repro.rng import RandomSource
+
+    def initializer(agent_id: int) -> int:
+        # Derive a per-agent stream so the value of agent i is independent of n.
+        agent_source = RandomSource(seed=None if seed is None else seed * 1_000_003 + agent_id)
+        return agent_source.geometric(p)
+
+    return initializer

@@ -1,0 +1,173 @@
+"""Formal definitions of Section 4: termination, density, i.o.-dense families.
+
+The paper gives the first formal definition of a *terminating* population
+protocol: the state set is partitioned into terminated and non-terminated
+states (a Boolean ``terminated`` field), all valid initial configurations are
+non-terminated, and the protocol is ``kappa``-``t``-terminating if from every
+valid initial configuration it reaches a terminated configuration with
+probability at least ``kappa``, but takes at least ``t(n)`` time to do so.
+
+A configuration is ``alpha``-dense if every state present occupies at least an
+``alpha`` fraction of the agents; a protocol is i.o.-dense if infinitely many
+valid initial configurations are ``alpha``-dense for a common ``alpha > 0``
+(in particular no initial leader).  Theorem 4.1: a uniform i.o.-dense
+``kappa``-``t``-terminating protocol has ``t(n) = O(1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.engine.configuration import Configuration
+from repro.exceptions import TerminationSpecError
+
+
+def is_alpha_dense(configuration: Configuration, alpha: float) -> bool:
+    """Whether every state present occupies at least ``alpha * n`` agents."""
+    return configuration.is_alpha_dense(alpha)
+
+
+def is_terminated_configuration(
+    configuration: Configuration, terminated: Callable[[Hashable], bool]
+) -> bool:
+    """Whether at least one agent is in a terminated state.
+
+    Matches the paper's definition: a configuration is terminated as soon as
+    *some* agent has set ``terminated = True`` (the signal then typically
+    spreads, but its mere production is what the definition tracks).
+    """
+    return any(terminated(state) for state in configuration.states_present())
+
+
+@dataclass(frozen=True)
+class TerminationSpec:
+    """Specification of the termination structure of a protocol.
+
+    Parameters
+    ----------
+    terminated_predicate:
+        Maps an agent state (or state signature) to whether it is a
+        terminated state (the paper's partition ``Lambda_T`` / ``Lambda_N``).
+    kappa:
+        The probability threshold of the ``kappa``-``t``-terminating
+        definition; experiments estimate the achieved probability and compare.
+    description:
+        Human-readable name for reports.
+    """
+
+    terminated_predicate: Callable[[Any], bool]
+    kappa: float = 0.5
+    description: str = "termination"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.kappa <= 1.0:
+            raise TerminationSpecError(f"kappa must be in (0, 1], got {self.kappa}")
+
+    def configuration_terminated(self, configuration: Configuration) -> bool:
+        """Whether a configuration (of state signatures) is terminated."""
+        return is_terminated_configuration(configuration, self.terminated_predicate)
+
+    def population_terminated(self, states: Iterable[Any]) -> bool:
+        """Whether any state in an iterable of agent states is terminated."""
+        return any(self.terminated_predicate(state) for state in states)
+
+
+@dataclass
+class DenseInitialFamily:
+    """An i.o.-dense family of initial configurations.
+
+    The family is described by a base configuration (over the *initial* states
+    of the protocol) and is instantiated at any population size by scaling the
+    base counts proportionally; every instantiation with
+    ``n >= len(base) / alpha`` is ``alpha``-dense.
+
+    Parameters
+    ----------
+    base_fractions:
+        Mapping from initial state to the fraction of the population that
+        starts in it.  Fractions must be positive and sum to 1 (within
+        floating-point tolerance).
+    description:
+        Name used in reports.
+    """
+
+    base_fractions: dict[Hashable, float]
+    description: str = "dense family"
+    _alpha: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.base_fractions:
+            raise TerminationSpecError("the family must contain at least one state")
+        total = sum(self.base_fractions.values())
+        if abs(total - 1.0) > 1e-9:
+            raise TerminationSpecError(
+                f"state fractions must sum to 1, got {total}"
+            )
+        if any(fraction <= 0 for fraction in self.base_fractions.values()):
+            raise TerminationSpecError("all state fractions must be positive")
+        self._alpha = min(self.base_fractions.values()) / 2.0
+
+    @property
+    def alpha(self) -> float:
+        """A density parameter valid for every instantiation of the family.
+
+        Half of the smallest fraction: rounding one agent up or down cannot
+        push a state below half its target fraction once ``n`` is at least
+        ``2 / min_fraction``.
+        """
+        return self._alpha
+
+    @classmethod
+    def all_same_state(cls, state: Hashable, description: str = "all-identical") -> "DenseInitialFamily":
+        """The family used by the paper's own protocol: every agent starts in ``state``."""
+        return cls(base_fractions={state: 1.0}, description=description)
+
+    def instantiate(self, population_size: int) -> Configuration:
+        """Build the configuration of size ``population_size`` from the fractions.
+
+        Counts are rounded down per state and the remainder is assigned to the
+        most frequent state, so the total is exactly ``population_size``.
+        """
+        if population_size < len(self.base_fractions):
+            raise TerminationSpecError(
+                f"population {population_size} too small for "
+                f"{len(self.base_fractions)} distinct states"
+            )
+        counts: dict[Hashable, int] = {}
+        assigned = 0
+        for state, fraction in self.base_fractions.items():
+            count = max(1, int(fraction * population_size))
+            counts[state] = count
+            assigned += count
+        # Adjust the largest state so the total matches exactly.
+        largest = max(counts, key=lambda state: counts[state])
+        counts[largest] += population_size - assigned
+        if counts[largest] <= 0:
+            raise TerminationSpecError(
+                "rounding produced a non-positive count; use a larger population"
+            )
+        return Configuration(counts)
+
+    def initial_states(self, population_size: int) -> list[Hashable]:
+        """Explicit per-agent initial state list for the agent-level engine."""
+        configuration = self.instantiate(population_size)
+        states: list[Hashable] = []
+        for state, count in configuration.items():
+            states.extend([state] * count)
+        return states
+
+    def sizes(self, start: int, count: int, factor: int = 2) -> Iterator[int]:
+        """Yield ``count`` geometrically growing population sizes for sweeps."""
+        if start < len(self.base_fractions):
+            raise TerminationSpecError("start size too small for the family")
+        if count < 1 or factor < 2:
+            raise TerminationSpecError("count must be >= 1 and factor >= 2")
+        size = start
+        for _ in range(count):
+            yield size
+            size *= factor
+
+    def is_dense_at(self, population_size: int) -> bool:
+        """Check that the instantiation at ``population_size`` is ``alpha``-dense."""
+        return self.instantiate(population_size).is_alpha_dense(self.alpha)

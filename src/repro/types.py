@@ -1,0 +1,98 @@
+"""Shared type aliases and small value objects used across the library.
+
+The population-protocol model of the paper measures time in *parallel time*
+(number of interactions divided by the population size ``n``).  Several parts
+of the library need to convert between interaction counts and parallel time,
+and to talk about agents, states and population sizes in a uniform way; the
+aliases and helpers here keep those conversions explicit and tested in one
+place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, TypeVar
+
+#: Index of an agent within the population, in ``range(n)``.
+AgentId = int
+
+#: Number of agents in the population.
+PopulationSize = int
+
+#: Number of pairwise interactions executed so far.
+InteractionCount = int
+
+#: Parallel time = interactions / population size (float, unitless).
+ParallelTime = float
+
+#: A protocol state.  For the count-based engine states must be hashable; the
+#: agent-based engine accepts arbitrary (mutable) objects.
+State = TypeVar("State", bound=Hashable)
+
+
+def parallel_time(interactions: int, n: int) -> float:
+    """Convert an interaction count to parallel time for population size ``n``.
+
+    Parameters
+    ----------
+    interactions:
+        Total number of pairwise interactions executed.
+    n:
+        Population size; must be positive.
+
+    Returns
+    -------
+    float
+        ``interactions / n``, the standard parallel-time normalisation used
+        throughout the paper ("we expect each agent to have O(1) interactions
+        per unit of time").
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    if interactions < 0:
+        raise ValueError(f"interaction count must be non-negative, got {interactions}")
+    return interactions / n
+
+
+def interactions_for_time(time: float, n: int) -> int:
+    """Number of interactions corresponding to ``time`` units of parallel time.
+
+    The result is rounded up so that simulating ``interactions_for_time(t, n)``
+    interactions covers *at least* ``t`` units of parallel time.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n}")
+    if time < 0:
+        raise ValueError(f"parallel time must be non-negative, got {time}")
+    interactions = int(time * n)
+    if interactions < time * n:
+        interactions += 1
+    return interactions
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionPair:
+    """An ordered pair of agents chosen by the scheduler.
+
+    The paper's transition algorithm distinguishes the two participants (the
+    pseudocode uses ``rec``/``sen``); we follow the same convention.  The
+    *receiver* is listed first to match ``Protocol 1``'s signature
+    ``Log-Size-Estimation(rec, sen)``.
+    """
+
+    receiver: AgentId
+    sender: AgentId
+
+    def __post_init__(self) -> None:
+        if self.receiver == self.sender:
+            raise ValueError("an agent cannot interact with itself")
+        if self.receiver < 0 or self.sender < 0:
+            raise ValueError("agent identifiers must be non-negative")
+
+    def reversed(self) -> "InteractionPair":
+        """Return the pair with the roles of receiver and sender swapped."""
+        return InteractionPair(receiver=self.sender, sender=self.receiver)
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(receiver, sender)`` as a plain tuple."""
+        return (self.receiver, self.sender)

@@ -1,0 +1,23 @@
+"""Workload and initial-configuration generators for experiments."""
+
+from repro.workloads.initial_configurations import (
+    alpha_dense_random_configuration,
+    all_identical_configuration,
+    leader_configuration,
+    two_state_split_configuration,
+)
+from repro.workloads.populations import (
+    geometric_sizes,
+    figure2_sizes,
+    parse_size_list,
+)
+
+__all__ = [
+    "alpha_dense_random_configuration",
+    "all_identical_configuration",
+    "leader_configuration",
+    "two_state_split_configuration",
+    "geometric_sizes",
+    "figure2_sizes",
+    "parse_size_list",
+]

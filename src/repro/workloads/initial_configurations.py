@@ -1,0 +1,93 @@
+"""Initial-configuration generators.
+
+The paper distinguishes three kinds of initial configurations:
+
+* *all-identical* (leaderless, 1-dense) — where its own protocol starts and
+  where Theorem 4.1 applies;
+* *alpha-dense* — every present state occupies at least ``alpha n`` agents
+  (still covered by Theorem 4.1);
+* *with a leader* — one state present in count 1 (not dense), which is what
+  makes the terminating protocols of Section 3.4 and of Michail [32]
+  possible.
+
+These helpers build such configurations for the count-based engine and for
+the termination experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, Sequence
+
+from repro.engine.configuration import Configuration
+from repro.exceptions import ConfigurationError
+
+
+def all_identical_configuration(state: Hashable, population_size: int) -> Configuration:
+    """Every agent starts in ``state`` (the 1-dense leaderless configuration)."""
+    return Configuration.uniform(state, population_size)
+
+
+def leader_configuration(
+    leader_state: Hashable, follower_state: Hashable, population_size: int
+) -> Configuration:
+    """One leader plus ``n - 1`` identical followers (not dense for ``n > 1/alpha``)."""
+    if population_size < 2:
+        raise ConfigurationError(
+            f"a leader configuration needs at least 2 agents, got {population_size}"
+        )
+    return Configuration({leader_state: 1, follower_state: population_size - 1})
+
+
+def two_state_split_configuration(
+    first_state: Hashable,
+    second_state: Hashable,
+    population_size: int,
+    first_fraction: float = 0.5,
+) -> Configuration:
+    """Split the population between two states (e.g. majority inputs).
+
+    The configuration is ``alpha``-dense with
+    ``alpha = min(first_fraction, 1 - first_fraction) - O(1/n)``.
+    """
+    if not 0.0 < first_fraction < 1.0:
+        raise ConfigurationError(
+            f"first_fraction must be in (0, 1), got {first_fraction}"
+        )
+    if population_size < 2:
+        raise ConfigurationError("need at least 2 agents")
+    first_count = max(1, min(population_size - 1, round(first_fraction * population_size)))
+    return Configuration(
+        {first_state: first_count, second_state: population_size - first_count}
+    )
+
+
+def alpha_dense_random_configuration(
+    states: Sequence[Hashable],
+    population_size: int,
+    alpha: float,
+    seed: int | None = None,
+) -> Configuration:
+    """A random configuration over ``states`` in which every state is ``alpha``-dense.
+
+    Each state receives its guaranteed ``ceil(alpha n)`` agents and the
+    remaining agents are assigned uniformly at random.  Requires
+    ``alpha * len(states) <= 1``.
+    """
+    if not states:
+        raise ConfigurationError("at least one state is required")
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    guaranteed = max(1, math.ceil(alpha * population_size))
+    if guaranteed * len(states) > population_size:
+        raise ConfigurationError(
+            f"cannot make {len(states)} states {alpha}-dense with only "
+            f"{population_size} agents"
+        )
+    rng = random.Random(seed)
+    counts = {state: guaranteed for state in states}
+    remaining = population_size - guaranteed * len(states)
+    for _ in range(remaining):
+        counts[rng.choice(list(states))] += 1
+    return Configuration(counts)

@@ -1,0 +1,238 @@
+"""Tests for the sub-exponential, epidemic, interaction, balls-and-bins and
+protocol-level bounds (Appendices A, D, E and Section 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.analysis.balls_and_bins import (
+    count_survival_bound,
+    empty_bins_bound,
+    state_depletion_bound,
+    survival_fraction,
+)
+from repro.analysis.epidemic_theory import (
+    corollary_3_5_probability,
+    epidemic_lower_tail,
+    epidemic_time_bound,
+    epidemic_upper_tail,
+    expected_epidemic_time,
+    subpopulation_epidemic_upper_tail,
+)
+from repro.analysis.error_bounds import (
+    averaging_error_probability,
+    convergence_time_probability,
+    final_error_probability,
+    log_size2_range,
+    log_size2_range_probability,
+    partition_deviation_probability,
+    partition_within_third_probability,
+    state_bound_probability,
+    theorem_3_1_summary,
+)
+from repro.analysis.interaction_bounds import (
+    expected_interactions,
+    interaction_count_upper_tail,
+    interactions_upper_bound,
+    phase_clock_threshold,
+)
+from repro.analysis.subexponential import (
+    average_additive_error_probability,
+    corollary_d10_probability,
+    required_sample_count,
+    sub_exponential_mgf_bound,
+    sum_of_maxima_tail,
+)
+from repro.exceptions import AnalysisError
+from repro.rng import max_of_geometrics
+
+
+class TestSubExponential:
+    def test_mgf_bound_at_zero(self):
+        assert sub_exponential_mgf_bound(0.0) == 1.0
+
+    def test_mgf_bound_domain(self):
+        with pytest.raises(AnalysisError):
+            sub_exponential_mgf_bound(1.0, alpha=3.31, beta=2.0)
+
+    def test_sum_tail_decreases_in_deviation(self):
+        assert sum_of_maxima_tail(10, 200) < sum_of_maxima_tail(10, 80)
+
+    def test_required_sample_count_matches_paper(self):
+        """Corollary D.10: a = ln2 + 4 < 4.7 gives K = 4 log2 N."""
+        for population in (100, 10_000):
+            assert required_sample_count(population, additive_error=math.log(2) + 4) == (
+                math.ceil(4 * math.log2(population))
+            )
+
+    def test_corollary_d10_bound_value(self):
+        assert corollary_d10_probability(1_000, sample_count=40) == pytest.approx(0.002)
+
+    def test_degraded_bound_when_k_too_small(self):
+        assert average_additive_error_probability(1_000, 2, 4.0) == 1.0
+        assert average_additive_error_probability(1_000, 2, 8.0) < 1.0
+
+    def test_averaging_monte_carlo_respects_bound(self):
+        """Averaging K maxima really does land within 4.7 of log2 N (Cor. D.10)."""
+        population = 128
+        sample_count = required_sample_count(population)
+        rng = random.Random(17)
+        failures = 0
+        trials = 60
+        for _ in range(trials):
+            total = sum(
+                max_of_geometrics(rng, population) for _ in range(sample_count)
+            )
+            if abs(total / sample_count - math.log2(population)) >= 4.7:
+                failures += 1
+        assert failures / trials <= 0.05  # bound is 2/N ~ 0.016
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            sum_of_maxima_tail(0, 10)
+        with pytest.raises(AnalysisError):
+            required_sample_count(1_000, additive_error=3.0)
+
+
+class TestEpidemicTheory:
+    def test_expected_time_close_to_ln_n(self):
+        # (n-1)/n * H_{n-1} ~ ln n + gamma.
+        assert expected_epidemic_time(10_000) == pytest.approx(
+            math.log(10_000) + 0.5772, rel=0.01
+        )
+
+    def test_upper_tail_decreases_with_alpha(self):
+        assert epidemic_upper_tail(1_000, 24) < epidemic_upper_tail(1_000, 8)
+
+    def test_lower_tail_tiny_for_large_n(self):
+        assert epidemic_lower_tail(10_000) < 1e-40
+
+    def test_corollary_3_4_requires_enough_slack(self):
+        assert subpopulation_epidemic_upper_tail(1_000, 1 / 3, alpha_u=12.0) == 1.0
+        assert subpopulation_epidemic_upper_tail(1_000, 1 / 3, alpha_u=24.0) < 1.0
+
+    def test_corollary_3_5_value(self):
+        assert corollary_3_5_probability(1_000) == pytest.approx(27e-9)
+
+    def test_time_bound_inverts_tail(self):
+        n = 4_096
+        budget = epidemic_time_bound(n, failure_probability=1e-3)
+        alpha_u = budget / math.log(n)
+        assert epidemic_upper_tail(n, alpha_u) <= 1e-3 * 1.01
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_epidemic_time(1)
+        with pytest.raises(AnalysisError):
+            epidemic_time_bound(100, failure_probability=2.0)
+
+
+class TestInteractionBounds:
+    def test_expected_interactions_independent_of_n(self):
+        assert expected_interactions(7.0) == 14.0
+
+    def test_lemma_3_6_coefficient(self):
+        assert interactions_upper_bound(24.0) == pytest.approx(2 * 24 + math.sqrt(288))
+
+    def test_corollary_3_7_threshold_below_95(self):
+        """The protocol's constant 95 dominates the Lemma 3.6 coefficient."""
+        assert phase_clock_threshold(24.0) < 95
+
+    def test_tail_probability_small_for_paper_constants(self):
+        assert interaction_count_upper_tail(10_000, time_factor=24, count_factor=65) < 1e-2
+
+    def test_tail_decreases_with_population(self):
+        assert interaction_count_upper_tail(
+            100_000, time_factor=24, count_factor=65
+        ) < interaction_count_upper_tail(1_000, time_factor=24, count_factor=65)
+
+    def test_domain_validation(self):
+        with pytest.raises(AnalysisError):
+            interactions_upper_bound(1.0)
+        with pytest.raises(AnalysisError):
+            interaction_count_upper_tail(100, time_factor=10, count_factor=100)
+
+
+class TestBallsAndBins:
+    def test_lemma_e1_bound_decreases_with_more_empty_bins(self):
+        few = empty_bins_bound(1_000, 50, 1_000, 0.05)
+        many = empty_bins_bound(1_000, 500, 1_000, 0.05)
+        assert many < few < 1.0
+
+    def test_lemma_e2_increases_with_time(self):
+        assert state_depletion_bound(200, 1 / 81, 1.0) < state_depletion_bound(
+            200, 1 / 81, 5.0
+        )
+
+    def test_corollary_e3_value(self):
+        assert count_survival_bound(81) == pytest.approx(0.5)
+        assert count_survival_bound(810) == pytest.approx(2**-10)
+
+    def test_survival_fraction(self):
+        assert survival_fraction() == pytest.approx(1 / 81)
+
+    def test_empirical_depletion_respects_corollary_e3(self):
+        """Simulate the worst case (every interaction consumes the state)."""
+        n, k = 2_000, 500
+        rng = random.Random(23)
+        failures = 0
+        trials = 30
+        for _ in range(trials):
+            remaining = set(range(k))
+            for _ in range(n):  # one unit of parallel time = n interactions
+                first = rng.randrange(n)
+                second = rng.randrange(n - 1)
+                if second >= first:
+                    second += 1
+                remaining.discard(first)
+                remaining.discard(second)
+            if len(remaining) <= k / 81:
+                failures += 1
+        assert failures == 0  # the bound 2^(-500/81) makes failure essentially impossible
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            empty_bins_bound(10, 20, 5, 0.25)
+        with pytest.raises(AnalysisError):
+            state_depletion_bound(10, 0.9, 1.0)
+
+
+class TestProtocolLevelBounds:
+    def test_partition_deviation_probability(self):
+        n = 10_000
+        loose = partition_deviation_probability(n, math.sqrt(n * math.log(n)))
+        assert loose < 1e-7
+        assert partition_deviation_probability(n, 0.0) == 1.0
+
+    def test_partition_within_third(self):
+        assert partition_within_third_probability(1_000) < 1e-20
+
+    def test_log_size2_range_contains_log_n(self):
+        lower, upper = log_size2_range(4_096)
+        assert lower < math.log2(4_096) < upper
+
+    def test_failure_probabilities_shrink_with_n(self):
+        assert final_error_probability(10_000) < final_error_probability(100)
+        assert convergence_time_probability(10_000) < convergence_time_probability(100)
+        assert log_size2_range_probability(10_000) < log_size2_range_probability(100)
+        assert state_bound_probability(10_000) < state_bound_probability(100)
+
+    def test_headline_numbers(self):
+        assert final_error_probability(900) == pytest.approx(0.01)
+        assert convergence_time_probability(1_000) == pytest.approx(1e-6)
+
+    def test_averaging_error_only_defined_for_paper_constant(self):
+        assert averaging_error_probability(1_000) == pytest.approx(0.006)
+        with pytest.raises(AnalysisError):
+            averaging_error_probability(1_000, additive_error=3.0)
+
+    def test_theorem_summary_keys(self):
+        summary = theorem_3_1_summary(2_048, sample_count=50)
+        assert summary["additive_error_claim"] == 5.7
+        assert summary["error_probability_bound"] == pytest.approx(9 / 2_048)
+        assert "averaging_failure" in summary
+        assert summary["log_size2_range"][0] < 11 < summary["log_size2_range"][1]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ProtocolParameters
+from repro.rng import RandomSource
+
+
+@pytest.fixture
+def fast_params() -> ProtocolParameters:
+    """Scaled-down protocol constants so simulation tests stay fast."""
+    return ProtocolParameters.fast_test()
+
+
+@pytest.fixture
+def moderate_params() -> ProtocolParameters:
+    """Intermediate constants for integration tests."""
+    return ProtocolParameters.moderate()
+
+
+@pytest.fixture
+def paper_params() -> ProtocolParameters:
+    """The paper's constants (used only by small or slow-marked tests)."""
+    return ProtocolParameters.paper()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A seeded random source."""
+    return RandomSource(seed=12345)

@@ -1,0 +1,94 @@
+"""Tests for protocol parameters and the agent-state record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fields import LogSizeAgentState, Role
+from repro.core.parameters import ProtocolParameters
+from repro.exceptions import ProtocolError
+
+
+class TestProtocolParameters:
+    def test_paper_defaults(self):
+        params = ProtocolParameters.paper()
+        assert params.clock_threshold_factor == 95
+        assert params.epochs_factor == 5
+        assert params.log_size2_offset == 2
+        assert params.geometric_success_probability == 0.5
+
+    def test_derived_quantities(self):
+        params = ProtocolParameters.paper()
+        assert params.clock_threshold(10) == 950
+        assert params.total_epochs(10) == 50
+
+    def test_fast_preset_is_smaller(self):
+        fast = ProtocolParameters.fast_test()
+        paper = ProtocolParameters.paper()
+        assert fast.clock_threshold_factor < paper.clock_threshold_factor
+        assert fast.epochs_factor < paper.epochs_factor
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            ProtocolParameters(clock_threshold_factor=0)
+        with pytest.raises(ProtocolError):
+            ProtocolParameters(epochs_factor=0)
+        with pytest.raises(ProtocolError):
+            ProtocolParameters(log_size2_offset=-1)
+        with pytest.raises(ProtocolError):
+            ProtocolParameters(geometric_success_probability=1.0)
+
+    def test_describe_mentions_constants(self):
+        text = ProtocolParameters.paper().describe()
+        assert "95" in text and "5" in text
+
+    def test_frozen(self):
+        params = ProtocolParameters.paper()
+        with pytest.raises(AttributeError):
+            params.epochs_factor = 7  # type: ignore[misc]
+
+
+class TestLogSizeAgentState:
+    def test_defaults_match_protocol_1(self):
+        state = LogSizeAgentState()
+        assert state.role is Role.UNASSIGNED
+        assert state.time == 0
+        assert state.total == 0
+        assert state.epoch == 0
+        assert state.gr == 1
+        assert state.log_size2 == 1
+        assert not state.protocol_done
+        assert not state.updated_sum
+        assert state.output is None
+
+    def test_clone_is_independent(self):
+        state = LogSizeAgentState(role=Role.WORKER, time=5)
+        copy = state.clone()
+        copy.time = 99
+        assert state.time == 5
+        assert copy.role is Role.WORKER
+
+    def test_signature_equality(self):
+        assert LogSizeAgentState() == LogSizeAgentState()
+        assert LogSizeAgentState(time=1) != LogSizeAgentState()
+
+    def test_role_helpers(self):
+        assert LogSizeAgentState(role=Role.WORKER).is_worker
+        assert LogSizeAgentState(role=Role.STORAGE).is_storage
+        assert LogSizeAgentState().is_unassigned
+
+    def test_current_estimate_for_storage(self):
+        state = LogSizeAgentState(
+            role=Role.STORAGE, total=30, epoch=10, protocol_done=True
+        )
+        assert state.current_estimate(output_offset=1.0) == pytest.approx(4.0)
+
+    def test_current_estimate_for_worker_uses_stored_output(self):
+        state = LogSizeAgentState(role=Role.WORKER, output=7.25)
+        assert state.current_estimate() == 7.25
+
+    def test_current_estimate_none_before_completion(self):
+        assert LogSizeAgentState(role=Role.STORAGE, total=3, epoch=1).current_estimate() is None
+
+    def test_hashable_via_signature(self):
+        assert len({LogSizeAgentState(), LogSizeAgentState(), LogSizeAgentState(time=1)}) == 2

@@ -1,0 +1,238 @@
+"""Unit tests for Protocol 1's subroutines (repro.core.subprotocols)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import subprotocols as sub
+from repro.core.fields import LogSizeAgentState, Role
+from repro.core.parameters import ProtocolParameters
+
+
+@pytest.fixture
+def params() -> ProtocolParameters:
+    return ProtocolParameters(clock_threshold_factor=10, epochs_factor=2)
+
+
+def worker(**kwargs) -> LogSizeAgentState:
+    return LogSizeAgentState(role=Role.WORKER, **kwargs)
+
+
+def storage(**kwargs) -> LogSizeAgentState:
+    return LogSizeAgentState(role=Role.STORAGE, **kwargs)
+
+
+class TestPartition:
+    def test_two_unassigned_split_into_worker_and_storage(self, rng, params):
+        receiver, sender = LogSizeAgentState(), LogSizeAgentState()
+        sub.partition_into_roles(receiver, sender, rng, params)
+        assert sender.role is Role.WORKER
+        assert receiver.role is Role.STORAGE
+        assert sender.log_size2 >= 1 + params.log_size2_offset
+
+    def test_unassigned_meets_worker_becomes_storage(self, rng, params):
+        receiver, sender = LogSizeAgentState(), worker()
+        sub.partition_into_roles(receiver, sender, rng, params)
+        assert receiver.role is Role.STORAGE
+
+    def test_unassigned_meets_storage_becomes_worker(self, rng, params):
+        receiver, sender = LogSizeAgentState(), storage()
+        sub.partition_into_roles(receiver, sender, rng, params)
+        assert receiver.role is Role.WORKER
+        assert receiver.log_size2 >= 1 + params.log_size2_offset
+
+    def test_unassigned_sender_gets_opposite_role(self, rng, params):
+        receiver, sender = worker(), LogSizeAgentState()
+        sub.partition_into_roles(receiver, sender, rng, params)
+        assert sender.role is Role.STORAGE
+
+    def test_assigned_agents_unchanged(self, rng, params):
+        receiver, sender = worker(log_size2=5), storage(log_size2=4)
+        sub.partition_into_roles(receiver, sender, rng, params)
+        assert receiver.role is Role.WORKER and sender.role is Role.STORAGE
+
+
+class TestRestartAndMaxClock:
+    def test_restart_resets_downstream_state(self, rng, params):
+        agent = worker(
+            time=9, total=20, epoch=3, gr=4, protocol_done=True, updated_sum=True, output=5.0
+        )
+        sub.restart(agent, rng, params)
+        assert agent.time == 0 and agent.total == 0 and agent.epoch == 0
+        assert not agent.protocol_done and not agent.updated_sum
+        assert agent.output is None
+        assert agent.gr >= 1
+
+    def test_restart_keeps_log_size2(self, rng, params):
+        agent = worker(log_size2=9)
+        sub.restart(agent, rng, params)
+        assert agent.log_size2 == 9
+
+    def test_smaller_log_size2_adopts_and_restarts(self, rng, params):
+        low = worker(log_size2=3, epoch=2, total=10)
+        high = worker(log_size2=8, epoch=1)
+        sub.propagate_max_clock_value(low, high, rng, params)
+        assert low.log_size2 == 8
+        assert low.epoch == 0 and low.total == 0
+        assert high.log_size2 == 8 and high.epoch == 1
+
+    def test_equal_log_size2_is_noop(self, rng, params):
+        first = worker(log_size2=5, epoch=2)
+        second = worker(log_size2=5, epoch=3)
+        sub.propagate_max_clock_value(first, second, rng, params)
+        assert first.epoch == 2 and second.epoch == 3
+
+
+class TestMaxGrv:
+    def test_same_epoch_takes_maximum(self):
+        first, second = worker(epoch=1, gr=3), worker(epoch=1, gr=7)
+        sub.propagate_max_grv(first, second)
+        assert first.gr == 7 and second.gr == 7
+
+    def test_different_epochs_do_not_mix(self):
+        first, second = worker(epoch=1, gr=3), worker(epoch=2, gr=7)
+        sub.propagate_max_grv(first, second)
+        assert first.gr == 3 and second.gr == 7
+
+
+class TestTimerAndEpoch:
+    def test_timer_needs_threshold_and_deposit(self, rng, params):
+        agent = worker(time=params.clock_threshold(3), log_size2=3, updated_sum=False)
+        sub.check_timer_and_increment_epoch(agent, rng, params)
+        assert agent.epoch == 0  # deposit missing
+
+        agent.updated_sum = True
+        sub.check_timer_and_increment_epoch(agent, rng, params)
+        assert agent.epoch == 1
+        assert agent.time == 0
+        assert not agent.updated_sum
+
+    def test_timer_below_threshold_does_nothing(self, rng, params):
+        agent = worker(time=1, log_size2=3, updated_sum=True)
+        sub.check_timer_and_increment_epoch(agent, rng, params)
+        assert agent.epoch == 0
+
+    def test_last_epoch_sets_protocol_done(self, rng, params):
+        log_size2 = 3
+        agent = worker(
+            time=params.clock_threshold(log_size2),
+            log_size2=log_size2,
+            updated_sum=True,
+            epoch=params.total_epochs(log_size2) - 1,
+        )
+        sub.check_timer_and_increment_epoch(agent, rng, params)
+        assert agent.protocol_done
+
+    def test_done_agent_is_inert(self, rng, params):
+        agent = worker(time=1000, log_size2=3, updated_sum=True, protocol_done=True, epoch=6)
+        sub.check_timer_and_increment_epoch(agent, rng, params)
+        assert agent.epoch == 6
+
+
+class TestPropagateEpoch:
+    def test_lagging_worker_catches_up(self, rng, params):
+        behind, ahead = worker(epoch=1, log_size2=4), worker(epoch=3, log_size2=4)
+        sub.propagate_incremented_epoch(behind, ahead, rng, params)
+        assert behind.epoch == 3
+        assert behind.time == 0 and not behind.updated_sum
+
+    def test_catching_up_to_final_epoch_marks_done(self, rng, params):
+        log_size2 = 3
+        behind = worker(epoch=0, log_size2=log_size2)
+        ahead = worker(epoch=params.total_epochs(log_size2), log_size2=log_size2)
+        sub.propagate_incremented_epoch(behind, ahead, rng, params)
+        assert behind.protocol_done
+
+    def test_storage_adopts_epoch_and_sum(self, rng, params):
+        behind = storage(epoch=1, total=5, log_size2=4)
+        ahead = storage(epoch=3, total=12, log_size2=4)
+        sub.propagate_incremented_epoch(behind, ahead, rng, params)
+        assert behind.epoch == 3 and behind.total == 12
+
+    def test_storage_equal_epoch_takes_max_sum(self, rng, params):
+        first = storage(epoch=2, total=5, log_size2=4)
+        second = storage(epoch=2, total=9, log_size2=4)
+        sub.propagate_incremented_epoch(first, second, rng, params)
+        assert first.total == 9 and second.total == 9
+
+    def test_storage_reaching_final_epoch_computes_output(self, rng, params):
+        log_size2 = 3
+        final_epoch = params.total_epochs(log_size2)
+        behind = storage(epoch=final_epoch - 1, total=2, log_size2=log_size2)
+        ahead = storage(epoch=final_epoch, total=18, log_size2=log_size2)
+        sub.propagate_incremented_epoch(behind, ahead, rng, params)
+        assert behind.protocol_done
+        assert behind.output == pytest.approx(18 / final_epoch + params.output_offset)
+
+
+class TestUpdateSum:
+    def test_deposit_when_timer_expired_and_epochs_match(self, params):
+        log_size2 = 3
+        agent_worker = worker(
+            epoch=2, gr=6, time=params.clock_threshold(log_size2), log_size2=log_size2
+        )
+        agent_storage = storage(epoch=2, total=10, log_size2=log_size2)
+        sub.update_sum(agent_worker, agent_storage, params)
+        assert agent_storage.epoch == 3
+        assert agent_storage.total == 16
+        assert agent_worker.updated_sum
+
+    def test_no_deposit_before_timer(self, params):
+        agent_worker = worker(epoch=2, gr=6, time=1, log_size2=3)
+        agent_storage = storage(epoch=2, total=10, log_size2=3)
+        sub.update_sum(agent_worker, agent_storage, params)
+        assert agent_storage.total == 10
+        assert not agent_worker.updated_sum
+
+    def test_lagging_worker_marks_deposit_without_adding(self, params):
+        agent_worker = worker(epoch=1, gr=6, time=0, log_size2=3)
+        agent_storage = storage(epoch=4, total=10, log_size2=3)
+        sub.update_sum(agent_worker, agent_storage, params)
+        assert agent_storage.total == 10
+        assert agent_worker.updated_sum
+
+    def test_done_worker_never_deposits(self, params):
+        agent_worker = worker(
+            epoch=2, gr=6, time=100, log_size2=3, protocol_done=True
+        )
+        agent_storage = storage(epoch=2, total=10, log_size2=3)
+        sub.update_sum(agent_worker, agent_storage, params)
+        assert agent_storage.total == 10
+
+    def test_two_workers_is_noop(self, params):
+        first = worker(epoch=2, gr=6, time=100, log_size2=3)
+        second = worker(epoch=2, gr=4, time=100, log_size2=3)
+        sub.update_sum(first, second, params)
+        assert first.total == 0 and second.total == 0
+
+    def test_argument_order_does_not_matter(self, params):
+        log_size2 = 3
+        agent_storage = storage(epoch=2, total=1, log_size2=log_size2)
+        agent_worker = worker(
+            epoch=2, gr=5, time=params.clock_threshold(log_size2), log_size2=log_size2
+        )
+        sub.update_sum(agent_storage, agent_worker, params)
+        assert agent_storage.total == 6
+
+
+class TestPropagateOutput:
+    def test_finished_storage_overwrites_worker_output(self):
+        announcer = storage(protocol_done=True, epoch=4, total=16, output=5.0)
+        listener = worker(output=3.0)
+        sub.propagate_output(announcer, listener)
+        assert listener.output == 5.0
+
+    def test_secondhand_copy_only_fills_empty_output(self):
+        announcer = worker(output=5.0, protocol_done=True)
+        listener = worker(output=3.0)
+        sub.propagate_output(announcer, listener)
+        assert listener.output == 3.0
+        empty = worker()
+        sub.propagate_output(announcer, empty)
+        assert empty.output == 5.0
+
+    def test_finished_storage_keeps_its_own_output(self):
+        first = storage(protocol_done=True, epoch=4, total=16, output=5.0)
+        second = storage(protocol_done=True, epoch=4, total=20, output=6.0)
+        sub.propagate_output(first, second)
+        assert first.output == 5.0 and second.output == 6.0

@@ -1,0 +1,120 @@
+"""Tests for repro.engine.configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.configuration import Configuration
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_from_states(self):
+        config = Configuration.from_states(["a", "b", "a", "a"])
+        assert config.count("a") == 3
+        assert config.count("b") == 1
+        assert config.size == 4
+
+    def test_uniform(self):
+        config = Configuration.uniform("x", 10)
+        assert config.count("x") == 10
+        assert config.states_present() == frozenset({"x"})
+
+    def test_uniform_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            Configuration.uniform("x", 0)
+
+    def test_zero_counts_dropped(self):
+        config = Configuration({"a": 3, "b": 0})
+        assert "b" not in config.states_present()
+        assert len(config) == 1
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration({"a": -1})
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration({"a": 1.5})
+
+
+class TestDensity:
+    def test_all_identical_is_one_dense(self):
+        config = Configuration.uniform("x", 100)
+        assert config.is_alpha_dense(1.0)
+        assert config.density_floor() == 1.0
+
+    def test_leader_configuration_is_not_dense(self):
+        config = Configuration({"leader": 1, "follower": 99})
+        assert not config.is_alpha_dense(0.1)
+        assert config.density_floor() == pytest.approx(0.01)
+
+    def test_balanced_split_is_half_dense(self):
+        config = Configuration({"a": 50, "b": 50})
+        assert config.is_alpha_dense(0.5)
+        assert not config.is_alpha_dense(0.51)
+
+    def test_invalid_alpha_rejected(self):
+        config = Configuration.uniform("x", 10)
+        with pytest.raises(ConfigurationError):
+            config.is_alpha_dense(0.0)
+        with pytest.raises(ConfigurationError):
+            config.is_alpha_dense(1.5)
+
+    def test_density_floor_of_empty_configuration(self):
+        with pytest.raises(ConfigurationError):
+            Configuration({}).density_floor()
+
+
+class TestOrderingAndArithmetic:
+    def test_pointwise_le(self):
+        small = Configuration({"a": 2, "b": 1})
+        large = Configuration({"a": 5, "b": 1, "c": 3})
+        assert small <= large
+        assert not (large <= small)
+
+    def test_addition(self):
+        total = Configuration({"a": 2}) + Configuration({"a": 1, "b": 4})
+        assert total.count("a") == 3
+        assert total.count("b") == 4
+
+    def test_scale(self):
+        scaled = Configuration({"a": 2, "b": 3}).scale(4)
+        assert scaled.count("a") == 8
+        assert scaled.count("b") == 12
+        assert scaled.size == 20
+
+    def test_scale_rejects_nonpositive_factor(self):
+        with pytest.raises(ConfigurationError):
+            Configuration({"a": 1}).scale(0)
+
+    def test_scaling_preserves_density(self):
+        config = Configuration({"a": 3, "b": 7})
+        assert config.density_floor() == pytest.approx(
+            config.scale(13).density_floor()
+        )
+
+
+class TestTransitions:
+    def test_apply_transition_moves_counts(self):
+        config = Configuration({"a": 2, "b": 1})
+        updated = config.apply_transition("a", "b", "c", "c")
+        assert updated.count("a") == 1
+        assert updated.count("b") == 0
+        assert updated.count("c") == 2
+        assert updated.size == config.size
+
+    def test_apply_transition_same_state_needs_two_copies(self):
+        config = Configuration({"a": 1})
+        with pytest.raises(ConfigurationError):
+            config.apply_transition("a", "a", "b", "b")
+
+    def test_apply_transition_missing_state(self):
+        config = Configuration({"a": 1, "b": 1})
+        with pytest.raises(ConfigurationError):
+            config.apply_transition("a", "c", "a", "a")
+
+    def test_original_configuration_unchanged(self):
+        config = Configuration({"a": 2})
+        config.apply_transition("a", "a", "b", "b")
+        assert config.count("a") == 2

@@ -1,0 +1,121 @@
+"""Tests for convergence predicates and the detector probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.convergence import (
+    ConvergenceDetector,
+    all_agents_satisfy,
+    output_within_tolerance,
+    stable_for,
+)
+from repro.engine.simulator import Simulation
+from repro.protocols.max_propagation import MaxPropagationProtocol
+
+
+class _FakeMetrics:
+    def __init__(self, interactions):
+        self.interactions = interactions
+
+
+class _FakeSimulation:
+    """Minimal stand-in exposing the attributes the predicates consume."""
+
+    def __init__(self, states, population_size=None, protocol=None, interactions=0):
+        self.states = states
+        self.population_size = population_size or len(states)
+        self.protocol = protocol
+        self.metrics = _FakeMetrics(interactions)
+
+
+class _IdentityProtocol:
+    @staticmethod
+    def output(state):
+        return state
+
+
+class TestPredicates:
+    def test_all_agents_satisfy(self):
+        predicate = all_agents_satisfy(lambda state: state > 0)
+        assert predicate(_FakeSimulation([1, 2, 3]))
+        assert not predicate(_FakeSimulation([1, 0, 3]))
+
+    def test_output_within_tolerance_accepts_close_outputs(self):
+        predicate = output_within_tolerance(1.0)
+        simulation = _FakeSimulation(
+            states=[3.0, 3.5], population_size=8, protocol=_IdentityProtocol()
+        )
+        assert predicate(simulation)  # log2(8) = 3
+
+    def test_output_within_tolerance_rejects_far_outputs(self):
+        predicate = output_within_tolerance(0.2)
+        simulation = _FakeSimulation(
+            states=[3.0, 4.0], population_size=8, protocol=_IdentityProtocol()
+        )
+        assert not predicate(simulation)
+
+    def test_output_within_tolerance_rejects_none(self):
+        predicate = output_within_tolerance(5.0)
+        simulation = _FakeSimulation(
+            states=[3.0, None], population_size=8, protocol=_IdentityProtocol()
+        )
+        assert not predicate(simulation)
+
+    def test_output_within_tolerance_rejects_non_numeric(self):
+        predicate = output_within_tolerance(5.0)
+        simulation = _FakeSimulation(
+            states=["not-a-number"], population_size=8, protocol=_IdentityProtocol()
+        )
+        assert not predicate(simulation)
+
+    def test_output_within_tolerance_validates_argument(self):
+        with pytest.raises(ValueError):
+            output_within_tolerance(-1)
+
+    def test_stable_for_requires_consecutive_successes(self):
+        base_results = iter([True, True, False, True, True, True])
+        predicate = stable_for(lambda sim: next(base_results), consecutive_checks=3)
+        simulation = _FakeSimulation([0])
+        observed = [predicate(simulation) for _ in range(6)]
+        assert observed == [False, False, False, False, False, True]
+
+    def test_stable_for_validates_argument(self):
+        with pytest.raises(ValueError):
+            stable_for(lambda sim: True, consecutive_checks=0)
+
+
+class TestConvergenceDetector:
+    def test_records_first_interaction_of_current_streak(self):
+        detector = ConvergenceDetector(predicate=lambda sim: sim.states[0] >= 5)
+        simulation = _FakeSimulation([0], interactions=10)
+        detector(simulation)
+        assert not detector.converged
+
+        simulation.states[0] = 7
+        simulation.metrics.interactions = 20
+        detector(simulation)
+        assert detector.converged
+        assert detector.convergence_interaction == 20
+
+        # A later failure clears the tentative convergence point.
+        simulation.states[0] = 0
+        simulation.metrics.interactions = 30
+        detector(simulation)
+        assert not detector.converged
+        assert detector.convergence_interaction is None
+
+    def test_convergence_time_conversion(self):
+        detector = ConvergenceDetector(predicate=lambda sim: True)
+        simulation = _FakeSimulation([0], interactions=50)
+        detector(simulation)
+        assert detector.convergence_time(25) == pytest.approx(2.0)
+
+    def test_integration_with_simulation(self):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: agent_id)
+        simulation = Simulation(protocol, 20, seed=1)
+        detector = simulation.add_convergence_detector(
+            all_agents_satisfy(lambda value: value == 19)
+        )
+        simulation.run_parallel_time(100)
+        assert detector.converged

@@ -1,0 +1,108 @@
+"""Tests for the configuration-level (count-based) engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.configuration import Configuration
+from repro.engine.count_simulator import CountSimulator
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.epidemic import (
+    EpidemicProtocol,
+    EpidemicState,
+    epidemic_completion_predicate,
+)
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
+
+
+class TestConstruction:
+    def test_initial_counts_from_protocol(self):
+        simulator = CountSimulator(EpidemicProtocol(), 100, seed=1)
+        assert simulator.count(EpidemicState.INFECTED) == 1
+        assert simulator.count(EpidemicState.SUSCEPTIBLE) == 99
+
+    def test_explicit_initial_configuration(self):
+        configuration = Configuration({EpidemicState.INFECTED: 10, EpidemicState.SUSCEPTIBLE: 90})
+        simulator = CountSimulator(
+            EpidemicProtocol(), 100, seed=1, initial_configuration=configuration
+        )
+        assert simulator.count(EpidemicState.INFECTED) == 10
+
+    def test_initial_configuration_size_checked(self):
+        configuration = Configuration({EpidemicState.INFECTED: 5})
+        with pytest.raises(SimulationError):
+            CountSimulator(EpidemicProtocol(), 100, initial_configuration=configuration)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            CountSimulator(EpidemicProtocol(), 1)
+
+
+class TestDynamics:
+    def test_population_size_is_conserved(self):
+        simulator = CountSimulator(ApproximateMajorityProtocol(), 500, seed=2)
+        simulator.run_parallel_time(5)
+        assert simulator.configuration().size == 500
+
+    def test_epidemic_completes_in_logarithmic_time(self):
+        simulator = CountSimulator(EpidemicProtocol(), 10_000, seed=3)
+        elapsed = simulator.run_until(epidemic_completion_predicate, max_parallel_time=200)
+        # Lemma A.1: expectation ~ ln n ~ 9.2; allow generous slack.
+        assert elapsed < 5 * math.log(10_000)
+        assert simulator.count(EpidemicState.SUSCEPTIBLE) == 0
+
+    def test_majority_reaches_consensus_on_initial_majority(self):
+        simulator = CountSimulator(ApproximateMajorityProtocol(0.7), 2_000, seed=4)
+        simulator.run_until(majority_consensus_predicate, max_parallel_time=300)
+        assert simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0
+        assert simulator.count(ApproximateMajorityProtocol.OPINION_X) > 0
+
+    def test_run_until_budget_exhaustion_raises(self):
+        simulator = CountSimulator(EpidemicProtocol(), 1_000, seed=5)
+        with pytest.raises(ConvergenceError):
+            simulator.run_until(epidemic_completion_predicate, max_parallel_time=0.01)
+
+    def test_reproducibility(self):
+        elapsed = []
+        for _ in range(2):
+            simulator = CountSimulator(EpidemicProtocol(), 2_000, seed=6)
+            elapsed.append(
+                simulator.run_until(epidemic_completion_predicate, max_parallel_time=200)
+            )
+        assert elapsed[0] == elapsed[1]
+
+    def test_states_seen_accumulates(self):
+        simulator = CountSimulator(ApproximateMajorityProtocol(0.5), 200, seed=7)
+        simulator.run_parallel_time(10)
+        assert ApproximateMajorityProtocol.BLANK in simulator.states_seen()
+
+    def test_outputs_histogram_sums_to_population(self):
+        simulator = CountSimulator(ApproximateMajorityProtocol(0.5), 300, seed=8)
+        simulator.run_parallel_time(2)
+        assert sum(simulator.outputs().values()) == 300
+
+
+class TestTracing:
+    def test_run_with_trace_has_requested_granularity(self):
+        simulator = CountSimulator(EpidemicProtocol(), 500, seed=9)
+        trace = simulator.run_with_trace(total_parallel_time=5, samples=10)
+        assert len(trace) >= 10
+        assert trace[0].parallel_time == 0.0
+        assert trace[-1].parallel_time >= 5.0
+        assert all(point.configuration.size == 500 for point in trace)
+
+    def test_trace_counts_are_monotone_for_epidemic(self):
+        simulator = CountSimulator(EpidemicProtocol(), 500, seed=10)
+        trace = simulator.run_with_trace(total_parallel_time=10, samples=20)
+        infected = [point.configuration.count(EpidemicState.INFECTED) for point in trace]
+        assert all(later >= earlier for earlier, later in zip(infected, infected[1:]))
+
+    def test_run_with_trace_rejects_bad_samples(self):
+        simulator = CountSimulator(EpidemicProtocol(), 100, seed=11)
+        with pytest.raises(SimulationError):
+            simulator.run_with_trace(total_parallel_time=1, samples=0)

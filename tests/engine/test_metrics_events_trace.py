@@ -1,0 +1,145 @@
+"""Tests for metrics, event logging and execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.configuration import Configuration
+from repro.engine.events import EventLog, InteractionEvent, PeriodicProbe
+from repro.engine.metrics import SimulationMetrics, StateUsageTracker
+from repro.engine.simulator import Simulation
+from repro.engine.trace import ExecutionTrace, TraceRecorder
+from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
+
+
+class TestStateUsageTracker:
+    def test_counts_distinct_signatures(self):
+        tracker = StateUsageTracker()
+        tracker.observe("a")
+        tracker.observe("a")
+        tracker.observe("b")
+        tracker.observe_many(["c", "b"])
+        assert tracker.distinct_states == 3
+
+
+class TestSimulationMetrics:
+    def test_records_interactions_and_nulls(self):
+        metrics = SimulationMetrics(population_size=10)
+        metrics.record_interaction(changed=True)
+        metrics.record_interaction(changed=False)
+        metrics.record_interaction(changed=False)
+        assert metrics.interactions == 3
+        assert metrics.null_interactions == 2
+        assert metrics.parallel_time == pytest.approx(0.3)
+
+    def test_convergence_time_property(self):
+        metrics = SimulationMetrics(population_size=10)
+        assert metrics.convergence_time is None
+        metrics.convergence_interaction = 25
+        assert metrics.convergence_time == pytest.approx(2.5)
+
+    def test_summary_is_json_friendly(self):
+        metrics = SimulationMetrics(population_size=4)
+        metrics.record_interaction(changed=True)
+        summary = metrics.summary()
+        assert summary["population_size"] == 4
+        assert summary["interactions"] == 1
+        assert summary["distinct_states"] is None
+
+
+class TestEvents:
+    def test_interaction_event_changed_flag(self):
+        event = InteractionEvent(
+            index=1,
+            receiver=0,
+            sender=1,
+            receiver_before="a",
+            sender_before="b",
+            receiver_after="a",
+            sender_after="b",
+        )
+        assert not event.changed
+        changed = InteractionEvent(
+            index=2,
+            receiver=0,
+            sender=1,
+            receiver_before="a",
+            sender_before="b",
+            receiver_after="c",
+            sender_after="b",
+        )
+        assert changed.changed
+
+    def test_event_log_capacity(self):
+        log = EventLog(capacity=2)
+        for index in range(5):
+            log.append(
+                InteractionEvent(
+                    index=index,
+                    receiver=0,
+                    sender=1,
+                    receiver_before="a",
+                    sender_before="b",
+                    receiver_after="a",
+                    sender_after="b",
+                )
+            )
+        assert len(log) == 2
+        assert [event.index for event in log] == [3, 4]
+
+    def test_periodic_probe_interval_resolution(self):
+        probe = PeriodicProbe(callback=lambda sim: None)
+        assert probe.resolve_interval(population_size=42) == 42
+        explicit = PeriodicProbe(callback=lambda sim: None, interval=7)
+        assert explicit.resolve_interval(population_size=42) == 7
+
+    def test_periodic_probe_rejects_bad_interval(self):
+        probe = PeriodicProbe(callback=lambda sim: None, interval=0)
+        with pytest.raises(ValueError):
+            probe.resolve_interval(10)
+
+    def test_simulation_event_log(self):
+        simulation = Simulation(
+            EpidemicProtocol().as_agent_protocol(), 6, seed=1, event_log_capacity=100
+        )
+        simulation.run_interactions(20)
+        assert simulation.event_log is not None
+        assert len(simulation.event_log) == 20
+        assert all(isinstance(event, InteractionEvent) for event in simulation.event_log)
+        assert len(simulation.event_log.changed_events()) <= 20
+
+
+class TestExecutionTrace:
+    def _sample_trace(self) -> ExecutionTrace:
+        trace = ExecutionTrace(population_size=10)
+        trace.append(0, Configuration({"a": 10}))
+        trace.append(10, Configuration({"a": 7, "b": 3}))
+        trace.append(20, Configuration({"a": 2, "b": 8}))
+        return trace
+
+    def test_counts_and_times(self):
+        trace = self._sample_trace()
+        assert trace.times() == [0.0, 1.0, 2.0]
+        assert trace.counts_of("b") == [0, 3, 8]
+        assert trace.states_seen() == frozenset({"a", "b"})
+
+    def test_first_time_reaching(self):
+        trace = self._sample_trace()
+        assert trace.first_time_reaching("b", 3) == pytest.approx(1.0)
+        assert trace.first_time_reaching("b", 9) is None
+
+    def test_final_configuration(self):
+        trace = self._sample_trace()
+        assert trace.final_configuration().count("b") == 8
+        with pytest.raises(ValueError):
+            ExecutionTrace(population_size=5).final_configuration()
+
+    def test_trace_recorder_probe_with_simulation(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 20, seed=2)
+        recorder = TraceRecorder.for_simulation(simulation)
+        simulation.add_probe(recorder, interval=20)
+        simulation.run_interactions(100)
+        assert len(recorder.trace) == 6  # initial point + 5 probe firings
+        infected = recorder.trace.counts_of(EpidemicState.INFECTED)
+        assert infected[0] == 1
+        assert all(later >= earlier for earlier, later in zip(infected, infected[1:]))

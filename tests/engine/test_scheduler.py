@@ -1,0 +1,90 @@
+"""Tests for the interaction schedulers."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.engine.scheduler import RandomMatchingScheduler, SequentialScheduler
+from repro.exceptions import SimulationError
+from repro.rng import RandomSource
+
+
+class TestSequentialScheduler:
+    def test_pairs_are_valid(self):
+        scheduler = SequentialScheduler(8, RandomSource(seed=1))
+        for _ in range(1000):
+            pair = scheduler.next_pair()
+            assert pair.receiver != pair.sender
+            assert 0 <= pair.receiver < 8
+            assert 0 <= pair.sender < 8
+
+    def test_interaction_count_and_parallel_time(self):
+        scheduler = SequentialScheduler(10, RandomSource(seed=2))
+        for _ in range(25):
+            scheduler.next_pair()
+        assert scheduler.interactions_emitted == 25
+        assert scheduler.parallel_time_elapsed == pytest.approx(2.5)
+
+    def test_all_ordered_pairs_reachable(self):
+        scheduler = SequentialScheduler(4, RandomSource(seed=3))
+        seen = {scheduler.next_pair().as_tuple() for _ in range(3000)}
+        assert len(seen) == 12  # 4 * 3 ordered pairs
+
+    def test_roughly_uniform_over_agents(self):
+        scheduler = SequentialScheduler(5, RandomSource(seed=4))
+        participation = Counter()
+        for _ in range(5000):
+            pair = scheduler.next_pair()
+            participation[pair.receiver] += 1
+            participation[pair.sender] += 1
+        expected = 2 * 5000 / 5
+        for agent in range(5):
+            assert abs(participation[agent] - expected) < 0.15 * expected
+
+    def test_rejects_population_below_two(self):
+        with pytest.raises(SimulationError):
+            SequentialScheduler(1, RandomSource(seed=5))
+
+
+class TestRandomMatchingScheduler:
+    def test_each_round_touches_every_agent_once_even_n(self):
+        n = 8
+        scheduler = RandomMatchingScheduler(n, RandomSource(seed=1))
+        agents = []
+        for _ in range(n // 2):
+            pair = scheduler.next_pair()
+            agents.extend(pair.as_tuple())
+        assert sorted(agents) == list(range(n))
+        assert scheduler.rounds_completed == 1
+
+    def test_odd_population_leaves_one_agent_idle_per_round(self):
+        n = 7
+        scheduler = RandomMatchingScheduler(n, RandomSource(seed=2))
+        agents = []
+        for _ in range(n // 2):
+            pair = scheduler.next_pair()
+            agents.extend(pair.as_tuple())
+        assert len(agents) == 6
+        assert len(set(agents)) == 6
+
+    def test_pairs_are_valid_across_rounds(self):
+        scheduler = RandomMatchingScheduler(10, RandomSource(seed=3))
+        for _ in range(500):
+            pair = scheduler.next_pair()
+            assert pair.receiver != pair.sender
+
+    def test_orientation_is_roughly_balanced(self):
+        scheduler = RandomMatchingScheduler(2, RandomSource(seed=4))
+        receiver_zero = sum(
+            scheduler.next_pair().receiver == 0 for _ in range(2000)
+        )
+        assert 800 < receiver_zero < 1200
+
+    def test_interactions_emitted_tracks_pairs(self):
+        scheduler = RandomMatchingScheduler(6, RandomSource(seed=5))
+        for _ in range(9):  # three full rounds of 3 pairs
+            scheduler.next_pair()
+        assert scheduler.interactions_emitted == 9
+        assert scheduler.rounds_completed == 3

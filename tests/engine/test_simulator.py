@@ -1,0 +1,165 @@
+"""Tests for the agent-level simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulator import Simulation, run_protocol
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
+from repro.protocols.max_propagation import MaxPropagationProtocol
+
+
+def everyone_infected(simulation: Simulation) -> bool:
+    return all(simulation.protocol.output(state) for state in simulation.states)
+
+
+class TestConstruction:
+    def test_initial_states_from_protocol(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 10, seed=1)
+        assert simulation.count_where(lambda s: s == EpidemicState.INFECTED) == 1
+        assert simulation.count_where(lambda s: s == EpidemicState.SUSCEPTIBLE) == 9
+
+    def test_explicit_initial_states(self):
+        protocol = EpidemicProtocol().as_agent_protocol()
+        states = [EpidemicState.INFECTED] * 3 + [EpidemicState.SUSCEPTIBLE] * 2
+        simulation = Simulation(protocol, 5, seed=1, initial_states=states)
+        assert simulation.count_where(lambda s: s == EpidemicState.INFECTED) == 3
+
+    def test_explicit_initial_states_length_checked(self):
+        protocol = EpidemicProtocol().as_agent_protocol()
+        with pytest.raises(SimulationError):
+            Simulation(protocol, 5, seed=1, initial_states=[EpidemicState.INFECTED])
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            Simulation(EpidemicProtocol().as_agent_protocol(), 1, seed=1)
+
+
+class TestStepping:
+    def test_step_counts_interactions(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 6, seed=2)
+        for _ in range(30):
+            simulation.step()
+        assert simulation.metrics.interactions == 30
+        assert simulation.metrics.parallel_time == pytest.approx(5.0)
+
+    def test_run_parallel_time(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 6, seed=2)
+        simulation.run_parallel_time(3.0)
+        assert simulation.metrics.interactions == 18
+
+    def test_run_interactions_rejects_negative(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 6, seed=2)
+        with pytest.raises(SimulationError):
+            simulation.run_interactions(-1)
+
+    def test_epidemic_eventually_infects_everyone(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 50, seed=3)
+        elapsed = simulation.run_until(everyone_infected, max_parallel_time=200)
+        assert elapsed > 0
+        assert everyone_infected(simulation)
+
+    def test_run_until_raises_on_budget_exhaustion(self):
+        # With zero budget the epidemic cannot possibly finish from one source.
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 50, seed=3)
+        with pytest.raises(ConvergenceError):
+            simulation.run_until(everyone_infected, max_parallel_time=0.02)
+
+    def test_run_until_immediate_predicate(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 10, seed=4)
+        elapsed = simulation.run_until(lambda sim: True, max_parallel_time=1)
+        assert elapsed == 0.0
+
+    def test_reproducibility_same_seed(self):
+        runs = []
+        for _ in range(2):
+            simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 30, seed=7)
+            elapsed = simulation.run_until(everyone_infected, max_parallel_time=200)
+            runs.append(elapsed)
+        assert runs[0] == runs[1]
+
+
+class TestMaxPropagation:
+    def test_maximum_spreads_to_everyone(self):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: agent_id)
+        simulation = Simulation(protocol, 40, seed=5)
+        simulation.run_until(
+            lambda sim: all(state == 39 for state in sim.states),
+            max_parallel_time=200,
+        )
+        assert set(simulation.states) == {39}
+
+    def test_count_where(self):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: agent_id % 2)
+        simulation = Simulation(protocol, 10, seed=6)
+        assert simulation.count_where(lambda value: value == 1) == 5
+
+
+class TestInspection:
+    def test_configuration_snapshot(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 12, seed=8)
+        configuration = simulation.configuration()
+        assert configuration.size == 12
+        assert configuration.count(EpidemicState.INFECTED) == 1
+
+    def test_agent_state_bounds_checked(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 5, seed=8)
+        assert simulation.agent_state(0) == EpidemicState.INFECTED
+        with pytest.raises(SimulationError):
+            simulation.agent_state(5)
+
+    def test_outputs_uses_protocol_output(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 4, seed=9)
+        outputs = simulation.outputs()
+        assert outputs.count(True) == 1
+        assert outputs.count(False) == 3
+
+    def test_state_tracking_counts_distinct_states(self):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: agent_id)
+        simulation = Simulation(protocol, 10, seed=10, track_states=True)
+        simulation.run_parallel_time(20)
+        assert simulation.metrics.distinct_states is not None
+        assert 1 <= simulation.metrics.distinct_states <= 10
+
+    def test_report_contains_outputs_and_metrics(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 10, seed=11)
+        detector = simulation.add_convergence_detector(everyone_infected)
+        simulation.run_until(everyone_infected, max_parallel_time=200)
+        report = simulation.report(detector)
+        assert report.population_size == 10
+        assert len(report.outputs) == 10
+        assert report.interactions == simulation.metrics.interactions
+        assert report.as_dict()["population_size"] == 10
+
+
+class TestProbes:
+    def test_probe_fires_on_interval(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 10, seed=12)
+        calls = []
+        simulation.add_probe(lambda sim: calls.append(sim.metrics.interactions), interval=5)
+        simulation.run_interactions(23)
+        assert calls == [5, 10, 15, 20]
+
+    def test_convergence_detector_records_first_holding_point(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 20, seed=13)
+        detector = simulation.add_convergence_detector(everyone_infected, interval=5)
+        simulation.run_parallel_time(100)
+        assert detector.converged
+        assert detector.convergence_interaction is not None
+        assert detector.convergence_time(20) == pytest.approx(
+            detector.convergence_interaction / 20
+        )
+
+
+class TestRunProtocolHelper:
+    def test_run_protocol_returns_simulation_and_time(self):
+        simulation, elapsed = run_protocol(
+            EpidemicProtocol().as_agent_protocol(),
+            population_size=20,
+            predicate=everyone_infected,
+            max_parallel_time=200,
+            seed=14,
+        )
+        assert elapsed > 0
+        assert everyone_infected(simulation)

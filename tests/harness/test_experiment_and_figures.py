@@ -1,0 +1,132 @@
+"""Tests for the experiment runners, the Figure 2 builder and the tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ProtocolParameters
+from repro.harness.experiment import (
+    ExperimentSpec,
+    run_array_experiment,
+    run_sequential_experiment,
+)
+from repro.harness.figures import figure2_from_sweep, reproduce_figure2
+from repro.harness.tables import (
+    accuracy_table,
+    baseline_comparison_table,
+    state_complexity_table,
+)
+
+
+FAST = ProtocolParameters.fast_test()
+
+
+class TestExperimentSpec:
+    def test_seed_derivation_is_distinct(self):
+        spec = ExperimentSpec(population_sizes=[16, 32], runs_per_size=3, base_seed=5)
+        seeds = {
+            spec.seed_for(size_index, run_index)
+            for size_index in range(2)
+            for run_index in range(3)
+        }
+        assert len(seeds) == 6
+
+    def test_budget_grows_with_population(self):
+        spec = ExperimentSpec(population_sizes=[16], params=FAST)
+        assert spec.budget_for(4_096) > spec.budget_for(64)
+
+
+class TestRunners:
+    def test_array_experiment_produces_records(self):
+        spec = ExperimentSpec(
+            population_sizes=[64, 128], runs_per_size=2, params=FAST, base_seed=1
+        )
+        sweep = run_array_experiment(spec)
+        assert len(sweep.records) == 4
+        assert sweep.population_sizes() == [64, 128]
+        assert all(record.converged for record in sweep.records)
+        assert all(record.extra["engine"] == "array" for record in sweep.records)
+
+    def test_sequential_experiment_produces_records(self):
+        spec = ExperimentSpec(
+            population_sizes=[48], runs_per_size=2, params=FAST, base_seed=2
+        )
+        sweep = run_sequential_experiment(spec)
+        assert len(sweep.records) == 2
+        assert all(record.converged for record in sweep.records)
+        assert all(record.max_additive_error < 5.7 for record in sweep.records)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return reproduce_figure2(
+            population_sizes=[64, 128, 256],
+            runs_per_size=2,
+            params=FAST,
+            base_seed=3,
+        )
+
+    def test_all_runs_converged(self, figure):
+        assert figure.non_converged_runs == 0
+        assert len(figure.points) == 6
+
+    def test_sizes_and_mean_times(self, figure):
+        assert figure.sizes() == [64, 128, 256]
+        means = figure.mean_times()
+        assert len(means) == 3
+        assert means[-1] > means[0]  # convergence time grows with n
+
+    def test_errors_bounded(self, figure):
+        assert figure.max_error_observed() < 5.0
+
+    def test_table_and_plot_render(self, figure):
+        assert "mean time" in figure.table()
+        assert "*" in figure.ascii_plot()
+
+    def test_csv_export(self, figure):
+        csv = figure.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("population_size,")
+        assert len(lines) == 1 + len(figure.points)
+
+    def test_growth_exponent_positive(self, figure):
+        slope = figure.growth_exponent()
+        assert slope is not None
+        assert slope > 0
+
+    def test_figure2_from_sweep_counts_failures(self):
+        spec = ExperimentSpec(population_sizes=[64], runs_per_size=1, params=FAST)
+        sweep = run_array_experiment(spec)
+        sweep.records[0] = type(sweep.records[0])(
+            population_size=64,
+            seed=0,
+            converged=False,
+            convergence_time=None,
+        )
+        result = figure2_from_sweep(sweep, FAST)
+        assert result.non_converged_runs == 1
+
+
+class TestTables:
+    def test_accuracy_table(self):
+        table = accuracy_table([64, 128], runs_per_size=1, params=FAST, base_seed=4)
+        assert table.headers[0] == "n"
+        assert len(table.rows) == 2
+        assert all(row[3] < 5.7 for row in table.rows)  # max |err| below the claim
+        assert "claimed bound" in table.text
+
+    def test_state_complexity_table(self):
+        table = state_complexity_table([64, 128], params=FAST, base_seed=5)
+        assert len(table.rows) == 2
+        # The realised state bound should be monotone-ish and positive.
+        assert all(row[5] > 0 for row in table.rows)
+
+    def test_baseline_comparison_table(self):
+        table = baseline_comparison_table(
+            [64], runs_per_size=1, params=FAST, base_seed=6, baseline_budget=100.0
+        )
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row[0] == 64
+        assert row[4] == 5.7

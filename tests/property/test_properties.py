@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import subprotocols as sub
+from repro.core.fields import LogSizeAgentState, Role
+from repro.core.log_size_estimation import LogSizeEstimationProtocol
+from repro.core.parameters import ProtocolParameters
+from repro.engine.configuration import Configuration
+from repro.rng import RandomSource
+from repro.types import interactions_for_time, parallel_time
+
+PARAMS = ProtocolParameters.fast_test()
+PROTOCOL = LogSizeEstimationProtocol(PARAMS)
+
+
+# -- strategies -----------------------------------------------------------------------
+
+state_values = st.one_of(st.text(max_size=3), st.integers(-5, 5))
+count_maps = st.dictionaries(state_values, st.integers(min_value=0, max_value=50), max_size=6)
+
+
+def _coherent(state: LogSizeAgentState) -> LogSizeAgentState:
+    """Restrict generated states to ones reachable in real executions.
+
+    An agent that has not been assigned a role yet has had no interaction, so
+    all its other fields still hold their initial values; workers never hold a
+    running sum (space multiplexing).  Random generation does not know these
+    invariants, so they are enforced here.
+    """
+    if state.is_unassigned:
+        return LogSizeAgentState()
+    if state.is_worker:
+        state.total = 0
+    return state
+
+
+def agent_states() -> st.SearchStrategy[LogSizeAgentState]:
+    """Random execution-coherent agent states of the main protocol."""
+    return st.builds(
+        LogSizeAgentState,
+        role=st.sampled_from([Role.UNASSIGNED, Role.WORKER, Role.STORAGE]),
+        time=st.integers(0, 200),
+        total=st.integers(0, 500),
+        epoch=st.integers(0, 30),
+        gr=st.integers(1, 20),
+        log_size2=st.integers(1, 20),
+        protocol_done=st.booleans(),
+        updated_sum=st.booleans(),
+        output=st.one_of(st.none(), st.floats(0, 30, allow_nan=False)),
+    ).map(_coherent)
+
+
+# -- configuration properties -----------------------------------------------------------
+
+
+@given(count_maps)
+def test_configuration_size_is_sum_of_counts(counts):
+    config = Configuration(counts)
+    assert config.size == sum(count for count in counts.values() if count > 0)
+
+
+@given(count_maps, st.integers(1, 5))
+def test_scaling_preserves_density_floor(counts, factor):
+    counts = {state: count for state, count in counts.items() if count > 0}
+    if not counts:
+        return
+    config = Configuration(counts)
+    assert math.isclose(
+        config.density_floor(), config.scale(factor).density_floor(), rel_tol=1e-12
+    )
+
+
+@given(count_maps, count_maps)
+def test_configuration_le_is_consistent_with_addition(first, second):
+    small = Configuration(first)
+    combined = small + Configuration(second)
+    assert small <= combined
+
+
+@given(count_maps)
+def test_alpha_dense_iff_alpha_below_density_floor(counts):
+    counts = {state: count for state, count in counts.items() if count > 0}
+    if not counts:
+        return
+    config = Configuration(counts)
+    floor = config.density_floor()
+    # Slightly below the floor to stay clear of floating-point rounding in
+    # the threshold comparison.
+    assert config.is_alpha_dense(floor * (1 - 1e-12))
+    if floor < 2 / 3:
+        assert not config.is_alpha_dense(floor * 1.5 + 1e-9)
+
+
+# -- time conversions ---------------------------------------------------------------------
+
+
+@given(st.floats(0, 1e6, allow_nan=False), st.integers(2, 10_000))
+def test_interactions_cover_requested_parallel_time(time, n):
+    interactions = interactions_for_time(time, n)
+    assert parallel_time(interactions, n) >= time - 1e-9
+    assert parallel_time(max(interactions - 1, 0), n) <= time + 1e-9 or interactions == 0
+
+
+# -- protocol transition invariants ---------------------------------------------------------
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(agent_states(), agent_states(), st.integers(0, 2**31 - 1))
+def test_transition_preserves_role_assignment(receiver, sender, seed):
+    """Once assigned, an agent's role never changes (the paper's partition)."""
+    rng = RandomSource(seed=seed)
+    new_receiver, new_sender = PROTOCOL.transition(receiver, sender, rng)
+    if not receiver.is_unassigned:
+        assert new_receiver.role is receiver.role
+    if not sender.is_unassigned:
+        assert new_sender.role is sender.role
+    assert not (new_receiver.is_unassigned and new_sender.is_unassigned) or (
+        receiver.is_unassigned and sender.is_unassigned
+    )
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(agent_states(), agent_states(), st.integers(0, 2**31 - 1))
+def test_transition_never_decreases_log_size2(receiver, sender, seed):
+    """logSize2 is a running maximum: it never decreases at any agent."""
+    rng = RandomSource(seed=seed)
+    new_receiver, new_sender = PROTOCOL.transition(receiver, sender, rng)
+    assert new_receiver.log_size2 >= receiver.log_size2
+    assert new_sender.log_size2 >= sender.log_size2
+    # And after the interaction the two agents agree on the maximum seen.
+    assert max(new_receiver.log_size2, new_sender.log_size2) >= max(
+        receiver.log_size2, sender.log_size2
+    )
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(agent_states(), agent_states(), st.integers(0, 2**31 - 1))
+def test_transition_does_not_mutate_inputs(receiver, sender, seed):
+    receiver_before = receiver.clone()
+    sender_before = sender.clone()
+    PROTOCOL.transition(receiver, sender, RandomSource(seed=seed))
+    assert receiver == receiver_before
+    assert sender == sender_before
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(agent_states(), agent_states(), st.integers(0, 2**31 - 1))
+def test_workers_never_hold_sums(receiver, sender, seed):
+    """Space multiplexing: only storage agents accumulate the running sum."""
+    receiver.total = 0 if receiver.is_worker else receiver.total
+    sender.total = 0 if sender.is_worker else sender.total
+    new_receiver, new_sender = PROTOCOL.transition(
+        receiver, sender, RandomSource(seed=seed)
+    )
+    if new_receiver.is_worker:
+        assert new_receiver.total == 0
+    if new_sender.is_worker:
+        assert new_sender.total == 0
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(agent_states(), agent_states(), st.integers(0, 2**31 - 1))
+def test_same_epoch_workers_agree_on_gr_after_interaction(receiver, sender, seed):
+    """Propagate-Max-G.R.V.: same-epoch workers leave the interaction with equal gr."""
+    receiver.role = Role.WORKER
+    sender.role = Role.WORKER
+    new_receiver, new_sender = PROTOCOL.transition(
+        receiver, sender, RandomSource(seed=seed)
+    )
+    if (
+        new_receiver.epoch == new_sender.epoch
+        and receiver.log_size2 == sender.log_size2
+    ):
+        assert new_receiver.gr == new_sender.gr
+
+
+# -- subprotocol-level properties ---------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 2**31 - 1))
+def test_propagate_max_clock_value_agrees_on_maximum(first_value, second_value, seed):
+    rng = RandomSource(seed=seed)
+    first = LogSizeAgentState(role=Role.WORKER, log_size2=first_value)
+    second = LogSizeAgentState(role=Role.STORAGE, log_size2=second_value)
+    sub.propagate_max_clock_value(first, second, rng, PARAMS)
+    assert first.log_size2 == second.log_size2 == max(first_value, second_value)
+
+
+@settings(max_examples=200)
+@given(st.integers(0, 30), st.integers(0, 30), st.integers(0, 500), st.integers(0, 500))
+def test_storage_epoch_propagation_is_monotone(epoch_a, epoch_b, total_a, total_b):
+    rng = RandomSource(seed=1)
+    first = LogSizeAgentState(role=Role.STORAGE, epoch=epoch_a, total=total_a, log_size2=30)
+    second = LogSizeAgentState(role=Role.STORAGE, epoch=epoch_b, total=total_b, log_size2=30)
+    sub.propagate_incremented_epoch(first, second, rng, PARAMS)
+    assert first.epoch == second.epoch == max(epoch_a, epoch_b)
+    assert first.total >= min(total_a, total_b)
+
+
+# -- geometric analysis properties ------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(st.integers(50, 5_000), st.floats(0.5, 10.0, allow_nan=False))
+def test_maximum_tail_bounds_are_probabilities(population, deviation):
+    from repro.analysis.geometric import maximum_lower_tail, maximum_upper_tail
+
+    for bound in (maximum_upper_tail(deviation), maximum_lower_tail(deviation)):
+        assert 0.0 <= bound <= 1.0
+    assert population > 0
+
+
+@settings(max_examples=50)
+@given(st.integers(2, 10_000))
+def test_expected_maximum_bracket_is_ordered(population):
+    from repro.analysis.geometric import expected_maximum_of_geometrics
+
+    lower, upper = expected_maximum_of_geometrics(population)
+    assert lower < upper

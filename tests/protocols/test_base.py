@@ -1,0 +1,104 @@
+"""Tests for the protocol abstractions (FiniteStateProtocol, adapters, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.count_simulator import CountSimulator
+from repro.engine.simulator import Simulation
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    FunctionalFiniteStateProtocol,
+    RandomizedTransition,
+)
+
+
+def _simple_protocol(uniform: bool = True) -> FunctionalFiniteStateProtocol:
+    """Two-state protocol a,b -> b,b (a one-way conversion)."""
+    return FunctionalFiniteStateProtocol(
+        state_set=["a", "b"],
+        transition_map={("a", "b"): [("b", "b", 1.0)], ("b", "a"): [("b", "b", 1.0)]},
+        initial=lambda agent_id: "b" if agent_id == 0 else "a",
+        uniform=uniform,
+        output_map={"a": 0, "b": 1},
+    )
+
+
+class TestRandomizedTransition:
+    def test_probability_validated(self):
+        with pytest.raises(ProtocolError):
+            RandomizedTransition(receiver_out="a", sender_out="b", probability=0.0)
+        with pytest.raises(ProtocolError):
+            RandomizedTransition(receiver_out="a", sender_out="b", probability=1.5)
+
+
+class TestFunctionalProtocol:
+    def test_states_and_initial(self):
+        protocol = _simple_protocol()
+        assert set(protocol.states()) == {"a", "b"}
+        assert protocol.initial_state(0) == "b"
+        assert protocol.initial_state(5) == "a"
+
+    def test_output_map(self):
+        protocol = _simple_protocol()
+        assert protocol.output("a") == 0
+        assert protocol.output("b") == 1
+
+    def test_transition_table_omits_null_transitions(self):
+        protocol = _simple_protocol()
+        table = protocol.transition_table()
+        assert ("a", "b") in table
+        assert ("a", "a") not in table
+
+    def test_validation_rejects_unknown_output_state(self):
+        with pytest.raises(ProtocolError):
+            FunctionalFiniteStateProtocol(
+                state_set=["a"],
+                transition_map={("a", "a"): [("a", "z", 1.0)]},
+                initial="a",
+            )
+
+    def test_validation_rejects_probability_overflow(self):
+        with pytest.raises(ProtocolError):
+            FunctionalFiniteStateProtocol(
+                state_set=["a", "b"],
+                transition_map={("a", "a"): [("a", "b", 0.7), ("b", "b", 0.7)]},
+                initial="a",
+            )
+
+    def test_describe_mentions_state_count(self):
+        assert "2 states" in _simple_protocol().describe()
+
+
+class TestAgentAdapter:
+    def test_adapter_runs_under_agent_engine(self):
+        protocol = _simple_protocol()
+        simulation = Simulation(protocol.as_agent_protocol(), 30, seed=1)
+        simulation.run_until(
+            lambda sim: all(state == "b" for state in sim.states),
+            max_parallel_time=200,
+        )
+        assert set(simulation.states) == {"b"}
+
+    def test_adapter_propagates_uniform_flag(self):
+        assert _simple_protocol(uniform=False).as_agent_protocol().is_uniform is False
+
+    def test_adapter_null_transition_keeps_states(self, rng):
+        protocol = _simple_protocol().as_agent_protocol()
+        assert protocol.transition("a", "a", rng) == ("a", "a")
+
+    def test_randomized_outcome_frequencies(self, rng):
+        protocol = FunctionalFiniteStateProtocol(
+            state_set=["a", "b", "c"],
+            transition_map={("a", "a"): [("b", "b", 0.5), ("c", "c", 0.5)]},
+            initial="a",
+        ).as_agent_protocol()
+        outcomes = [protocol.transition("a", "a", rng)[0] for _ in range(3000)]
+        assert 0.4 < outcomes.count("b") / len(outcomes) < 0.6
+
+    def test_adapter_and_count_engine_agree_on_reachable_states(self):
+        protocol = _simple_protocol()
+        count_sim = CountSimulator(protocol, 30, seed=2)
+        count_sim.run_parallel_time(100)
+        assert count_sim.count("a") == 0
+        assert count_sim.count("b") == 30

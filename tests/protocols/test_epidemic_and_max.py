@@ -1,0 +1,120 @@
+"""Tests for the epidemic and max-propagation substrates."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.analysis.epidemic_theory import expected_epidemic_time
+from repro.engine.count_simulator import CountSimulator
+from repro.engine.simulator import Simulation
+from repro.exceptions import ProtocolError
+from repro.protocols.epidemic import (
+    EpidemicProtocol,
+    EpidemicState,
+    epidemic_completion_predicate,
+)
+from repro.protocols.max_propagation import (
+    MaxPropagationProtocol,
+    geometric_max_initializer,
+)
+
+
+class TestEpidemicProtocol:
+    def test_initial_sources(self):
+        protocol = EpidemicProtocol(initial_infected=3)
+        states = [protocol.initial_state(agent_id) for agent_id in range(5)]
+        assert states.count(EpidemicState.INFECTED) == 3
+
+    def test_rejects_no_sources(self):
+        with pytest.raises(ProtocolError):
+            EpidemicProtocol(initial_infected=0)
+
+    def test_one_way_variant_only_infects_receiver(self):
+        protocol = EpidemicProtocol(bidirectional=False)
+        assert protocol.transitions(EpidemicState.SUSCEPTIBLE, EpidemicState.INFECTED)
+        assert not protocol.transitions(EpidemicState.INFECTED, EpidemicState.SUSCEPTIBLE)
+
+    def test_output_flags_infection(self):
+        protocol = EpidemicProtocol()
+        assert protocol.output(EpidemicState.INFECTED) is True
+        assert protocol.output(EpidemicState.SUSCEPTIBLE) is False
+
+    def test_describe(self):
+        assert "bidirectional" in EpidemicProtocol().describe()
+
+    def test_completion_time_close_to_lemma_a1(self):
+        """Empirical mean completion time should sit near (n-1)/n * H_{n-1}.
+
+        Lemma A.1's expectation corresponds to the epidemic in which an
+        infected/susceptible pair always infects (our bidirectional variant);
+        the strict one-way variant is a factor ~2 slower.
+        """
+        n = 2_000
+        expected = expected_epidemic_time(n)
+
+        bidirectional_times = []
+        one_way_times = []
+        for seed in range(5):
+            simulator = CountSimulator(EpidemicProtocol(), n, seed=seed)
+            bidirectional_times.append(
+                simulator.run_until(epidemic_completion_predicate, max_parallel_time=400)
+            )
+            simulator = CountSimulator(
+                EpidemicProtocol(bidirectional=False), n, seed=100 + seed
+            )
+            one_way_times.append(
+                simulator.run_until(epidemic_completion_predicate, max_parallel_time=400)
+            )
+
+        mean_bidirectional = statistics.fmean(bidirectional_times)
+        mean_one_way = statistics.fmean(one_way_times)
+        assert 0.6 * expected < mean_bidirectional < 1.6 * expected
+        assert 1.4 * expected < mean_one_way < 3.0 * expected
+
+    def test_monotone_infection_count(self):
+        simulator = CountSimulator(EpidemicProtocol(), 1_000, seed=3)
+        previous = simulator.count(EpidemicState.INFECTED)
+        for _ in range(20):
+            simulator.run_parallel_time(0.5)
+            current = simulator.count(EpidemicState.INFECTED)
+            assert current >= previous
+            previous = current
+
+
+class TestMaxPropagation:
+    def test_max_value_wins(self):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: agent_id % 7)
+        simulation = Simulation(protocol, 50, seed=1)
+        simulation.run_until(
+            lambda sim: all(state == 6 for state in sim.states), max_parallel_time=200
+        )
+        assert set(simulation.states) == {6}
+
+    def test_transition_is_symmetric_max(self, rng):
+        protocol = MaxPropagationProtocol(initial_value=lambda agent_id: 0)
+        assert protocol.transition(3, 9, rng) == (9, 9)
+        assert protocol.transition(9, 3, rng) == (9, 9)
+        assert protocol.transition(4, 4, rng) == (4, 4)
+
+    def test_geometric_initializer_is_independent_of_population(self):
+        initializer = geometric_max_initializer(seed=11)
+        first_values = [initializer(agent_id) for agent_id in range(50)]
+        second_values = [initializer(agent_id) for agent_id in range(50)]
+        assert first_values == second_values
+        assert all(value >= 1 for value in first_values)
+
+    def test_propagated_maximum_estimates_log_n(self):
+        """The converged maximum should be a (weak) estimate of log2 n (Lemma D.7)."""
+        n = 512
+        initializer = geometric_max_initializer(seed=5)
+        protocol = MaxPropagationProtocol(initial_value=initializer)
+        simulation = Simulation(protocol, n, seed=6)
+        simulation.run_until(
+            lambda sim: len(set(sim.states)) == 1, max_parallel_time=400
+        )
+        maximum = simulation.states[0]
+        assert maximum >= math.log2(n) - math.log2(math.log(n)) - 2
+        assert maximum <= 3 * math.log2(n)

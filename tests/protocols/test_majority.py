@@ -1,0 +1,57 @@
+"""Tests for the approximate-majority baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.count_simulator import CountSimulator
+from repro.exceptions import ProtocolError
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
+
+
+class TestApproximateMajority:
+    def test_fraction_validated(self):
+        with pytest.raises(ProtocolError):
+            ApproximateMajorityProtocol(x_fraction=1.5)
+
+    def test_initial_margin_close_to_requested(self):
+        protocol = ApproximateMajorityProtocol(x_fraction=0.7)
+        states = [protocol.initial_state(agent_id) for agent_id in range(1000)]
+        x_fraction = states.count(protocol.OPINION_X) / len(states)
+        assert 0.65 < x_fraction < 0.75
+
+    def test_transitions_blank_the_minority_sender(self):
+        protocol = ApproximateMajorityProtocol()
+        (outcome,) = protocol.transitions(protocol.OPINION_X, protocol.OPINION_Y)
+        assert outcome.receiver_out == protocol.OPINION_X
+        assert outcome.sender_out == protocol.BLANK
+
+    def test_blank_agents_are_recruited(self):
+        protocol = ApproximateMajorityProtocol()
+        (outcome,) = protocol.transitions(protocol.BLANK, protocol.OPINION_Y)
+        assert outcome.receiver_out == protocol.OPINION_Y
+        assert outcome.sender_out == protocol.OPINION_Y
+
+    def test_same_opinion_is_null(self):
+        protocol = ApproximateMajorityProtocol()
+        assert protocol.transitions(protocol.OPINION_X, protocol.OPINION_X) == ()
+
+    def test_validate_passes(self):
+        ApproximateMajorityProtocol().validate()
+
+    @pytest.mark.parametrize("x_fraction", [0.65, 0.8])
+    def test_clear_majority_wins(self, x_fraction):
+        protocol = ApproximateMajorityProtocol(x_fraction=x_fraction)
+        simulator = CountSimulator(protocol, 3_000, seed=1)
+        simulator.run_until(majority_consensus_predicate, max_parallel_time=400)
+        assert simulator.count(protocol.OPINION_Y) == 0
+        assert simulator.count(protocol.OPINION_X) > 0
+
+    def test_consensus_time_is_fast(self):
+        protocol = ApproximateMajorityProtocol(x_fraction=0.75)
+        simulator = CountSimulator(protocol, 5_000, seed=2)
+        elapsed = simulator.run_until(majority_consensus_predicate, max_parallel_time=400)
+        assert elapsed < 100

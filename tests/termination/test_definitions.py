@@ -1,0 +1,94 @@
+"""Tests for the Section 4 definitions: termination specs and dense families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.configuration import Configuration
+from repro.exceptions import TerminationSpecError
+from repro.termination.definitions import (
+    DenseInitialFamily,
+    TerminationSpec,
+    is_alpha_dense,
+    is_terminated_configuration,
+)
+
+
+class TestPredicates:
+    def test_is_alpha_dense_delegates_to_configuration(self):
+        config = Configuration({"a": 50, "b": 50})
+        assert is_alpha_dense(config, 0.4)
+        assert not is_alpha_dense(config, 0.6)
+
+    def test_is_terminated_configuration(self):
+        config = Configuration({("idle", False): 9, ("done", True): 1})
+        assert is_terminated_configuration(config, lambda state: state[1])
+        quiet = Configuration({("idle", False): 10})
+        assert not is_terminated_configuration(quiet, lambda state: state[1])
+
+
+class TestTerminationSpec:
+    def test_kappa_validation(self):
+        with pytest.raises(TerminationSpecError):
+            TerminationSpec(terminated_predicate=lambda s: False, kappa=0.0)
+        with pytest.raises(TerminationSpecError):
+            TerminationSpec(terminated_predicate=lambda s: False, kappa=1.5)
+
+    def test_population_terminated(self):
+        spec = TerminationSpec(terminated_predicate=lambda s: s == "T")
+        assert spec.population_terminated(["a", "T", "b"])
+        assert not spec.population_terminated(["a", "b"])
+
+    def test_configuration_terminated(self):
+        spec = TerminationSpec(terminated_predicate=lambda s: s == "T")
+        assert spec.configuration_terminated(Configuration({"a": 5, "T": 1}))
+
+
+class TestDenseInitialFamily:
+    def test_all_same_state_family(self):
+        family = DenseInitialFamily.all_same_state("x")
+        config = family.instantiate(100)
+        assert config.count("x") == 100
+        assert family.is_dense_at(100)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(TerminationSpecError):
+            DenseInitialFamily(base_fractions={"a": 0.5, "b": 0.4})
+
+    def test_fractions_must_be_positive(self):
+        with pytest.raises(TerminationSpecError):
+            DenseInitialFamily(base_fractions={"a": 1.2, "b": -0.2})
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(TerminationSpecError):
+            DenseInitialFamily(base_fractions={})
+
+    def test_instantiation_has_exact_size(self):
+        family = DenseInitialFamily(base_fractions={"a": 0.3, "b": 0.7})
+        for n in (10, 33, 101, 1024):
+            assert family.instantiate(n).size == n
+
+    def test_instantiations_are_alpha_dense(self):
+        family = DenseInitialFamily(base_fractions={"a": 0.25, "b": 0.75})
+        for n in (16, 64, 333):
+            assert family.instantiate(n).is_alpha_dense(family.alpha)
+
+    def test_initial_states_list(self):
+        family = DenseInitialFamily(base_fractions={"a": 0.5, "b": 0.5})
+        states = family.initial_states(10)
+        assert len(states) == 10
+        assert states.count("a") + states.count("b") == 10
+
+    def test_sizes_generator(self):
+        family = DenseInitialFamily.all_same_state("x")
+        assert list(family.sizes(start=8, count=4)) == [8, 16, 32, 64]
+
+    def test_sizes_validation(self):
+        family = DenseInitialFamily.all_same_state("x")
+        with pytest.raises(TerminationSpecError):
+            list(family.sizes(start=8, count=0))
+
+    def test_population_too_small_rejected(self):
+        family = DenseInitialFamily(base_fractions={"a": 0.5, "b": 0.5})
+        with pytest.raises(TerminationSpecError):
+            family.instantiate(1)

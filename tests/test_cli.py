@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("estimate", "figure2", "accuracy", "states", "termination", "bounds"):
+            args = parser.parse_args([command] if command != "bounds" else ["bounds"])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_bounds_text(self, capsys):
+        assert main(["bounds", "--n", "1024"]) == 0
+        output = capsys.readouterr().out
+        assert "Theorem 3.1" in output
+        assert "1024" in output
+
+    def test_bounds_json(self, capsys):
+        assert main(["bounds", "--n", "512", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["population"] == 512
+        assert payload["additive_error_claim"] == 5.7
+
+    def test_estimate_fast(self, capsys):
+        assert main(["estimate", "--n", "96", "--fast", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "converged" in output
+        assert "max_additive_error" in output
+
+    def test_figure2_fast(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig2.csv"
+        code = main(
+            [
+                "figure2",
+                "--fast",
+                "--sizes",
+                "64,128",
+                "--runs",
+                "1",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2 reproduction" in output
+        assert "max additive error" in output
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("population_size,")
+
+    def test_accuracy_fast(self, capsys):
+        assert main(["accuracy", "--fast", "--sizes", "64", "--runs", "1"]) == 0
+        assert "Theorem 3.1 accuracy" in capsys.readouterr().out
+
+    def test_states_fast(self, capsys):
+        assert main(["states", "--fast", "--sizes", "64"]) == 0
+        assert "state complexity" in capsys.readouterr().out
+
+    def test_termination_command(self, capsys):
+        code = main(
+            [
+                "termination",
+                "--sizes",
+                "16,32",
+                "--runs",
+                "1",
+                "--threshold",
+                "6",
+                "--budget",
+                "50",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Theorem 4.1" in output
+        assert "uniform dense protocol" in output
+        assert "leader-driven" in output

@@ -1,0 +1,66 @@
+"""Tests for repro.types: parallel-time conversions and interaction pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import InteractionPair, interactions_for_time, parallel_time
+
+
+class TestParallelTime:
+    def test_basic_conversion(self):
+        assert parallel_time(1000, 100) == 10.0
+
+    def test_zero_interactions(self):
+        assert parallel_time(0, 10) == 0.0
+
+    def test_rejects_nonpositive_population(self):
+        with pytest.raises(ValueError):
+            parallel_time(10, 0)
+
+    def test_rejects_negative_interactions(self):
+        with pytest.raises(ValueError):
+            parallel_time(-1, 10)
+
+
+class TestInteractionsForTime:
+    def test_exact_multiple(self):
+        assert interactions_for_time(5.0, 10) == 50
+
+    def test_rounds_up(self):
+        assert interactions_for_time(1.01, 10) == 11
+
+    def test_zero_time(self):
+        assert interactions_for_time(0.0, 10) == 0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            interactions_for_time(-1.0, 10)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            interactions_for_time(1.0, 0)
+
+    def test_round_trip_covers_requested_time(self):
+        for time in (0.1, 0.5, 3.7, 12.0):
+            for n in (3, 7, 100):
+                interactions = interactions_for_time(time, n)
+                assert parallel_time(interactions, n) >= time - 1e-12
+
+
+class TestInteractionPair:
+    def test_valid_pair(self):
+        pair = InteractionPair(receiver=1, sender=2)
+        assert pair.as_tuple() == (1, 2)
+
+    def test_reversed(self):
+        pair = InteractionPair(receiver=1, sender=2)
+        assert pair.reversed() == InteractionPair(receiver=2, sender=1)
+
+    def test_rejects_self_interaction(self):
+        with pytest.raises(ValueError):
+            InteractionPair(receiver=3, sender=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            InteractionPair(receiver=-1, sender=0)
