@@ -1,22 +1,132 @@
-"""T-ENGINE — supporting benchmark: raw throughput of the three engines.
+"""T-ENGINE — supporting benchmark: raw throughput of the simulation engines.
 
-Not a paper artefact, but the number that determines how far the Figure 2
-sweep can be pushed: interactions per second of (a) the agent-level engine on
-the main protocol, (b) the count-based engine on a two-state epidemic and
-(c) the vectorised matching-round engine on the main protocol.
+Not a paper artefact, but the number that determines how far every sweep can
+be pushed: interactions per second of
+
+(a) the agent-level engine (on the main protocol and on the epidemic),
+(b) the count-based engine on a two-state epidemic,
+(c) the batched count engine on the same epidemic, and
+(d) the vectorised matching-round engine on the main protocol.
+
+Besides the pytest-benchmark entries, this module doubles as a script::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+which sweeps the three finite-state engines over ``n = 10^3 .. 10^6``
+(override with ``REPRO_ENGINE_BENCH_SIZES``) running the epidemic for
+``REPRO_ENGINE_BENCH_TIME`` (default 20) units of parallel time each, and
+writes a ``BENCH_engines.json`` trajectory artifact so future changes can be
+checked for throughput regressions.  The artifact records the
+batched-vs-count speedup at the largest size (the tentpole target is >= 20x
+at ``n = 10^6``).
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
 from benchmarks.conftest import PAPER_PARAMS
+from repro._version import __version__
 from repro.core.array_simulator import ArrayLogSizeSimulator
 from repro.core.log_size_estimation import LogSizeEstimationProtocol
 from repro.core.parameters import ProtocolParameters
 from repro.engine.count_simulator import CountSimulator
+from repro.engine.selection import ENGINE_NAMES, build_engine
 from repro.engine.simulator import Simulation
 from repro.protocols.epidemic import EpidemicProtocol
+from repro.workloads.populations import sizes_from_env
+
+#: Sweep grid of the engine-comparison script / benchmarks.  The agent engine
+#: is only run up to this cap (it is O(n) per unit of parallel time and
+#: exists in the sweep as the exact reference point).
+ENGINE_SWEEP_SIZES = sizes_from_env(
+    "REPRO_ENGINE_BENCH_SIZES", [1_000, 10_000, 100_000, 1_000_000]
+)
+AGENT_ENGINE_SIZE_CAP = 10_000
+PARALLEL_TIME_UNITS = float(os.environ.get("REPRO_ENGINE_BENCH_TIME", "20"))
+ARTIFACT_NAME = "BENCH_engines.json"
+
+
+def time_epidemic_run(engine: str, population_size: int, parallel_time: float, seed: int = 1) -> dict:
+    """Run the epidemic for ``parallel_time`` units on ``engine``; time it.
+
+    Returns a JSON-friendly record with the wall-clock seconds, the executed
+    interaction count and the implied throughput.
+    """
+    simulator = build_engine(engine, EpidemicProtocol(), population_size, seed=seed)
+    started = time.perf_counter()
+    simulator.run_parallel_time(parallel_time)
+    elapsed = time.perf_counter() - started
+    interactions = simulator.interactions
+    record = {
+        "engine": engine,
+        "population_size": population_size,
+        "parallel_time": parallel_time,
+        "seconds": elapsed,
+        "interactions": interactions,
+        "interactions_per_second": interactions / elapsed if elapsed > 0 else None,
+    }
+    if engine == "batched":
+        record["batched_batches"] = simulator.batched_batches
+        record["fallback_batches"] = simulator.fallback_batches
+    return record
+
+
+def run_engine_sweep(
+    sizes=ENGINE_SWEEP_SIZES, parallel_time: float = PARALLEL_TIME_UNITS
+) -> dict:
+    """Time all three finite-state engines across ``sizes``; build the artifact."""
+    results = []
+    for population_size in sizes:
+        for engine in ENGINE_NAMES:
+            if engine == "agent" and population_size > AGENT_ENGINE_SIZE_CAP:
+                continue
+            record = time_epidemic_run(engine, population_size, parallel_time)
+            results.append(record)
+            rate = record["interactions_per_second"]
+            rate_text = f"{rate:,.0f} interactions/s" if rate is not None else "n/a"
+            print(
+                f"  {engine:>7} n={population_size:>9,} : {record['seconds']:8.3f}s "
+                f"({rate_text})"
+            )
+    speedups = {}
+    by_key = {(r["engine"], r["population_size"]): r for r in results}
+    for population_size in sizes:
+        count = by_key.get(("count", population_size))
+        batched = by_key.get(("batched", population_size))
+        if count and batched and batched["seconds"] > 0:
+            speedups[str(population_size)] = count["seconds"] / batched["seconds"]
+    return {
+        "benchmark": "T-ENGINE epidemic engine sweep",
+        "version": __version__,
+        "protocol": EpidemicProtocol().describe(),
+        "parallel_time_units": parallel_time,
+        "results": results,
+        "batched_vs_count_speedup": speedups,
+    }
+
+
+def write_artifact(payload: dict, path: Path | None = None) -> Path:
+    """Write the sweep payload as the ``BENCH_engines.json`` artifact."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / ARTIFACT_NAME
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
 
 
 def bench_agent_engine_throughput(benchmark):
@@ -44,6 +154,53 @@ def bench_count_engine_throughput(benchmark):
     benchmark.extra_info["interactions_per_round"] = interactions
 
 
+@pytest.mark.parametrize("engine", list(ENGINE_NAMES))
+@pytest.mark.parametrize("population_size", [size for size in ENGINE_SWEEP_SIZES if size <= 100_000])
+def bench_epidemic_engine_comparison(benchmark, engine, population_size):
+    """All three finite-state engines on the same epidemic workload."""
+    if engine == "agent" and population_size > AGENT_ENGINE_SIZE_CAP:
+        pytest.skip("agent engine is the exact reference; capped at small n")
+    parallel_time = min(PARALLEL_TIME_UNITS, 5.0)
+    holder = {}
+
+    def run_epidemic():
+        holder.update(time_epidemic_run(engine, population_size, parallel_time))
+
+    benchmark.pedantic(run_epidemic, rounds=1, iterations=1)
+    benchmark.extra_info.update(holder)
+
+
+def bench_batched_vs_count_speedup(benchmark):
+    """The tentpole number: batched vs count at the largest sweep size.
+
+    With the default grid this is the epidemic at ``n = 10^6`` for 20 units
+    of parallel time; the batched engine must be at least 20x faster.
+    """
+    population_size = max(ENGINE_SWEEP_SIZES)
+    holder = {}
+
+    def run_pair():
+        batched = time_epidemic_run("batched", population_size, PARALLEL_TIME_UNITS)
+        count = time_epidemic_run("count", population_size, PARALLEL_TIME_UNITS)
+        holder["batched"] = batched
+        holder["count"] = count
+        holder["speedup"] = count["seconds"] / batched["seconds"]
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["batched_seconds"] = holder["batched"]["seconds"]
+    benchmark.extra_info["count_seconds"] = holder["count"]["seconds"]
+    benchmark.extra_info["speedup"] = holder["speedup"]
+    # The 20x target is stated at n = 10^6 (the batching advantage grows with
+    # n); scaled-down grids via REPRO_ENGINE_BENCH_SIZES only record the
+    # number.
+    if population_size >= 1_000_000:
+        assert holder["speedup"] >= 20.0, (
+            f"batched engine is only {holder['speedup']:.1f}x faster than the count "
+            f"engine at n={population_size}; the tentpole target is 20x"
+        )
+
+
 @pytest.mark.parametrize("population_size", [1_024, 8_192])
 def bench_array_engine_throughput(benchmark, population_size):
     """Vectorised engine: matching rounds per second at two population sizes."""
@@ -58,3 +215,23 @@ def bench_array_engine_throughput(benchmark, population_size):
     benchmark.extra_info["population_size"] = population_size
     benchmark.extra_info["matching_rounds"] = rounds
     benchmark.extra_info["interactions"] = rounds * (population_size // 2)
+
+
+def main() -> int:
+    """Run the engine sweep and write the ``BENCH_engines.json`` artifact."""
+    print(
+        f"Engine throughput sweep: epidemic, {PARALLEL_TIME_UNITS} units of "
+        f"parallel time, sizes {ENGINE_SWEEP_SIZES}"
+    )
+    payload = run_engine_sweep()
+    path = write_artifact(payload)
+    print(f"\nartifact written to {path}")
+    largest = str(max(ENGINE_SWEEP_SIZES))
+    speedup = payload["batched_vs_count_speedup"].get(largest)
+    if speedup is not None:
+        print(f"batched vs count speedup at n={largest}: {speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

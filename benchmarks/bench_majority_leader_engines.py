@@ -1,0 +1,102 @@
+"""T-CLASSIC — baseline workloads on the configuration-level engines.
+
+Approximate majority and pairwise-elimination leader election are the two
+classic constant-state baselines the paper's introduction positions the
+polylog-time literature against.  This benchmark runs both on the count and
+batched engines via the shared engine selector, recording consensus /
+election times alongside wall-clock throughput so engine regressions on
+*reactive-dense* protocols (where most pairs change state, unlike the
+epidemic endgame) are caught.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.engine.selection import build_engine
+from repro.protocols.leader_election import FiniteStatePairwiseElimination
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
+
+RUNS = 3
+
+
+@pytest.mark.parametrize("engine", ["count", "batched"])
+@pytest.mark.parametrize("population_size", [10_000, 100_000])
+def bench_majority_consensus(benchmark, population_size, engine):
+    """3-state approximate majority to consensus (O(log n) time expected)."""
+    holder = {"times": [], "correct": 0}
+
+    def run_majority():
+        times = []
+        correct = 0
+        for run_index in range(RUNS):
+            simulator = build_engine(
+                engine,
+                ApproximateMajorityProtocol(x_fraction=0.7),
+                population_size,
+                seed=31 + run_index,
+            )
+            times.append(
+                simulator.run_until(
+                    majority_consensus_predicate, max_parallel_time=400.0
+                )
+            )
+            if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
+                correct += 1
+        holder["times"] = times
+        holder["correct"] = correct
+        return times
+
+    benchmark.pedantic(run_majority, rounds=1, iterations=1)
+
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["mean_consensus_time"] = statistics.fmean(holder["times"])
+    benchmark.extra_info["initial_majority_won"] = holder["correct"]
+    # With a 70/30 split the initial majority must win every run.
+    assert holder["correct"] == RUNS
+
+
+@pytest.mark.parametrize("engine", ["count", "batched"])
+@pytest.mark.parametrize("population_size", [2_000, 20_000])
+def bench_leader_election_time(benchmark, population_size, engine):
+    """Pairwise elimination down to <= 8 leaders (the Theta(n) tail excluded).
+
+    The full election needs ``Theta(n)`` parallel time dominated by the last
+    few leaders, where both configuration-level engines step near-exactly;
+    benchmarking to a small candidate count keeps the focus on the
+    high-throughput bulk phase.
+    """
+    target_leaders = 8
+    holder = {"times": []}
+
+    def run_elections():
+        times = []
+        for run_index in range(RUNS):
+            simulator = build_engine(
+                engine,
+                FiniteStatePairwiseElimination(),
+                population_size,
+                seed=7 + run_index,
+            )
+            times.append(
+                simulator.run_until(
+                    lambda sim: sim.count(FiniteStatePairwiseElimination.LEADER)
+                    <= target_leaders,
+                    max_parallel_time=4.0 * population_size,
+                )
+            )
+        holder["times"] = times
+        return times
+
+    benchmark.pedantic(run_elections, rounds=1, iterations=1)
+
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["target_leaders"] = target_leaders
+    benchmark.extra_info["mean_time_to_target"] = statistics.fmean(holder["times"])

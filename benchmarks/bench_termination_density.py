@@ -11,10 +11,17 @@ behaviour.
 
 from __future__ import annotations
 
+import statistics
+
 import pytest
 
 from benchmarks.conftest import TERMINATION_SIZES
-from repro.protocols.leader_election import NonuniformCounterLeaderElection
+from repro.engine.selection import build_engine
+from repro.protocols.leader_election import (
+    FiniteStateCounterTermination,
+    NonuniformCounterLeaderElection,
+    termination_signal_predicate,
+)
 from repro.termination.definitions import TerminationSpec
 from repro.termination.impossibility import termination_time_sweep
 
@@ -56,3 +63,44 @@ def bench_uniform_dense_termination_time(benchmark, population_size):
     # (the counter only needs some agent to have `threshold` interactions).
     assert observation.termination_probability == 1.0
     assert observation.max_time is not None and observation.max_time < 40.0
+
+
+@pytest.mark.parametrize("population_size", [10_000, 100_000, 1_000_000])
+def bench_uniform_dense_termination_batched(benchmark, population_size):
+    """Theorem 4.1 at population sizes only the batched engine can reach.
+
+    The Figure-1 counter protocol has a finite reachable state space
+    (:class:`FiniteStateCounterTermination`), so the batched count engine can
+    measure the first-termination-signal time at ``n`` up to 10^6 — the flat
+    O(1) shape of Theorem 4.1 over three more decades of population size.
+    """
+    holder = {"times": []}
+
+    def run_sweep():
+        times = []
+        for run_index in range(RUNS_PER_SIZE):
+            simulator = build_engine(
+                "batched",
+                FiniteStateCounterTermination(counter_threshold=COUNTER_THRESHOLD),
+                population_size,
+                seed=17 + run_index,
+            )
+            times.append(
+                simulator.run_until(
+                    termination_signal_predicate,
+                    max_parallel_time=40.0,
+                    check_interval=max(population_size // 16, 256),
+                )
+            )
+        holder["times"] = times
+        return times
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    times = holder["times"]
+    benchmark.extra_info["engine"] = "batched"
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["mean_signal_time"] = statistics.fmean(times)
+    benchmark.extra_info["max_signal_time"] = max(times)
+    # The signal time must stay O(1): it does not grow with n.
+    assert max(times) < 40.0

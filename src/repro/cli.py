@@ -16,6 +16,10 @@ Subcommands
     protocol vs a leader-driven protocol.
 ``repro bounds --n 4096``
     Print the paper's claimed probability bounds for a population size.
+``repro simulate --protocol epidemic --n 1000000 --engine batched``
+    Run a classic finite-state protocol to convergence on a selectable
+    engine (agent-level reference, count-based, or batched — see
+    ``DESIGN.md``, Engine selection).
 """
 
 from __future__ import annotations
@@ -30,13 +34,65 @@ from repro.analysis.error_bounds import theorem_3_1_summary
 from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
 from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
 from repro.core.parameters import ProtocolParameters
+from repro.engine.selection import ENGINE_NAMES, build_engine
+from repro.exceptions import ConvergenceError, SimulationError
 from repro.harness.figures import reproduce_figure2
 from repro.harness.reporting import format_key_values, format_table
 from repro.harness.tables import accuracy_table, state_complexity_table
-from repro.protocols.leader_election import NonuniformCounterLeaderElection
+from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
+from repro.protocols.leader_election import (
+    FiniteStateCounterTermination,
+    FiniteStatePairwiseElimination,
+    NonuniformCounterLeaderElection,
+    termination_signal_predicate,
+    unique_leader_predicate,
+)
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
 from repro.termination.definitions import TerminationSpec
 from repro.termination.impossibility import termination_time_sweep
 from repro.workloads.populations import parse_size_list
+
+#: Finite-state workloads runnable by ``repro simulate``: name ->
+#: (protocol factory, convergence predicate, description, default n,
+#: default budget as a function of n).  Polylog-time protocols get a flat
+#: time allowance at a large default population; pairwise-elimination
+#: leader election needs ``Theta(n)`` parallel time (``Theta(n^2)``
+#: interactions) to reach a single leader, so its defaults are a smaller
+#: population with a ``4n`` budget — the default invocation of every
+#: workload converges in seconds.
+SIMULATE_PROTOCOLS = {
+    "epidemic": (
+        lambda: EpidemicProtocol(),
+        epidemic_completion_predicate,
+        "one-way epidemic until the whole population is infected",
+        100_000,
+        lambda n: 200.0,
+    ),
+    "majority": (
+        lambda: ApproximateMajorityProtocol(),
+        majority_consensus_predicate,
+        "3-state approximate majority until consensus",
+        100_000,
+        lambda n: 200.0,
+    ),
+    "leader": (
+        lambda: FiniteStatePairwiseElimination(),
+        unique_leader_predicate,
+        "pairwise-elimination leader election until one leader remains",
+        2_000,
+        lambda n: 4.0 * n,
+    ),
+    "termination": (
+        lambda: FiniteStateCounterTermination(counter_threshold=8),
+        termination_signal_predicate,
+        "Figure-1 counter protocol until the first termination signal",
+        100_000,
+        lambda n: 200.0,
+    ),
+}
 
 
 def _parameters_from_args(args: argparse.Namespace) -> ProtocolParameters:
@@ -166,6 +222,50 @@ def _cmd_termination(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    factory, predicate, description, default_n, default_budget = SIMULATE_PROTOCOLS[
+        args.protocol
+    ]
+    protocol = factory()
+    population_size = args.n if args.n is not None else default_n
+    max_time = (
+        args.max_time if args.max_time is not None else default_budget(population_size)
+    )
+    engine_options = {}
+    if args.batch_size is not None:
+        engine_options["batch_size"] = args.batch_size
+    try:
+        simulator = build_engine(
+            args.engine, protocol, population_size, seed=args.seed, **engine_options
+        )
+    except SimulationError as error:
+        print(f"repro simulate: error: {error}", file=sys.stderr)
+        return 2
+    print(f"{protocol.describe()} on the {args.engine} engine: {description}")
+    converged = True
+    convergence_time = None
+    try:
+        convergence_time = simulator.run_until(
+            predicate, max_parallel_time=max_time
+        )
+    except ConvergenceError:
+        converged = False
+    summary = {
+        "population_size": population_size,
+        "engine": args.engine,
+        "converged": converged,
+        "convergence_parallel_time": convergence_time,
+        "interactions": simulator.interactions,
+        "distinct_states_present": len(simulator.configuration()),
+    }
+    for output, count in sorted(
+        simulator.outputs().items(), key=lambda item: repr(item[0])
+    ):
+        summary[f"output[{output!r}]"] = count
+    print(format_key_values(summary))
+    return 0 if converged else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     summary = theorem_3_1_summary(args.n)
     if args.json:
@@ -230,6 +330,39 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--n", type=int, default=4096)
     bounds.add_argument("--json", action="store_true")
     bounds.set_defaults(handler=_cmd_bounds)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a finite-state protocol on a selectable engine"
+    )
+    simulate.add_argument(
+        "--protocol",
+        choices=sorted(SIMULATE_PROTOCOLS),
+        default="epidemic",
+        help="which finite-state workload to run",
+    )
+    simulate.add_argument(
+        "--n", type=int, default=None,
+        help="population size (default: 100000; 2000 for leader election, "
+        "which needs Theta(n^2) interactions)",
+    )
+    simulate.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default="batched",
+        help="simulation engine (agent: exact reference; count: per-interaction "
+        "counts; batched: multinomial batches, fastest at large n)",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--max-time", type=float, default=None,
+        help="parallel-time budget before the run counts as non-converged "
+        "(default: 200 for polylog-time protocols, 4n for leader election)",
+    )
+    simulate.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
 
     return parser
 

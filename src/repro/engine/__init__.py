@@ -15,6 +15,15 @@ Two engines are provided:
   populations, and it is the representation the termination analysis
   operates on.
 
+* :class:`repro.engine.batched_simulator.BatchedCountSimulator` — the
+  *batched* configuration-level engine.  It compiles the protocol into dense
+  transition tables and advances ``~sqrt(n)`` interactions per numpy
+  multinomial draw (with an exact sequential fallback at small counts),
+  which is the fastest option for finite-state protocols at ``n >= 10^5``.
+
+:func:`repro.engine.selection.build_engine` constructs any of the three
+behind a shared count-level interface; see ``DESIGN.md`` (Engine selection).
+
 Supporting pieces: the interaction schedulers
 (:mod:`repro.engine.scheduler`), configuration multisets
 (:mod:`repro.engine.configuration`), convergence detectors
@@ -23,6 +32,7 @@ Supporting pieces: the interaction schedulers
 execution traces (:mod:`repro.engine.trace`).
 """
 
+from repro.engine.batched_simulator import BatchedCountSimulator
 from repro.engine.configuration import Configuration
 from repro.engine.convergence import (
     ConvergenceDetector,
@@ -32,6 +42,12 @@ from repro.engine.convergence import (
 )
 from repro.engine.count_simulator import CountSimulator
 from repro.engine.events import EventLog, InteractionEvent, PeriodicProbe
+from repro.engine.running import CountTracePoint
+from repro.engine.selection import (
+    ENGINE_NAMES,
+    CountingSimulationAdapter,
+    build_engine,
+)
 from repro.engine.metrics import SimulationMetrics, StateUsageTracker
 from repro.engine.scheduler import (
     InteractionScheduler,
@@ -42,7 +58,12 @@ from repro.engine.simulator import Simulation, SimulationReport
 from repro.engine.trace import ExecutionTrace, TraceRecorder
 
 __all__ = [
+    "BatchedCountSimulator",
     "Configuration",
+    "CountTracePoint",
+    "CountingSimulationAdapter",
+    "ENGINE_NAMES",
+    "build_engine",
     "ConvergenceDetector",
     "all_agents_satisfy",
     "output_within_tolerance",

@@ -8,10 +8,14 @@ by the count of each state, so a simulation step only needs to
    for ordered pairs of the same state), and
 2. move one agent from each input state to the corresponding output state.
 
-This keeps memory at ``O(|states|)`` and each step at ``O(|states|)`` instead
-of ``O(n)``, which is what lets the epidemic, majority, leader-election and
-exact-counting baselines — and the dense-configuration termination
-experiments — run at populations of 10^5–10^7 in pure Python.
+This keeps memory at ``O(|states|)`` and each step at amortised
+``O(log |states|)`` (cumulative sampling weights are cached and rebuilt only
+after a count actually changes) instead of ``O(n)``, which is what lets the
+epidemic, majority, leader-election and exact-counting baselines — and the
+dense-configuration termination experiments — run at populations of 10^5–10^7
+in pure Python.  For still larger populations, or many repeated runs, prefer
+the batched engine
+(:class:`repro.engine.batched_simulator.BatchedCountSimulator`).
 
 The semantics match the sequential agent-level engine exactly: the same
 uniform-random ordered-pair scheduler, just expressed over counts.
@@ -19,24 +23,22 @@ uniform-random ordered-pair scheduler, just expressed over counts.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter
-from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.engine.configuration import Configuration
-from repro.exceptions import ConvergenceError, SimulationError
+from repro.engine.running import (
+    CountTracePoint,
+    run_until_predicate,
+    run_with_trace,
+)
+from repro.exceptions import SimulationError
 from repro.protocols.base import FiniteStateProtocol
 from repro.rng import RandomSource
 from repro.types import interactions_for_time
 
-
-@dataclass
-class CountTracePoint:
-    """One sampled configuration of a count-level run."""
-
-    interaction: int
-    parallel_time: float
-    configuration: Configuration
+__all__ = ["CountSimulator", "CountTracePoint"]
 
 
 class CountSimulator:
@@ -84,6 +86,13 @@ class CountSimulator:
             )
         self.interactions = 0
         self._states_seen: set[Hashable] = set(self._counts)
+        # Cached cumulative weights for state sampling; rebuilt lazily after
+        # any count change (null transitions, the common case at large n,
+        # leave the cache valid).
+        self._cum_states: list[Hashable] = []
+        self._cum_weights: list[int] = []
+        self._cum_prefix: dict[Hashable, int] = {}
+        self._cum_dirty = True
 
     # -- inspection -------------------------------------------------------------
 
@@ -129,21 +138,45 @@ class CountSimulator:
         sender_state = self._sample_state_weighted(exclude=receiver_state)
         return receiver_state, sender_state
 
+    def _rebuild_cumulative(self) -> None:
+        """Rebuild the cached cumulative-weight arrays from the counts."""
+        states: list[Hashable] = []
+        weights: list[int] = []
+        prefix: dict[Hashable, int] = {}
+        total = 0
+        for state, count in self._counts.items():
+            prefix[state] = total
+            total += count
+            states.append(state)
+            weights.append(total)
+        self._cum_states = states
+        self._cum_weights = weights
+        self._cum_prefix = prefix
+        self._cum_dirty = False
+
     def _sample_state_weighted(self, exclude: Hashable | None) -> Hashable:
         """Sample a state with probability proportional to its count.
 
         When ``exclude`` is given, one agent of that state is set aside (it is
         the already-chosen receiver), so its weight is reduced by one.
+
+        Uses cached cumulative weights and binary search, equivalent
+        draw-for-draw to the original linear scan (thresholds at or past the
+        excluded agent's slot are shifted up by one, which is exactly a scan
+        with the excluded state's weight reduced by one).
         """
-        total = self.population_size if exclude is None else self.population_size - 1
-        threshold = self.rng.randrange(total)
-        cumulative = 0
-        for state, count in self._counts.items():
-            weight = count - 1 if state == exclude else count
-            cumulative += weight
-            if threshold < cumulative:
-                return state
-        raise SimulationError("state sampling failed; counts are inconsistent")
+        if self._cum_dirty:
+            self._rebuild_cumulative()
+        if exclude is None:
+            threshold = self.rng.randrange(self.population_size)
+        else:
+            threshold = self.rng.randrange(self.population_size - 1)
+            if threshold >= self._cum_prefix[exclude] + self._counts[exclude] - 1:
+                threshold += 1
+        position = bisect_right(self._cum_weights, threshold)
+        if position >= len(self._cum_states):
+            raise SimulationError("state sampling failed; counts are inconsistent")
+        return self._cum_states[position]
 
     def step(self) -> None:
         """Execute one interaction."""
@@ -173,6 +206,7 @@ class CountSimulator:
         for state in (receiver_state, sender_state):
             if self._counts[state] == 0:
                 del self._counts[state]
+        self._cum_dirty = True
 
     def run_interactions(self, count: int) -> None:
         """Execute exactly ``count`` additional interactions."""
@@ -198,54 +232,18 @@ class CountSimulator:
         ConvergenceError
             If the predicate does not hold within ``max_parallel_time``.
         """
-        interval = check_interval if check_interval is not None else self.population_size
-        if interval <= 0:
-            raise SimulationError("check_interval must be positive")
-        budget = interactions_for_time(max_parallel_time, self.population_size)
-        executed = 0
-        if predicate(self):
-            return self.parallel_time
-        while executed < budget:
-            chunk = min(interval, budget - executed)
-            self.run_interactions(chunk)
-            executed += chunk
-            if predicate(self):
-                return self.parallel_time
-        raise ConvergenceError(
-            f"predicate did not hold within {max_parallel_time} units of parallel time "
-            f"(n={self.population_size})"
-        )
+        return run_until_predicate(self, predicate, max_parallel_time, check_interval)
 
     def run_with_trace(
         self, total_parallel_time: float, samples: int
     ) -> list[CountTracePoint]:
-        """Run for ``total_parallel_time`` and return ``samples`` evenly spaced snapshots.
+        """Run for ``total_parallel_time``; return evenly spaced snapshots.
 
-        The initial configuration is always included as the first point.
+        See :func:`repro.engine.running.run_with_trace`: the initial
+        configuration plus exactly ``samples`` checkpoints at the exact
+        boundaries of :func:`repro.types.snapshot_boundaries` whenever the
+        run is at least ``samples`` interactions long (chunking by
+        ``total // samples``, as this method once did, could return far more
+        or fewer snapshots than requested).
         """
-        if samples < 1:
-            raise SimulationError("samples must be at least 1")
-        total_interactions = interactions_for_time(
-            total_parallel_time, self.population_size
-        )
-        chunk = max(1, total_interactions // samples)
-        trace = [
-            CountTracePoint(
-                interaction=self.interactions,
-                parallel_time=self.parallel_time,
-                configuration=self.configuration(),
-            )
-        ]
-        executed = 0
-        while executed < total_interactions:
-            step = min(chunk, total_interactions - executed)
-            self.run_interactions(step)
-            executed += step
-            trace.append(
-                CountTracePoint(
-                    interaction=self.interactions,
-                    parallel_time=self.parallel_time,
-                    configuration=self.configuration(),
-                )
-            )
-        return trace
+        return run_with_trace(self, total_parallel_time, samples)

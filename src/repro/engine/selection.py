@@ -1,0 +1,199 @@
+"""Engine selection for configuration-level experiments.
+
+Three engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
+
+``"agent"``
+    The reference agent-level :class:`~repro.engine.simulator.Simulation`
+    (via :meth:`FiniteStateProtocol.as_agent_protocol`) — exact paper
+    semantics, ``O(n)`` memory, slowest; use it for small ``n`` and for
+    cross-validating the other engines.
+``"count"``
+    :class:`~repro.engine.count_simulator.CountSimulator` — ``O(|states|)``
+    memory, one Python step per interaction.
+``"batched"``
+    :class:`~repro.engine.batched_simulator.BatchedCountSimulator` —
+    multinomial batches of ``~sqrt(n)`` interactions over compiled transition
+    tables; the fastest for ``n >= 10^5``.
+
+:func:`build_engine` hides the choice behind one constructor, and
+:class:`CountingSimulationAdapter` gives the agent engine the same
+count-level interface (``count`` / ``configuration`` / ``run_until`` /
+``run_with_trace``) as the other two, so harness code, the CLI and the
+benchmarks can treat the engine as a string parameter.  See ``DESIGN.md``
+(Engine selection) for guidance on which engine fits which experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Union
+
+from repro.engine.batched_simulator import BatchedCountSimulator
+from repro.engine.configuration import Configuration
+from repro.engine.count_simulator import CountSimulator
+from repro.engine.running import (
+    CountTracePoint,
+    run_until_predicate,
+    run_with_trace,
+)
+from repro.engine.simulator import Simulation
+from repro.exceptions import SimulationError
+from repro.protocols.base import FiniteStateProtocol
+
+__all__ = [
+    "ENGINE_NAMES",
+    "CountingSimulationAdapter",
+    "build_engine",
+]
+
+#: The engine identifiers accepted by :func:`build_engine` (and the CLI).
+ENGINE_NAMES = ("agent", "count", "batched")
+
+CountLevelEngine = Union["CountingSimulationAdapter", CountSimulator, BatchedCountSimulator]
+
+
+class CountingSimulationAdapter:
+    """Run a finite-state protocol on the agent engine behind the count API.
+
+    Wraps a :class:`Simulation` over ``protocol.as_agent_protocol()`` and
+    exposes the configuration-level interface shared by
+    :class:`CountSimulator` and :class:`BatchedCountSimulator`, so
+    engine-generic code (predicates written against ``.count(state)``,
+    tracing, ``run_until``) works unchanged.  Count queries are ``O(n)`` —
+    acceptable at the small populations where the agent engine is the right
+    choice anyway.
+    """
+
+    def __init__(
+        self,
+        protocol: FiniteStateProtocol,
+        population_size: int,
+        seed: int | None = None,
+        initial_configuration: Configuration | None = None,
+    ) -> None:
+        self.protocol = protocol
+        self.population_size = population_size
+        initial_states = None
+        if initial_configuration is not None:
+            if initial_configuration.size != population_size:
+                raise SimulationError(
+                    f"initial configuration has size {initial_configuration.size}, "
+                    f"expected {population_size}"
+                )
+            initial_states = [
+                state
+                for state, count in sorted(
+                    initial_configuration.items(), key=lambda item: repr(item[0])
+                )
+                for _ in range(count)
+            ]
+        self.simulation = Simulation(
+            protocol=protocol.as_agent_protocol(),
+            population_size=population_size,
+            seed=seed,
+            initial_states=initial_states,
+        )
+
+    @property
+    def interactions(self) -> int:
+        """Interactions executed so far."""
+        return self.simulation.metrics.interactions
+
+    @property
+    def parallel_time(self) -> float:
+        """Parallel time elapsed so far."""
+        return self.simulation.metrics.parallel_time
+
+    def configuration(self) -> Configuration:
+        """Return the current configuration multiset."""
+        return self.simulation.configuration()
+
+    def count(self, state: Hashable) -> int:
+        """Return the number of agents currently in ``state``."""
+        return self.simulation.count_where(lambda current: current == state)
+
+    def outputs(self) -> Counter:
+        """Histogram of outputs over the population."""
+        return Counter(self.simulation.outputs())
+
+    def run_interactions(self, count: int) -> None:
+        """Execute exactly ``count`` additional interactions."""
+        self.simulation.run_interactions(count)
+
+    def run_parallel_time(self, time: float) -> None:
+        """Execute (at least) ``time`` additional units of parallel time."""
+        self.simulation.run_parallel_time(time)
+
+    def run_until(
+        self,
+        predicate: Callable[["CountingSimulationAdapter"], bool],
+        max_parallel_time: float,
+        check_interval: int | None = None,
+    ) -> float:
+        """Run until ``predicate(self)`` holds; return the parallel time reached."""
+        return run_until_predicate(self, predicate, max_parallel_time, check_interval)
+
+    def run_with_trace(
+        self, total_parallel_time: float, samples: int
+    ) -> list[CountTracePoint]:
+        """Run for ``total_parallel_time``; return evenly spaced snapshots."""
+        return run_with_trace(self, total_parallel_time, samples)
+
+
+def build_engine(
+    engine: str,
+    protocol: FiniteStateProtocol,
+    population_size: int,
+    seed: int | None = None,
+    initial_configuration: Configuration | None = None,
+    **engine_options,
+) -> CountLevelEngine:
+    """Construct the requested engine for ``protocol`` at ``population_size``.
+
+    Parameters
+    ----------
+    engine:
+        One of :data:`ENGINE_NAMES` (``"agent"``, ``"count"``, ``"batched"``).
+    engine_options:
+        Extra keyword arguments forwarded to the engine constructor (only the
+        batched engine takes any: ``batch_size``, ``small_count_threshold``).
+
+    Raises
+    ------
+    SimulationError
+        For an unknown engine name, or options the engine does not accept.
+    """
+    if engine == "agent":
+        if engine_options:
+            raise SimulationError(
+                f"the agent engine accepts no extra options, got {sorted(engine_options)}"
+            )
+        return CountingSimulationAdapter(
+            protocol, population_size, seed=seed,
+            initial_configuration=initial_configuration,
+        )
+    if engine == "count":
+        if engine_options:
+            raise SimulationError(
+                f"the count engine accepts no extra options, got {sorted(engine_options)}"
+            )
+        return CountSimulator(
+            protocol, population_size, seed=seed,
+            initial_configuration=initial_configuration,
+        )
+    if engine == "batched":
+        allowed = {"batch_size", "small_count_threshold"}
+        unknown = set(engine_options) - allowed
+        if unknown:
+            raise SimulationError(
+                f"the batched engine does not accept options {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return BatchedCountSimulator(
+            protocol, population_size, seed=seed,
+            initial_configuration=initial_configuration,
+            **engine_options,
+        )
+    raise SimulationError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
+    )

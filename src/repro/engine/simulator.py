@@ -164,8 +164,13 @@ class Simulation:
 
     # -- stepping ----------------------------------------------------------------
 
-    def step(self) -> InteractionEvent:
-        """Execute a single interaction and return its event record."""
+    def _step_core(self) -> tuple[int, int, Any, Any, Any, Any]:
+        """Advance one interaction; return the raw before/after facts.
+
+        Shared by :meth:`step` (which wraps the facts in an
+        :class:`InteractionEvent`) and the event-free fast path of
+        :meth:`run_interactions`.
+        """
         pair = self.scheduler.next_pair()
         receiver_id, sender_id = pair.receiver, pair.sender
         receiver_before = self.states[receiver_id]
@@ -182,6 +187,25 @@ class Simulation:
                 self.protocol.state_signature(receiver_after)
             )
             self.metrics.state_usage.observe(self.protocol.state_signature(sender_after))
+        return (
+            receiver_id,
+            sender_id,
+            receiver_before,
+            sender_before,
+            receiver_after,
+            sender_after,
+        )
+
+    def step(self) -> InteractionEvent:
+        """Execute a single interaction and return its event record."""
+        (
+            receiver_id,
+            sender_id,
+            receiver_before,
+            sender_before,
+            receiver_after,
+            sender_after,
+        ) = self._step_core()
         event = InteractionEvent(
             index=self.metrics.interactions,
             receiver=receiver_id,
@@ -198,11 +222,23 @@ class Simulation:
         return event
 
     def run_interactions(self, count: int) -> None:
-        """Execute exactly ``count`` additional interactions."""
+        """Execute exactly ``count`` additional interactions.
+
+        When no event log is attached, interactions are driven through an
+        event-free fast path: building an :class:`InteractionEvent` per step
+        only to drop it costs a measurable fraction of the per-interaction
+        budget at large interaction counts.
+        """
         if count < 0:
             raise SimulationError(f"interaction count must be non-negative, got {count}")
+        if self.event_log is not None:
+            for _ in range(count):
+                self.step()
+            return
         for _ in range(count):
-            self.step()
+            self._step_core()
+            if self._probes:
+                self._fire_probes()
 
     def run_parallel_time(self, time: float) -> None:
         """Execute (at least) ``time`` additional units of parallel time."""

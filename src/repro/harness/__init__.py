@@ -22,6 +22,7 @@ from repro.harness.results import (
 from repro.harness.experiment import (
     ExperimentSpec,
     run_array_experiment,
+    run_finite_state_experiment,
     run_sequential_experiment,
 )
 from repro.harness.figures import Figure2Point, Figure2Result, reproduce_figure2
@@ -39,6 +40,7 @@ __all__ = [
     "summarize",
     "ExperimentSpec",
     "run_array_experiment",
+    "run_finite_state_experiment",
     "run_sequential_experiment",
     "Figure2Point",
     "Figure2Result",

@@ -1,6 +1,6 @@
-"""Repeatable experiment runners for the size-estimation protocol.
+"""Repeatable experiment runners.
 
-Two runners are provided, one per engine:
+For the size-estimation protocol, two runners are provided, one per engine:
 
 * :func:`run_sequential_experiment` — the agent-level engine (exact paper
   scheduler), used for small populations and for cross-validating the
@@ -9,15 +9,21 @@ Two runners are provided, one per engine:
   (:class:`~repro.core.array_simulator.ArrayLogSizeSimulator`), used for the
   Figure 2 sweep at larger populations.
 
-Both return :class:`~repro.harness.results.RunRecord` lists so downstream
-figure/table builders do not care which engine produced the data.
+For classic finite-state workloads (epidemic, majority, leader election,
+counter termination), :func:`run_finite_state_experiment` sweeps any
+:class:`~repro.protocols.base.FiniteStateProtocol` over population sizes on a
+selectable engine (``"agent"``, ``"count"`` or ``"batched"`` — see
+:func:`repro.engine.selection.build_engine`).
+
+All runners return :class:`~repro.harness.results.RunRecord` lists so
+downstream figure/table builders do not care which engine produced the data.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
 from repro.core.log_size_estimation import (
@@ -26,9 +32,11 @@ from repro.core.log_size_estimation import (
     estimate_error,
 )
 from repro.core.parameters import ProtocolParameters
+from repro.engine.selection import build_engine
 from repro.engine.simulator import Simulation
 from repro.exceptions import ConvergenceError
 from repro.harness.results import RunRecord, SweepResult
+from repro.protocols.base import FiniteStateProtocol
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,80 @@ def run_array_experiment(spec: ExperimentSpec, name: str = "figure2-array") -> S
                         "interactions": outcome.interactions,
                         "distinct_state_bound": outcome.distinct_state_bound,
                         "final_estimate_mean": outcome.final_estimate_mean,
+                    },
+                )
+            )
+    return result
+
+
+def run_finite_state_experiment(
+    protocol_factory: Callable[[], FiniteStateProtocol],
+    predicate: Callable,
+    population_sizes: Sequence[int],
+    runs_per_size: int = 3,
+    max_parallel_time: float = 100.0,
+    engine: str = "count",
+    base_seed: int = 0,
+    name: str | None = None,
+    check_interval: int | None = None,
+    **engine_options,
+) -> SweepResult:
+    """Sweep a finite-state protocol over population sizes on one engine.
+
+    Parameters
+    ----------
+    protocol_factory:
+        Zero-argument callable building a fresh protocol per run.
+    predicate:
+        Convergence predicate evaluated against the engine (all engines share
+        the count-level interface, so ``lambda sim: sim.count("S") == 0``
+        works on every engine).
+    engine:
+        One of :data:`repro.engine.selection.ENGINE_NAMES`.
+    engine_options:
+        Forwarded to :func:`repro.engine.selection.build_engine` (e.g.
+        ``batch_size`` for the batched engine).
+
+    Returns
+    -------
+    SweepResult
+        One :class:`RunRecord` per run; ``extra`` carries the engine name,
+        interactions executed and the final output histogram.
+    """
+    result = SweepResult(name=name or f"finite-state-{engine}")
+    for size_index, population_size in enumerate(population_sizes):
+        for run_index in range(runs_per_size):
+            seed = base_seed + 1000 * size_index + run_index
+            simulator = build_engine(
+                engine,
+                protocol_factory(),
+                population_size,
+                seed=seed,
+                **engine_options,
+            )
+            converged = True
+            convergence_time: float | None = None
+            try:
+                convergence_time = simulator.run_until(
+                    predicate,
+                    max_parallel_time=max_parallel_time,
+                    check_interval=check_interval,
+                )
+            except ConvergenceError:
+                converged = False
+            result.add(
+                RunRecord(
+                    population_size=population_size,
+                    seed=seed,
+                    converged=converged,
+                    convergence_time=convergence_time,
+                    extra={
+                        "engine": engine,
+                        "interactions": simulator.interactions,
+                        "outputs": {
+                            str(output): count
+                            for output, count in simulator.outputs().items()
+                        },
                     },
                 )
             )

@@ -21,9 +21,12 @@ from repro.protocols.base import (
     ProtocolOutput,
     RandomizedTransition,
 )
+from repro.protocols.compiled import CompiledTransitionTable, compile_transition_table
 from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
 from repro.protocols.max_propagation import MaxPropagationProtocol
 from repro.protocols.leader_election import (
+    FiniteStateCounterTermination,
+    FiniteStatePairwiseElimination,
     NonuniformCounterLeaderElection,
     PairwiseEliminationLeaderElection,
 )
@@ -37,9 +40,13 @@ __all__ = [
     "FiniteStateProtocol",
     "ProtocolOutput",
     "RandomizedTransition",
+    "CompiledTransitionTable",
+    "compile_transition_table",
     "EpidemicProtocol",
     "EpidemicState",
     "MaxPropagationProtocol",
+    "FiniteStateCounterTermination",
+    "FiniteStatePairwiseElimination",
     "NonuniformCounterLeaderElection",
     "PairwiseEliminationLeaderElection",
     "ApproximateMajorityProtocol",

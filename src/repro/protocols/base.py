@@ -195,6 +195,17 @@ class FiniteStateProtocol(ABC):
         """Lift this protocol to the agent-level interface."""
         return FiniteStateAgentAdapter(self)
 
+    def compiled(self):
+        """Compile this protocol into dense integer transition tables.
+
+        Returns a :class:`repro.protocols.compiled.CompiledTransitionTable`,
+        the representation consumed by the batched configuration-level engine
+        (:class:`repro.engine.batched_simulator.BatchedCountSimulator`).
+        """
+        from repro.protocols.compiled import compile_transition_table
+
+        return compile_transition_table(self)
+
     def describe(self) -> str:
         """One-line human-readable description."""
         return f"{type(self).__name__} ({len(list(self.states()))} states)"

@@ -1,0 +1,202 @@
+"""Compilation of finite-state protocols into dense integer transition tables.
+
+The configuration-level engines only ever see a :class:`FiniteStateProtocol`
+through its ``transitions(receiver, sender)`` method, which is a Python call
+returning freshly inspected :class:`RandomizedTransition` objects.  That is
+fine for a per-interaction engine, but the batched engine
+(:class:`repro.engine.batched_simulator.BatchedCountSimulator`) needs to ask
+"what happens to the ordered state pair ``(i, j)``" millions of times per
+second and to feed outcome distributions straight into numpy multinomial
+draws.
+
+:func:`compile_transition_table` therefore flattens a protocol once, up
+front, into index space:
+
+* states are numbered ``0 .. S-1`` in the order reported by
+  :meth:`FiniteStateProtocol.states`,
+* for every ordered pair ``(i, j)`` the explicit (non-identity) outcomes are
+  stored in three dense ``(S, S, K)`` arrays (receiver output index, sender
+  output index, probability), where ``K`` is the maximum number of outcomes
+  of any pair, and
+* the *residual* probability mass of each pair — transitions the protocol
+  leaves unspecified plus outcomes that map the pair to itself — is folded
+  into a ``(S, S)`` ``null_probability`` array.
+
+The compiled table is immutable and engine-agnostic: the batched engine uses
+the arrays directly, while the sequential fallback inside a batch uses the
+same arrays one pair at a time, so both paths sample from exactly the same
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import FiniteStateProtocol, RandomizedTransition
+
+__all__ = ["CompiledTransitionTable", "compile_transition_table"]
+
+#: Probability below which an outcome is treated as absent (guards against
+#: float dust when folding duplicate outcomes).
+_PROBABILITY_EPSILON = 1e-15
+
+
+@dataclass(frozen=True)
+class CompiledTransitionTable:
+    """A finite-state protocol flattened into index space.
+
+    Attributes
+    ----------
+    states:
+        The state set, in index order (``states[i]`` has index ``i``).
+    index:
+        Inverse mapping ``state -> index``.
+    outcome_receiver / outcome_sender:
+        ``(S, S, K)`` integer arrays; entry ``[i, j, k]`` is the receiver /
+        sender output state index of the ``k``-th explicit outcome of the
+        ordered input pair ``(i, j)``.  Entries beyond ``outcome_count[i, j]``
+        are padding (zero).
+    outcome_probability:
+        ``(S, S, K)`` float array of the corresponding probabilities.
+    outcome_count:
+        ``(S, S)`` integer array: number of explicit (state-changing)
+        outcomes of each ordered pair.
+    null_probability:
+        ``(S, S)`` float array: residual probability that the pair is left
+        unchanged (unspecified mass plus explicit identity outcomes).
+    is_null:
+        ``(S, S)`` boolean array: ``True`` where the pair is a pure null
+        transition (``outcome_count == 0``).
+    """
+
+    states: tuple[Hashable, ...]
+    index: Mapping[Hashable, int]
+    outcome_receiver: np.ndarray
+    outcome_sender: np.ndarray
+    outcome_probability: np.ndarray
+    outcome_count: np.ndarray
+    null_probability: np.ndarray
+    is_null: np.ndarray = field(repr=False)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``S``."""
+        return len(self.states)
+
+    @property
+    def max_outcomes(self) -> int:
+        """Maximum number of explicit outcomes over all ordered pairs ``K``."""
+        return int(self.outcome_probability.shape[2])
+
+    def outcomes(self, receiver: Hashable, sender: Hashable) -> tuple[RandomizedTransition, ...]:
+        """Reconstruct the explicit outcomes of one ordered state pair.
+
+        Convenience for tests and debugging; engines use the arrays directly.
+        """
+        i = self.index[receiver]
+        j = self.index[sender]
+        count = int(self.outcome_count[i, j])
+        return tuple(
+            RandomizedTransition(
+                receiver_out=self.states[int(self.outcome_receiver[i, j, k])],
+                sender_out=self.states[int(self.outcome_sender[i, j, k])],
+                probability=float(self.outcome_probability[i, j, k]),
+            )
+            for k in range(count)
+        )
+
+    def reactive_pair_count(self) -> int:
+        """Number of ordered pairs with at least one state-changing outcome."""
+        return int(np.count_nonzero(~self.is_null))
+
+
+def compile_transition_table(protocol: FiniteStateProtocol) -> CompiledTransitionTable:
+    """Flatten ``protocol`` into a :class:`CompiledTransitionTable`.
+
+    Identity outcomes (``(a, b) -> (a, b)``) and unspecified mass are folded
+    into the null probability of the pair; duplicate outcomes are merged by
+    summing their probabilities.
+
+    Raises
+    ------
+    ProtocolError
+        If the protocol reports duplicate states, a transition produces a
+        state outside the declared state set, or the probabilities of some
+        ordered pair sum to more than 1.
+    """
+    states = tuple(protocol.states())
+    if not states:
+        raise ProtocolError(f"{protocol.describe()} declares an empty state set")
+    if len(set(states)) != len(states):
+        raise ProtocolError(f"{protocol.describe()} declares duplicate states")
+    index = {state: position for position, state in enumerate(states)}
+    size = len(states)
+
+    # First pass: gather merged explicit outcomes per ordered pair.
+    per_pair: dict[tuple[int, int], dict[tuple[int, int], float]] = {}
+    max_outcomes = 0
+    for i, a in enumerate(states):
+        for j, b in enumerate(states):
+            merged: dict[tuple[int, int], float] = {}
+            total = 0.0
+            for outcome in protocol.transitions(a, b):
+                total += outcome.probability
+                if (outcome.receiver_out, outcome.sender_out) == (a, b):
+                    continue  # identity outcome: folded into the null mass
+                try:
+                    r_out = index[outcome.receiver_out]
+                    s_out = index[outcome.sender_out]
+                except KeyError as error:
+                    raise ProtocolError(
+                        f"transition ({a!r}, {b!r}) produces state {error.args[0]!r} "
+                        f"outside the declared state set"
+                    ) from None
+                merged[(r_out, s_out)] = merged.get((r_out, s_out), 0.0) + outcome.probability
+            if total > 1.0 + 1e-9:
+                raise ProtocolError(
+                    f"transition probabilities for ({a!r}, {b!r}) sum to {total} > 1"
+                )
+            cleaned = {
+                key: probability
+                for key, probability in merged.items()
+                if probability > _PROBABILITY_EPSILON
+            }
+            if cleaned:
+                per_pair[(i, j)] = cleaned
+                max_outcomes = max(max_outcomes, len(cleaned))
+
+    width = max(max_outcomes, 1)
+    outcome_receiver = np.zeros((size, size, width), dtype=np.int64)
+    outcome_sender = np.zeros((size, size, width), dtype=np.int64)
+    outcome_probability = np.zeros((size, size, width), dtype=np.float64)
+    outcome_count = np.zeros((size, size), dtype=np.int64)
+    null_probability = np.ones((size, size), dtype=np.float64)
+
+    for (i, j), merged in per_pair.items():
+        for position, ((r_out, s_out), probability) in enumerate(sorted(merged.items())):
+            outcome_receiver[i, j, position] = r_out
+            outcome_sender[i, j, position] = s_out
+            outcome_probability[i, j, position] = probability
+        outcome_count[i, j] = len(merged)
+        null_probability[i, j] = max(0.0, 1.0 - sum(merged.values()))
+
+    for array in (outcome_receiver, outcome_sender, outcome_probability,
+                  outcome_count, null_probability):
+        array.setflags(write=False)
+    is_null = outcome_count == 0
+    is_null.setflags(write=False)
+
+    return CompiledTransitionTable(
+        states=states,
+        index=index,
+        outcome_receiver=outcome_receiver,
+        outcome_sender=outcome_sender,
+        outcome_probability=outcome_probability,
+        outcome_count=outcome_count,
+        null_probability=null_probability,
+        is_null=is_null,
+    )

@@ -31,10 +31,14 @@ guarantees (it mirrors the simplified fragment shown in the paper's Figure 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.exceptions import ProtocolError
-from repro.protocols.base import AgentProtocol
+from repro.protocols.base import (
+    AgentProtocol,
+    FiniteStateProtocol,
+    RandomizedTransition,
+)
 from repro.rng import RandomSource
 
 
@@ -64,6 +68,47 @@ class PairwiseEliminationLeaderElection(AgentProtocol[str]):
 
     def describe(self) -> str:
         return "PairwiseEliminationLeaderElection"
+
+
+class FiniteStatePairwiseElimination(FiniteStateProtocol):
+    """Configuration-level view of pairwise-elimination leader election.
+
+    The same ``L, L -> L, F`` dynamics as
+    :class:`PairwiseEliminationLeaderElection`, expressed as a two-state
+    :class:`FiniteStateProtocol` so the count-based and batched engines can
+    run it at populations far beyond the agent engine's reach.
+    """
+
+    is_uniform = True
+    LEADER = "L"
+    FOLLOWER = "F"
+
+    def states(self) -> Sequence[Hashable]:
+        return (self.LEADER, self.FOLLOWER)
+
+    def initial_state(self, agent_id: int) -> Hashable:
+        return self.LEADER
+
+    def transitions(
+        self, receiver: Hashable, sender: Hashable
+    ) -> Sequence[RandomizedTransition]:
+        if receiver == self.LEADER and sender == self.LEADER:
+            return (
+                RandomizedTransition(receiver_out=self.LEADER, sender_out=self.FOLLOWER),
+            )
+        return ()
+
+    def output(self, state: Hashable) -> bool:
+        """``True`` iff the agent currently believes it is the leader."""
+        return state == self.LEADER
+
+    def describe(self) -> str:
+        return "FiniteStatePairwiseElimination"
+
+
+def unique_leader_predicate(simulator) -> bool:
+    """Predicate for ``run_until``: exactly one leader candidate remains."""
+    return simulator.count(FiniteStatePairwiseElimination.LEADER) == 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -169,3 +214,75 @@ class NonuniformCounterLeaderElection(AgentProtocol[CounterLeaderState]):
             f"NonuniformCounterLeaderElection(threshold={self.counter_threshold}, "
             f"eliminate={self.eliminate_on_meeting})"
         )
+
+
+class FiniteStateCounterTermination(FiniteStateProtocol):
+    """Configuration-level view of the Figure-1 counter protocol.
+
+    The agent-level :class:`NonuniformCounterLeaderElection` has a *finite*
+    reachable state space — ``(candidate, counter <= threshold, terminated)``
+    — so for a fixed threshold it can be enumerated and run on the count-based
+    and batched engines, which is what lets the Theorem 4.1 termination-time
+    experiments reach populations of 10^5–10^7.  Transitions delegate to the
+    agent protocol's (deterministic) transition function, so the two views
+    stay in lock-step by construction.
+    """
+
+    is_uniform = False
+
+    def __init__(self, counter_threshold: int, eliminate_on_meeting: bool = True) -> None:
+        self._agent = NonuniformCounterLeaderElection(
+            counter_threshold=counter_threshold,
+            eliminate_on_meeting=eliminate_on_meeting,
+        )
+        self.counter_threshold = counter_threshold
+        self.eliminate_on_meeting = eliminate_on_meeting
+
+    def states(self) -> Sequence[Hashable]:
+        # A counter at the threshold always comes with the terminated flag
+        # (they are set in the same interaction), so the combination
+        # ``counter == threshold, terminated == False`` is unreachable and
+        # excluded — keeping it would let transitions drive the counter past
+        # the threshold, outside the enumerated set.
+        return tuple(
+            CounterLeaderState(candidate=candidate, counter=counter, terminated=terminated)
+            for candidate in (True, False)
+            for counter in range(self.counter_threshold + 1)
+            for terminated in (False, True)
+            if terminated or counter < self.counter_threshold
+        )
+
+    def initial_state(self, agent_id: int) -> Hashable:
+        return CounterLeaderState()
+
+    def transitions(
+        self, receiver: Hashable, sender: Hashable
+    ) -> Sequence[RandomizedTransition]:
+        # The agent transition never draws randomness, so passing no random
+        # source is safe; it also never drives the counter past the
+        # threshold, keeping outputs inside the enumerated state set.
+        receiver_out, sender_out = self._agent.transition(receiver, sender, rng=None)
+        if (receiver_out, sender_out) == (receiver, sender):
+            return ()
+        return (RandomizedTransition(receiver_out=receiver_out, sender_out=sender_out),)
+
+    def output(self, state: Hashable) -> bool:
+        """``True`` iff the agent is a (still-standing) leader candidate."""
+        return state.candidate
+
+    def describe(self) -> str:
+        return (
+            f"FiniteStateCounterTermination(threshold={self.counter_threshold}, "
+            f"eliminate={self.eliminate_on_meeting})"
+        )
+
+
+def termination_signal_predicate(simulator) -> bool:
+    """Predicate for ``run_until``: some agent has set the terminated flag.
+
+    Works with any configuration-level engine running
+    :class:`FiniteStateCounterTermination`.
+    """
+    return any(
+        state.terminated and count > 0 for state, count in simulator.configuration().items()
+    )

@@ -70,6 +70,34 @@ def interactions_for_time(time: float, n: int) -> int:
     return interactions
 
 
+def snapshot_boundaries(total_interactions: int, samples: int) -> list[int]:
+    """Exact evenly spaced snapshot checkpoints for a trace of a run.
+
+    Returns the interaction counts ``floor(k * total / samples)`` for
+    ``k = 1 .. samples`` with duplicates removed, in increasing order.  For
+    ``total_interactions >= samples`` this is exactly ``samples`` strictly
+    increasing checkpoints ending at ``total_interactions``; for shorter runs
+    every interaction becomes a checkpoint.  Chunking by
+    ``total // samples`` instead (as the count engine once did) produces far
+    more or fewer snapshots than requested whenever ``samples`` does not
+    divide ``total``.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be at least 1, got {samples}")
+    if total_interactions < 0:
+        raise ValueError(
+            f"interaction count must be non-negative, got {total_interactions}"
+        )
+    boundaries: list[int] = []
+    previous = 0
+    for k in range(1, samples + 1):
+        boundary = (k * total_interactions) // samples
+        if boundary > previous:
+            boundaries.append(boundary)
+            previous = boundary
+    return boundaries
+
+
 @dataclass(frozen=True, slots=True)
 class InteractionPair:
     """An ordered pair of agents chosen by the scheduler.

@@ -87,6 +87,60 @@ class TestDynamics:
         assert sum(simulator.outputs().values()) == 300
 
 
+class TestSamplingCache:
+    def test_sampling_matches_pre_cache_linear_scan(self):
+        """The bisect cache must be draw-for-draw identical to a linear scan."""
+
+        from bisect import bisect_right
+
+        def linear_scan(counts, threshold, exclude):
+            cumulative = 0
+            for state, count in counts.items():
+                weight = count - 1 if state == exclude else count
+                cumulative += weight
+                if threshold < cumulative:
+                    return state
+            raise AssertionError("inconsistent counts")
+
+        simulator = CountSimulator(ApproximateMajorityProtocol(0.5), 400, seed=21)
+        for _ in range(200):
+            simulator.step()
+            counts = dict(simulator._counts)
+            population = simulator.population_size
+            for exclude in [None, *counts]:
+                total = population if exclude is None else population - 1
+                for threshold in (0, total // 2, total - 1):
+                    expected = linear_scan(counts, threshold, exclude)
+                    # Drive the cached path with a deterministic threshold.
+                    if simulator._cum_dirty:
+                        simulator._rebuild_cumulative()
+                    shifted = threshold
+                    if exclude is not None and shifted >= (
+                        simulator._cum_prefix[exclude] + counts[exclude] - 1
+                    ):
+                        shifted += 1
+                    position = bisect_right(simulator._cum_weights, shifted)
+                    assert simulator._cum_states[position] == expected
+
+    def test_cache_invalidated_after_count_change(self):
+        simulator = CountSimulator(EpidemicProtocol(), 200, seed=22)
+        simulator.run_until(epidemic_completion_predicate, max_parallel_time=200)
+        # All agents infected: sampling must only ever return INFECTED now.
+        for _ in range(50):
+            assert simulator._sample_state_weighted(None) == EpidemicState.INFECTED
+
+    def test_long_run_conserves_distribution_shape(self):
+        # Statistical sanity: at 50/50 majority the first sampled state is
+        # near-uniform over opinions across seeds.
+        hits = 0
+        trials = 200
+        for seed in range(trials):
+            simulator = CountSimulator(ApproximateMajorityProtocol(0.5), 100, seed=seed)
+            if simulator._sample_state_weighted(None) == ApproximateMajorityProtocol.OPINION_X:
+                hits += 1
+        assert 0.35 < hits / trials < 0.65
+
+
 class TestTracing:
     def test_run_with_trace_has_requested_granularity(self):
         simulator = CountSimulator(EpidemicProtocol(), 500, seed=9)
@@ -95,6 +149,33 @@ class TestTracing:
         assert trace[0].parallel_time == 0.0
         assert trace[-1].parallel_time >= 5.0
         assert all(point.configuration.size == 500 for point in trace)
+
+    def test_run_with_trace_exact_sample_count_non_divisible(self):
+        """Regression: chunk = total // samples over- or under-sampled.
+
+        With n = 100, t = 1 (100 interactions) and samples = 7, the old
+        chunking produced floor(100/14)-ish chunks -> 8+ snapshots; the exact
+        boundaries give precisely 7 checkpoints after the initial point.
+        """
+        simulator = CountSimulator(EpidemicProtocol(), 100, seed=30)
+        trace = simulator.run_with_trace(total_parallel_time=1, samples=7)
+        assert len(trace) == 8
+        assert trace[-1].interaction == 100
+        interactions = [point.interaction for point in trace]
+        assert interactions == sorted(set(interactions))
+
+    def test_run_with_trace_short_run_fewer_samples(self):
+        # 2 interactions cannot yield 5 distinct checkpoints; no duplicates.
+        simulator = CountSimulator(EpidemicProtocol(), 100, seed=31)
+        trace = simulator.run_with_trace(total_parallel_time=0.02, samples=5)
+        assert [point.interaction for point in trace] == [0, 1, 2]
+
+    def test_run_with_trace_many_samples_regression(self):
+        # Old behaviour: total=150, samples=4 -> chunk=37 -> 5 checkpoints
+        # (and the last one short); now exactly 4, evenly spaced.
+        simulator = CountSimulator(EpidemicProtocol(), 100, seed=32)
+        trace = simulator.run_with_trace(total_parallel_time=1.5, samples=4)
+        assert [point.interaction for point in trace] == [0, 37, 75, 112, 150]
 
     def test_trace_counts_are_monotone_for_epidemic(self):
         simulator = CountSimulator(EpidemicProtocol(), 500, seed=10)

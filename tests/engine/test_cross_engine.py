@@ -1,0 +1,134 @@
+"""Cross-engine equivalence: agent, count and batched engines agree.
+
+The three engines implement the same stochastic process (uniform ordered
+pairs, protocol transition distributions), so on identical workloads their
+*statistics* must agree — completion-time quantiles, correctness rates,
+fixed-time configuration levels — even though their random streams differ.
+These tests run modest populations over many seeds and compare across
+engines with tolerances sized by the sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.engine.selection import ENGINE_NAMES, build_engine
+from repro.protocols.epidemic import (
+    EpidemicProtocol,
+    EpidemicState,
+    epidemic_completion_predicate,
+)
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
+
+EPIDEMIC_N = 256
+EPIDEMIC_RUNS = 30
+MAJORITY_N = 300
+MAJORITY_RUNS = 20
+
+
+def _epidemic_completion_times(engine: str) -> list[float]:
+    times = []
+    for run_index in range(EPIDEMIC_RUNS):
+        simulator = build_engine(
+            engine, EpidemicProtocol(), EPIDEMIC_N, seed=1_000 + run_index
+        )
+        times.append(
+            simulator.run_until(
+                epidemic_completion_predicate,
+                max_parallel_time=60 * math.log(EPIDEMIC_N),
+                check_interval=max(EPIDEMIC_N // 8, 16),
+            )
+        )
+    return times
+
+
+@pytest.fixture(scope="module")
+def epidemic_times() -> dict[str, list[float]]:
+    return {engine: _epidemic_completion_times(engine) for engine in ENGINE_NAMES}
+
+
+class TestEpidemicEquivalence:
+    def test_all_engines_complete_every_run(self, epidemic_times):
+        for engine, times in epidemic_times.items():
+            assert len(times) == EPIDEMIC_RUNS, engine
+
+    def test_mean_completion_times_agree(self, epidemic_times):
+        means = {
+            engine: statistics.fmean(times) for engine, times in epidemic_times.items()
+        }
+        reference = means["agent"]
+        for engine, mean in means.items():
+            # Epidemic completion concentrates near ln n; 25% covers the
+            # Monte-Carlo noise of 30 runs with margin.
+            assert mean == pytest.approx(reference, rel=0.25), means
+
+    def test_median_completion_times_agree(self, epidemic_times):
+        medians = {
+            engine: statistics.median(times) for engine, times in epidemic_times.items()
+        }
+        reference = medians["agent"]
+        for engine, median in medians.items():
+            assert median == pytest.approx(reference, rel=0.3), medians
+
+    def test_completion_times_within_theory_budget(self, epidemic_times):
+        budget = 24 * math.log(EPIDEMIC_N)
+        for engine, times in epidemic_times.items():
+            assert statistics.fmean(times) < budget, engine
+
+
+class TestFixedTimeConfiguration:
+    def test_mean_infected_fraction_after_fixed_time(self):
+        """After t=4 units the three engines report similar infection levels."""
+        fractions = {}
+        for engine in ENGINE_NAMES:
+            level = []
+            for run_index in range(EPIDEMIC_RUNS):
+                simulator = build_engine(
+                    engine, EpidemicProtocol(), EPIDEMIC_N, seed=2_000 + run_index
+                )
+                simulator.run_parallel_time(4)
+                level.append(simulator.count(EpidemicState.INFECTED) / EPIDEMIC_N)
+            fractions[engine] = statistics.fmean(level)
+        reference = fractions["agent"]
+        assert 0.0 < reference < 1.0  # mid-epidemic: the comparison is informative
+        for engine, fraction in fractions.items():
+            assert fraction == pytest.approx(reference, abs=0.12), fractions
+
+
+class TestMajorityEquivalence:
+    def test_majority_correctness_rate_agrees(self):
+        """A 70/30 split must be won by the initial majority on every engine."""
+        rates = {}
+        times = {}
+        for engine in ENGINE_NAMES:
+            correct = 0
+            consensus_times = []
+            for run_index in range(MAJORITY_RUNS):
+                simulator = build_engine(
+                    engine,
+                    ApproximateMajorityProtocol(x_fraction=0.7),
+                    MAJORITY_N,
+                    seed=3_000 + run_index,
+                )
+                consensus_times.append(
+                    simulator.run_until(
+                        majority_consensus_predicate,
+                        max_parallel_time=500,
+                        check_interval=max(MAJORITY_N // 8, 16),
+                    )
+                )
+                if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
+                    correct += 1
+            rates[engine] = correct / MAJORITY_RUNS
+            times[engine] = statistics.fmean(consensus_times)
+        for engine, rate in rates.items():
+            assert rate >= 0.9, rates
+        reference = times["agent"]
+        for engine, mean_time in times.items():
+            assert mean_time == pytest.approx(reference, rel=0.35), times

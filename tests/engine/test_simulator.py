@@ -20,6 +20,36 @@ class TestConstruction:
         assert simulation.count_where(lambda s: s == EpidemicState.INFECTED) == 1
         assert simulation.count_where(lambda s: s == EpidemicState.SUSCEPTIBLE) == 9
 
+
+class TestEventFreeFastPath:
+    def test_fast_path_matches_stepped_run(self):
+        """run_interactions without an event log reproduces step()-by-step runs."""
+        protocol = EpidemicProtocol().as_agent_protocol()
+        fast = Simulation(protocol, 64, seed=99)
+        fast.run_interactions(500)
+        stepped = Simulation(EpidemicProtocol().as_agent_protocol(), 64, seed=99)
+        for _ in range(500):
+            stepped.step()
+        assert fast.states == stepped.states
+        assert fast.metrics.interactions == stepped.metrics.interactions
+        assert fast.metrics.null_interactions == stepped.metrics.null_interactions
+
+    def test_fast_path_still_fires_probes(self):
+        simulation = Simulation(EpidemicProtocol().as_agent_protocol(), 32, seed=5)
+        fired = []
+        simulation.add_probe(lambda sim: fired.append(sim.metrics.interactions), interval=10)
+        simulation.run_interactions(100)
+        assert fired == list(range(10, 101, 10))
+
+    def test_event_log_path_still_records(self):
+        simulation = Simulation(
+            EpidemicProtocol().as_agent_protocol(), 32, seed=6, event_log_capacity=16
+        )
+        simulation.run_interactions(40)
+        assert len(simulation.event_log) == 16
+        indices = [event.index for event in simulation.event_log]
+        assert indices == list(range(25, 41))
+
     def test_explicit_initial_states(self):
         protocol = EpidemicProtocol().as_agent_protocol()
         states = [EpidemicState.INFECTED] * 3 + [EpidemicState.SUSCEPTIBLE] * 2

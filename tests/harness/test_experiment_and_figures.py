@@ -8,8 +8,10 @@ from repro.core.parameters import ProtocolParameters
 from repro.harness.experiment import (
     ExperimentSpec,
     run_array_experiment,
+    run_finite_state_experiment,
     run_sequential_experiment,
 )
+from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
 from repro.harness.figures import figure2_from_sweep, reproduce_figure2
 from repro.harness.tables import (
     accuracy_table,
@@ -55,6 +57,47 @@ class TestRunners:
         assert len(sweep.records) == 2
         assert all(record.converged for record in sweep.records)
         assert all(record.max_additive_error < 5.7 for record in sweep.records)
+
+
+class TestFiniteStateExperiment:
+    @pytest.mark.parametrize("engine", ["agent", "count", "batched"])
+    def test_runs_on_every_engine(self, engine):
+        sweep = run_finite_state_experiment(
+            protocol_factory=EpidemicProtocol,
+            predicate=epidemic_completion_predicate,
+            population_sizes=[64, 128],
+            runs_per_size=2,
+            max_parallel_time=200.0,
+            engine=engine,
+            base_seed=9,
+        )
+        assert len(sweep.records) == 4
+        assert all(record.converged for record in sweep.records)
+        assert all(record.extra["engine"] == engine for record in sweep.records)
+        assert all(record.extra["outputs"] == {"True": record.population_size}
+                   for record in sweep.records)
+
+    def test_engine_options_forwarded_to_batched(self):
+        sweep = run_finite_state_experiment(
+            protocol_factory=EpidemicProtocol,
+            predicate=epidemic_completion_predicate,
+            population_sizes=[100],
+            runs_per_size=1,
+            engine="batched",
+            batch_size=5,
+        )
+        assert sweep.records[0].converged
+
+    def test_unknown_engine_raises(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_finite_state_experiment(
+                protocol_factory=EpidemicProtocol,
+                predicate=epidemic_completion_predicate,
+                population_sizes=[32],
+                engine="warp",
+            )
 
 
 class TestFigure2:

@@ -224,3 +224,74 @@ def test_expected_maximum_bracket_is_ordered(population):
 
     lower, upper = expected_maximum_of_geometrics(population)
     assert lower < upper
+
+
+# -- batched engine / compiled table properties ---------------------------------------------
+
+finite_states = st.lists(
+    st.sampled_from(["s0", "s1", "s2", "s3"]), min_size=2, max_size=4, unique=True
+)
+
+
+@st.composite
+def finite_protocols(draw):
+    """Random small finite-state protocols with valid outcome distributions."""
+    states = draw(finite_states)
+    transition_map = {}
+    for receiver in states:
+        for sender in states:
+            if not draw(st.booleans()):
+                continue
+            receiver_out = draw(st.sampled_from(states))
+            sender_out = draw(st.sampled_from(states))
+            probability = draw(st.sampled_from([0.25, 0.5, 1.0]))
+            transition_map[(receiver, sender)] = [(receiver_out, sender_out, probability)]
+    initial = draw(st.sampled_from(states))
+    from repro.protocols.base import FunctionalFiniteStateProtocol
+
+    return FunctionalFiniteStateProtocol(
+        state_set=states, transition_map=transition_map, initial=initial
+    )
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(finite_protocols(), st.integers(10, 200), st.integers(0, 2**31 - 1))
+def test_batched_engine_conserves_population_and_state_set(protocol, n, seed):
+    from repro.engine.batched_simulator import BatchedCountSimulator
+
+    simulator = BatchedCountSimulator(protocol, n, seed=seed)
+    simulator.run_parallel_time(3)
+    configuration = simulator.configuration()
+    assert configuration.size == n
+    assert configuration.states_present() <= set(protocol.states())
+    assert simulator.states_seen() <= set(protocol.states())
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_protocols())
+def test_compiled_table_probability_mass_is_complete(protocol):
+    from repro.protocols.compiled import compile_transition_table
+
+    table = compile_transition_table(protocol)
+    total = table.outcome_probability.sum(axis=2) + table.null_probability
+    assert (abs(total - 1.0) < 1e-9).all()
+    # Explicit outcomes never encode the identity pair.
+    for receiver in table.states:
+        for sender in table.states:
+            for outcome in table.outcomes(receiver, sender):
+                assert (outcome.receiver_out, outcome.sender_out) != (receiver, sender)
+
+
+@settings(max_examples=100)
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_snapshot_boundaries_are_exact(total, samples):
+    from repro.types import snapshot_boundaries
+
+    boundaries = snapshot_boundaries(total, samples)
+    assert boundaries == sorted(set(boundaries))
+    if total == 0:
+        assert boundaries == []
+    else:
+        assert boundaries[-1] == total
+    if total >= samples:
+        assert len(boundaries) == samples

@@ -1,0 +1,123 @@
+"""Tests for the compiled transition tables of finite-state protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import FunctionalFiniteStateProtocol, RandomizedTransition
+from repro.protocols.compiled import compile_transition_table
+from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
+from repro.protocols.leader_election import FiniteStateCounterTermination
+from repro.protocols.majority import ApproximateMajorityProtocol
+
+
+class TestEpidemicCompilation:
+    def test_state_indexing_follows_declaration_order(self):
+        table = compile_transition_table(EpidemicProtocol())
+        assert table.states == (EpidemicState.INFECTED, EpidemicState.SUSCEPTIBLE)
+        assert table.index[EpidemicState.INFECTED] == 0
+        assert table.index[EpidemicState.SUSCEPTIBLE] == 1
+
+    def test_reactive_pairs_of_bidirectional_epidemic(self):
+        table = compile_transition_table(EpidemicProtocol(bidirectional=True))
+        # (S, I) and (I, S) react; (I, I) and (S, S) are null.
+        assert table.reactive_pair_count() == 2
+        i, s = table.index[EpidemicState.INFECTED], table.index[EpidemicState.SUSCEPTIBLE]
+        assert not table.is_null[s, i]
+        assert not table.is_null[i, s]
+        assert table.is_null[i, i]
+        assert table.is_null[s, s]
+
+    def test_outcomes_round_trip(self):
+        protocol = EpidemicProtocol()
+        table = compile_transition_table(protocol)
+        outcomes = table.outcomes(EpidemicState.SUSCEPTIBLE, EpidemicState.INFECTED)
+        assert outcomes == (
+            RandomizedTransition(
+                receiver_out=EpidemicState.INFECTED,
+                sender_out=EpidemicState.INFECTED,
+                probability=1.0,
+            ),
+        )
+
+    def test_null_probability_complements_outcomes(self):
+        table = compile_transition_table(ApproximateMajorityProtocol())
+        total = table.outcome_probability.sum(axis=2) + table.null_probability
+        assert np.allclose(total, 1.0)
+
+    def test_compiled_method_on_protocol(self):
+        assert EpidemicProtocol().compiled().num_states == 2
+
+
+class TestRandomizedAndIdentityFolding:
+    def test_identity_outcomes_fold_into_null_mass(self):
+        protocol = FunctionalFiniteStateProtocol(
+            state_set=("a", "b"),
+            transition_map={
+                ("a", "b"): [("a", "b", 0.75), ("b", "b", 0.25)],
+            },
+            initial="a",
+        )
+        table = compile_transition_table(protocol)
+        i, j = table.index["a"], table.index["b"]
+        assert table.outcome_count[i, j] == 1
+        assert table.null_probability[i, j] == pytest.approx(0.75)
+
+    def test_duplicate_outcomes_are_merged(self):
+        protocol = FunctionalFiniteStateProtocol(
+            state_set=("a", "b"),
+            transition_map={
+                ("a", "a"): [("a", "b", 0.25), ("a", "b", 0.25)],
+            },
+            initial="a",
+        )
+        table = compile_transition_table(protocol)
+        i = table.index["a"]
+        assert table.outcome_count[i, i] == 1
+        assert table.outcome_probability[i, i, 0] == pytest.approx(0.5)
+        assert table.null_probability[i, i] == pytest.approx(0.5)
+
+    def test_residual_mass_is_never_negative(self):
+        protocol = FunctionalFiniteStateProtocol(
+            state_set=("a", "b"),
+            transition_map={("a", "b"): [("b", "a", 1.0)]},
+            initial="a",
+        )
+        table = compile_transition_table(protocol)
+        assert (table.null_probability >= 0.0).all()
+
+
+class TestValidation:
+    class _BadStates(EpidemicProtocol):
+        def states(self):
+            return (EpidemicState.INFECTED, EpidemicState.INFECTED)
+
+    class _EscapingOutput(EpidemicProtocol):
+        def transitions(self, receiver, sender):
+            return (RandomizedTransition(receiver_out="ghost", sender_out=sender),)
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ProtocolError):
+            compile_transition_table(self._BadStates())
+
+    def test_unknown_output_state_rejected(self):
+        with pytest.raises(ProtocolError, match="outside the declared state set"):
+            compile_transition_table(self._EscapingOutput())
+
+    def test_arrays_are_read_only(self):
+        table = compile_transition_table(EpidemicProtocol())
+        with pytest.raises(ValueError):
+            table.outcome_probability[0, 0, 0] = 0.5
+
+
+class TestCounterTerminationCompiles:
+    def test_state_space_is_closed_under_transitions(self):
+        protocol = FiniteStateCounterTermination(counter_threshold=4)
+        protocol.validate()
+        table = compile_transition_table(protocol)
+        # counter 0..threshold-1 x terminated in (F, T) plus the
+        # (threshold, terminated) corner, for candidate and follower alike.
+        assert table.num_states == 2 * (2 * 4 + 1)
+        assert table.reactive_pair_count() > 0

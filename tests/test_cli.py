@@ -21,9 +21,21 @@ class TestParser:
 
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("estimate", "figure2", "accuracy", "states", "termination", "bounds"):
+        for command in (
+            "estimate",
+            "figure2",
+            "accuracy",
+            "states",
+            "termination",
+            "bounds",
+            "simulate",
+        ):
             args = parser.parse_args([command] if command != "bounds" else ["bounds"])
             assert args.command == command
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "warp"])
 
 
 class TestCommands:
@@ -73,6 +85,71 @@ class TestCommands:
     def test_states_fast(self, capsys):
         assert main(["states", "--fast", "--sizes", "64"]) == 0
         assert "state complexity" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["agent", "count", "batched"])
+    def test_simulate_epidemic_all_engines(self, capsys, engine):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "300",
+                "--engine",
+                engine,
+                "--seed",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"engine                    : {engine}" in output
+        assert "converged                 : True" in output
+        assert "output[True]              : 300" in output
+
+    def test_simulate_majority_batched(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "majority", "--n", "2000", "--engine", "batched"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ApproximateMajority" in output
+        assert "converged                 : True" in output
+
+    def test_simulate_termination_signal(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "termination",
+                "--n",
+                "5000",
+                "--engine",
+                "batched",
+                "--batch-size",
+                "64",
+            ]
+        )
+        assert code == 0
+        assert "FiniteStateCounterTermination" in capsys.readouterr().out
+
+    def test_simulate_non_convergence_exit_code(self, capsys):
+        # Leader election needs Theta(n) time; a tiny budget cannot finish.
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "leader",
+                "--n",
+                "5000",
+                "--engine",
+                "count",
+                "--max-time",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "converged                 : False" in capsys.readouterr().out
 
     def test_termination_command(self, capsys):
         code = main(
