@@ -4,11 +4,12 @@ Measures the completion time of (a) a full-population epidemic and (b) an
 epidemic restricted to a one-third sub-population, against the closed-form
 expectation ``(n-1)/n * H_{n-1}`` and the ``24 ln n`` budget that fixes the
 protocol's phase-clock constant.  The full-population experiment runs on both
-configuration-level engines (count-based and batched), so large populations
-are cheap and the two engines are continuously cross-checked against the
-same theoretical budgets; the sub-population variant stays on the count
-engine because its inert third state lies outside the protocol's declared
-state set.
+configuration-level engines (count-based and batched) through the sweep
+driver (the registered ``"epidemic"`` workload; ``REPRO_SWEEP_WORKERS``
+parallelises the runs), so large populations are cheap and the two engines
+are continuously cross-checked against the same theoretical budgets; the
+sub-population variant stays on the count engine because its inert third
+state lies outside the protocol's declared state set.
 """
 
 from __future__ import annotations
@@ -18,15 +19,12 @@ import statistics
 
 import pytest
 
+from benchmarks.conftest import SWEEP_WORKERS
 from repro.analysis.epidemic_theory import expected_epidemic_time
 from repro.engine.configuration import Configuration
 from repro.engine.count_simulator import CountSimulator
-from repro.engine.selection import build_engine
-from repro.protocols.epidemic import (
-    EpidemicProtocol,
-    EpidemicState,
-    epidemic_completion_predicate,
-)
+from repro.harness.experiment import run_finite_state_experiment
+from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
 
 POPULATIONS = [1_000, 10_000, 100_000]
 RUNS = 3
@@ -38,19 +36,18 @@ def bench_full_population_epidemic(benchmark, population_size, engine):
     holder = {"times": []}
 
     def run_epidemics():
-        times = []
-        for run_index in range(RUNS):
-            simulator = build_engine(
-                engine, EpidemicProtocol(), population_size, seed=run_index
-            )
-            times.append(
-                simulator.run_until(
-                    epidemic_completion_predicate,
-                    max_parallel_time=50 * math.log(population_size),
-                )
-            )
-        holder["times"] = times
-        return times
+        sweep = run_finite_state_experiment(
+            "epidemic",
+            population_sizes=[population_size],
+            runs_per_size=RUNS,
+            max_parallel_time=50 * math.log(population_size),
+            engine=engine,
+            base_seed=0,
+            workers=SWEEP_WORKERS,
+        )
+        assert all(record.converged for record in sweep.records)
+        holder["times"] = [record.convergence_time for record in sweep.records]
+        return holder["times"]
 
     benchmark.pedantic(run_epidemics, rounds=1, iterations=1)
 

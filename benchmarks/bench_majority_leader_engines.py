@@ -3,7 +3,9 @@
 Approximate majority and pairwise-elimination leader election are the two
 classic constant-state baselines the paper's introduction positions the
 polylog-time literature against.  This benchmark runs both on the count and
-batched engines via the shared engine selector, recording consensus /
+batched engines through the sweep driver
+(:func:`repro.harness.experiment.run_finite_state_experiment`;
+``REPRO_SWEEP_WORKERS`` parallelises the runs), recording consensus /
 election times alongside wall-clock throughput so engine regressions on
 *reactive-dense* protocols (where most pairs change state, unlike the
 epidemic endgame) are caught.
@@ -15,7 +17,8 @@ import statistics
 
 import pytest
 
-from repro.engine.selection import build_engine
+from benchmarks.conftest import SWEEP_WORKERS
+from repro.harness.experiment import run_finite_state_experiment
 from repro.protocols.leader_election import FiniteStatePairwiseElimination
 from repro.protocols.majority import (
     ApproximateMajorityProtocol,
@@ -23,6 +26,17 @@ from repro.protocols.majority import (
 )
 
 RUNS = 3
+TARGET_LEADERS = 8
+
+
+def seventy_thirty_majority() -> ApproximateMajorityProtocol:
+    """Module-level factory (picklable) for the 70/30 majority workload."""
+    return ApproximateMajorityProtocol(x_fraction=0.7)
+
+
+def at_most_target_leaders(simulator) -> bool:
+    """Predicate: at most ``TARGET_LEADERS`` leader candidates remain."""
+    return simulator.count(FiniteStatePairwiseElimination.LEADER) <= TARGET_LEADERS
 
 
 @pytest.mark.parametrize("engine", ["count", "batched"])
@@ -32,25 +46,23 @@ def bench_majority_consensus(benchmark, population_size, engine):
     holder = {"times": [], "correct": 0}
 
     def run_majority():
-        times = []
-        correct = 0
-        for run_index in range(RUNS):
-            simulator = build_engine(
-                engine,
-                ApproximateMajorityProtocol(x_fraction=0.7),
-                population_size,
-                seed=31 + run_index,
-            )
-            times.append(
-                simulator.run_until(
-                    majority_consensus_predicate, max_parallel_time=400.0
-                )
-            )
-            if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
-                correct += 1
-        holder["times"] = times
-        holder["correct"] = correct
-        return times
+        sweep = run_finite_state_experiment(
+            protocol_factory=seventy_thirty_majority,
+            predicate=majority_consensus_predicate,
+            population_sizes=[population_size],
+            runs_per_size=RUNS,
+            max_parallel_time=400.0,
+            engine=engine,
+            base_seed=31,
+            workers=SWEEP_WORKERS,
+        )
+        assert all(record.converged for record in sweep.records)
+        holder["times"] = [record.convergence_time for record in sweep.records]
+        holder["correct"] = sum(
+            record.extra["outputs"].get(ApproximateMajorityProtocol.OPINION_Y, 0) == 0
+            for record in sweep.records
+        )
+        return holder["times"]
 
     benchmark.pedantic(run_majority, rounds=1, iterations=1)
 
@@ -72,31 +84,26 @@ def bench_leader_election_time(benchmark, population_size, engine):
     benchmarking to a small candidate count keeps the focus on the
     high-throughput bulk phase.
     """
-    target_leaders = 8
     holder = {"times": []}
 
     def run_elections():
-        times = []
-        for run_index in range(RUNS):
-            simulator = build_engine(
-                engine,
-                FiniteStatePairwiseElimination(),
-                population_size,
-                seed=7 + run_index,
-            )
-            times.append(
-                simulator.run_until(
-                    lambda sim: sim.count(FiniteStatePairwiseElimination.LEADER)
-                    <= target_leaders,
-                    max_parallel_time=4.0 * population_size,
-                )
-            )
-        holder["times"] = times
-        return times
+        sweep = run_finite_state_experiment(
+            protocol_factory=FiniteStatePairwiseElimination,
+            predicate=at_most_target_leaders,
+            population_sizes=[population_size],
+            runs_per_size=RUNS,
+            max_parallel_time=4.0 * population_size,
+            engine=engine,
+            base_seed=7,
+            workers=SWEEP_WORKERS,
+        )
+        assert all(record.converged for record in sweep.records)
+        holder["times"] = [record.convergence_time for record in sweep.records]
+        return holder["times"]
 
     benchmark.pedantic(run_elections, rounds=1, iterations=1)
 
     benchmark.extra_info["engine"] = engine
     benchmark.extra_info["population_size"] = population_size
-    benchmark.extra_info["target_leaders"] = target_leaders
+    benchmark.extra_info["target_leaders"] = TARGET_LEADERS
     benchmark.extra_info["mean_time_to_target"] = statistics.fmean(holder["times"])

@@ -15,8 +15,8 @@ import statistics
 
 import pytest
 
-from benchmarks.conftest import TERMINATION_SIZES
-from repro.engine.selection import build_engine
+from benchmarks.conftest import SWEEP_WORKERS, TERMINATION_SIZES
+from repro.harness.experiment import run_finite_state_experiment
 from repro.protocols.leader_election import (
     FiniteStateCounterTermination,
     NonuniformCounterLeaderElection,
@@ -27,6 +27,11 @@ from repro.termination.impossibility import termination_time_sweep
 
 COUNTER_THRESHOLD = 8
 RUNS_PER_SIZE = 3
+
+
+def counter_termination_protocol() -> FiniteStateCounterTermination:
+    """Module-level factory (picklable) for the Figure-1 counter workload."""
+    return FiniteStateCounterTermination(counter_threshold=COUNTER_THRESHOLD)
 
 
 @pytest.mark.parametrize("population_size", TERMINATION_SIZES)
@@ -77,23 +82,20 @@ def bench_uniform_dense_termination_batched(benchmark, population_size):
     holder = {"times": []}
 
     def run_sweep():
-        times = []
-        for run_index in range(RUNS_PER_SIZE):
-            simulator = build_engine(
-                "batched",
-                FiniteStateCounterTermination(counter_threshold=COUNTER_THRESHOLD),
-                population_size,
-                seed=17 + run_index,
-            )
-            times.append(
-                simulator.run_until(
-                    termination_signal_predicate,
-                    max_parallel_time=40.0,
-                    check_interval=max(population_size // 16, 256),
-                )
-            )
-        holder["times"] = times
-        return times
+        sweep = run_finite_state_experiment(
+            protocol_factory=counter_termination_protocol,
+            predicate=termination_signal_predicate,
+            population_sizes=[population_size],
+            runs_per_size=RUNS_PER_SIZE,
+            max_parallel_time=40.0,
+            engine="batched",
+            base_seed=17,
+            check_interval=max(population_size // 16, 256),
+            workers=SWEEP_WORKERS,
+        )
+        assert all(record.converged for record in sweep.records)
+        holder["times"] = [record.convergence_time for record in sweep.records]
+        return holder["times"]
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 

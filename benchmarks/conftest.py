@@ -19,7 +19,15 @@ Variable                    Effect
 ``REPRO_FIG2_RUNS``         runs per size for the Figure 2 sweep
 ``REPRO_BENCH_SIZES``       sizes for the accuracy / state / baseline tables
 ``REPRO_TERM_SIZES``        sizes for the termination experiments
+``REPRO_SWEEP_WORKERS``     worker processes for sweep-driver benchmarks
 =========================  ==========================================
+
+Benchmarks built on the sweep driver (epidemic, majority/leader,
+termination) run their trials through
+:func:`repro.harness.experiment.run_finite_state_experiment`; setting
+``REPRO_SWEEP_WORKERS > 1`` fans the trials out over a worker pool with
+bit-identical results (wall-clock numbers then measure the parallel
+harness, not a single engine).
 """
 
 from __future__ import annotations
@@ -48,6 +56,9 @@ TABLE_SIZES = sizes_from_env("REPRO_BENCH_SIZES", [256, 512, 1024])
 
 #: Grid for the termination-time experiments.
 TERMINATION_SIZES = sizes_from_env("REPRO_TERM_SIZES", [64, 256, 1024])
+
+#: Worker processes used by sweep-driver benchmarks (1 = serial).
+SWEEP_WORKERS = _runs_from_env("REPRO_SWEEP_WORKERS", 1)
 
 #: The paper's protocol constants, used by all benchmarks.
 PAPER_PARAMS = ProtocolParameters.paper()

@@ -20,6 +20,12 @@ Subcommands
     Run a classic finite-state protocol to convergence on a selectable
     engine (agent-level reference, count-based, or batched — see
     ``DESIGN.md``, Engine selection).
+``repro sweep --protocol majority --sizes 10000,100000 --runs 10 --workers 4 --cache-dir .repro-cache --resume``
+    Multi-size, multi-seed sweep of a finite-state workload through the
+    parallel sweep driver: trials fan out over a worker pool, finished
+    trials are appended to an on-disk JSON-lines cache, and ``--resume``
+    replays cached trials so interrupted or repeated sweeps only execute
+    what is missing (see ``DESIGN.md``, Sweep driver).
 """
 
 from __future__ import annotations
@@ -36,63 +42,21 @@ from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
 from repro.core.parameters import ProtocolParameters
 from repro.engine.selection import ENGINE_NAMES, build_engine
 from repro.exceptions import ConvergenceError, SimulationError
+from repro.harness.cache import ResultCache
 from repro.harness.figures import reproduce_figure2
+from repro.harness.parallel import (
+    WORKLOADS,
+    build_finite_state_trials,
+    get_workload,
+    run_trials,
+)
 from repro.harness.reporting import format_key_values, format_table
+from repro.harness.results import SweepResult
 from repro.harness.tables import accuracy_table, state_complexity_table
-from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
-from repro.protocols.leader_election import (
-    FiniteStateCounterTermination,
-    FiniteStatePairwiseElimination,
-    NonuniformCounterLeaderElection,
-    termination_signal_predicate,
-    unique_leader_predicate,
-)
-from repro.protocols.majority import (
-    ApproximateMajorityProtocol,
-    majority_consensus_predicate,
-)
+from repro.protocols.leader_election import NonuniformCounterLeaderElection
 from repro.termination.definitions import TerminationSpec
 from repro.termination.impossibility import termination_time_sweep
 from repro.workloads.populations import parse_size_list
-
-#: Finite-state workloads runnable by ``repro simulate``: name ->
-#: (protocol factory, convergence predicate, description, default n,
-#: default budget as a function of n).  Polylog-time protocols get a flat
-#: time allowance at a large default population; pairwise-elimination
-#: leader election needs ``Theta(n)`` parallel time (``Theta(n^2)``
-#: interactions) to reach a single leader, so its defaults are a smaller
-#: population with a ``4n`` budget — the default invocation of every
-#: workload converges in seconds.
-SIMULATE_PROTOCOLS = {
-    "epidemic": (
-        lambda: EpidemicProtocol(),
-        epidemic_completion_predicate,
-        "one-way epidemic until the whole population is infected",
-        100_000,
-        lambda n: 200.0,
-    ),
-    "majority": (
-        lambda: ApproximateMajorityProtocol(),
-        majority_consensus_predicate,
-        "3-state approximate majority until consensus",
-        100_000,
-        lambda n: 200.0,
-    ),
-    "leader": (
-        lambda: FiniteStatePairwiseElimination(),
-        unique_leader_predicate,
-        "pairwise-elimination leader election until one leader remains",
-        2_000,
-        lambda n: 4.0 * n,
-    ),
-    "termination": (
-        lambda: FiniteStateCounterTermination(counter_threshold=8),
-        termination_signal_predicate,
-        "Figure-1 counter protocol until the first termination signal",
-        100_000,
-        lambda n: 200.0,
-    ),
-}
 
 
 def _parameters_from_args(args: argparse.Namespace) -> ProtocolParameters:
@@ -223,13 +187,16 @@ def _cmd_termination(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    factory, predicate, description, default_n, default_budget = SIMULATE_PROTOCOLS[
-        args.protocol
-    ]
-    protocol = factory()
-    population_size = args.n if args.n is not None else default_n
+    workload = get_workload(args.protocol)
+    protocol = workload.factory()
+    predicate = workload.predicate
+    population_size = (
+        args.n if args.n is not None else workload.default_population
+    )
     max_time = (
-        args.max_time if args.max_time is not None else default_budget(population_size)
+        args.max_time
+        if args.max_time is not None
+        else workload.default_budget(population_size)
     )
     engine_options = {}
     if args.batch_size is not None:
@@ -241,7 +208,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except SimulationError as error:
         print(f"repro simulate: error: {error}", file=sys.stderr)
         return 2
-    print(f"{protocol.describe()} on the {args.engine} engine: {description}")
+    print(
+        f"{protocol.describe()} on the {args.engine} engine: {workload.description}"
+    )
     converged = True
     convergence_time = None
     try:
@@ -264,6 +233,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         summary[f"output[{output!r}]"] = count
     print(format_key_values(summary))
     return 0 if converged else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = get_workload(args.protocol)
+    sizes = parse_size_list(args.sizes)
+    budget = (
+        (lambda n: args.max_time)
+        if args.max_time is not None
+        else workload.default_budget
+    )
+    engine_options = {}
+    if args.batch_size is not None:
+        engine_options["batch_size"] = args.batch_size
+    try:
+        specs = build_finite_state_trials(
+            population_sizes=sizes,
+            runs_per_size=args.runs,
+            base_seed=args.seed,
+            engine=args.engine,
+            max_parallel_time=budget,
+            check_interval=args.check_interval,
+            protocol=args.protocol,
+            **engine_options,
+        )
+    except SimulationError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir, name=f"{args.protocol}-{args.engine}")
+        if not args.resume:
+            cache.clear()
+
+    try:
+        outcome = run_trials(specs, workers=args.workers, cache=cache)
+    except SimulationError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+
+    result = SweepResult(
+        name=f"sweep-{args.protocol}-{args.engine}", records=outcome.records
+    )
+    print(
+        f"sweep of {args.protocol!r} on the {args.engine} engine "
+        f"({len(sizes)} sizes x {args.runs} runs, workers={args.workers})"
+    )
+    print(
+        f"trials: {len(specs)} total, {outcome.executed} executed, "
+        f"{outcome.from_cache} from cache"
+    )
+    if cache is not None:
+        print(f"cache: {cache.path}")
+    print()
+    summaries = result.summary_by_size()
+    rows = []
+    for size in result.population_sizes():
+        summary = summaries.get(size)
+        rows.append(
+            [
+                size,
+                len(result.records_for(size)),
+                result.convergence_rate(size),
+                summary.mean if summary else None,
+                summary.minimum if summary else None,
+                summary.maximum if summary else None,
+            ]
+        )
+    print(
+        format_table(
+            ["n", "runs", "P(converged)", "mean time", "min time", "max time"], rows
+        )
+    )
+    return 0 if all(record.converged for record in outcome.records) else 1
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -336,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--protocol",
-        choices=sorted(SIMULATE_PROTOCOLS),
+        choices=sorted(WORKLOADS),
         default="epidemic",
         help="which finite-state workload to run",
     )
@@ -363,6 +406,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched engine only: interactions per batch (default ~sqrt(n))",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="multi-size, multi-seed sweep with parallel workers and a resumable cache",
+        description=(
+            "Sweep a finite-state workload over population sizes and seeds "
+            "through the parallel sweep driver.  Trials are independent and "
+            "deterministically seeded, so --workers N produces record-for-"
+            "record identical results to --workers 1.  With --cache-dir, "
+            "finished trials are appended to a JSON-lines cache keyed by a "
+            "hash of each trial spec; --resume replays cached trials so an "
+            "interrupted or repeated sweep executes only the missing ones."
+        ),
+    )
+    sweep.add_argument(
+        "--protocol",
+        choices=sorted(WORKLOADS),
+        default="epidemic",
+        help="which finite-state workload to sweep",
+    )
+    sweep.add_argument(
+        "--sizes", default="1000,10000,100000",
+        help="comma-separated population sizes",
+    )
+    sweep.add_argument("--runs", type=int, default=3, help="runs (seeds) per size")
+    sweep.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default="batched",
+        help="simulation engine for every trial",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="sweep-level base seed")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, same results either way)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default="",
+        help="directory of the JSON-lines result cache (empty: no cache)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="replay trials already in the cache instead of recomputing them "
+        "(without this flag an existing cache file is cleared first)",
+    )
+    sweep.add_argument(
+        "--max-time", type=float, default=None,
+        help="per-trial parallel-time budget (default: the workload's budget, "
+        "e.g. 200 for polylog-time protocols, 4n for leader election)",
+    )
+    sweep.add_argument(
+        "--check-interval", type=int, default=None,
+        help="interactions between predicate checks (default: engine-chosen)",
+    )
+    sweep.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     return parser
 

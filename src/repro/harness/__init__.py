@@ -5,6 +5,12 @@ The harness turns the simulators into the artefacts the paper reports:
 * :mod:`repro.harness.results` — result records and summary statistics;
 * :mod:`repro.harness.experiment` — repeatable experiment runners (one
   protocol, several seeds) for both engines;
+* :mod:`repro.harness.parallel` — the sweep driver: picklable
+  :class:`TrialSpec` per trial, deterministic seed spawning, and a
+  ``multiprocessing`` worker pool behind ``workers=N``;
+* :mod:`repro.harness.cache` — JSON-lines result cache keyed by trial-spec
+  hashes, making interrupted sweeps resumable and repeated benchmark
+  invocations incremental;
 * :mod:`repro.harness.figures` — the Figure 2 reproduction (convergence time
   vs population size) as data series plus an ASCII rendering and CSV export;
 * :mod:`repro.harness.tables` — the theorem-level tables (accuracy, state
@@ -17,13 +23,22 @@ from repro.harness.results import (
     RunRecord,
     SeriesSummary,
     SweepResult,
+    records_equal,
     summarize,
 )
+from repro.harness.cache import ResultCache
 from repro.harness.experiment import (
     ExperimentSpec,
     run_array_experiment,
     run_finite_state_experiment,
     run_sequential_experiment,
+)
+from repro.harness.parallel import (
+    SweepOutcome,
+    TrialSpec,
+    build_finite_state_trials,
+    run_trial,
+    run_trials,
 )
 from repro.harness.figures import Figure2Point, Figure2Result, reproduce_figure2
 from repro.harness.tables import (
@@ -37,7 +52,14 @@ __all__ = [
     "RunRecord",
     "SeriesSummary",
     "SweepResult",
+    "records_equal",
     "summarize",
+    "ResultCache",
+    "SweepOutcome",
+    "TrialSpec",
+    "build_finite_state_trials",
+    "run_trial",
+    "run_trials",
     "ExperimentSpec",
     "run_array_experiment",
     "run_finite_state_experiment",

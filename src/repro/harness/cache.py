@@ -1,0 +1,152 @@
+"""On-disk result cache for sweep trials (JSON lines, keyed by spec hash).
+
+A sweep is a list of :class:`~repro.harness.parallel.TrialSpec` objects, each
+with a stable content hash (:meth:`TrialSpec.cache_key`).  The cache stores
+one JSON line per finished trial::
+
+    {"key": "<sha256 of the spec>", "record": {<RunRecord fields>}}
+
+Records are appended (and flushed) as each trial finishes, so a sweep killed
+half-way leaves a valid prefix on disk; re-running the same sweep with the
+cache attached replays the finished trials and executes only the missing
+ones.  A torn final line (the process died mid-write) is skipped on load.
+
+Because the key hashes every field of the spec — protocol, population size,
+run index, base seed, engine, budget, engine options — changing *any* of them
+changes the key, so a cache directory can safely accumulate results from many
+different sweeps without false hits.
+
+Format note: lines are JSON with Python's ``NaN`` token extension — a ``NaN``
+float nested in a record's ``extra`` dict (e.g. the ``final_estimate_mean``
+of a non-converged estimation run) is written as the bare ``NaN`` token,
+which ``json.loads`` accepts but strict parsers (``jq``, other languages) may
+not.  Top-level ``max_additive_error`` ``NaN`` is mapped to ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.harness.results import RunRecord
+
+__all__ = ["ResultCache", "record_to_dict", "record_from_dict"]
+
+
+def _jsonify(value):
+    """JSON encoder fallback: unwrap numpy scalars, stringify the rest."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def record_to_dict(record: RunRecord) -> dict:
+    """Serialise a :class:`RunRecord` to plain JSON-able data.
+
+    ``NaN`` in the ``max_additive_error`` field (runs where error is not
+    applicable) is mapped to ``None``.  Values nested inside ``extra`` are
+    stored as-is; a ``NaN`` there is written with Python's ``NaN`` token
+    extension, which :func:`json.loads` round-trips (see the module note).
+    """
+    return {
+        "population_size": int(record.population_size),
+        "seed": int(record.seed),
+        "converged": bool(record.converged),
+        "convergence_time": (
+            None if record.convergence_time is None else float(record.convergence_time)
+        ),
+        "max_additive_error": (
+            None
+            if isinstance(record.max_additive_error, float)
+            and math.isnan(record.max_additive_error)
+            else record.max_additive_error
+        ),
+        "extra": record.extra,
+    }
+
+
+def record_from_dict(payload: dict) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`record_to_dict` output."""
+    error = payload.get("max_additive_error")
+    return RunRecord(
+        population_size=payload["population_size"],
+        seed=payload["seed"],
+        converged=payload["converged"],
+        convergence_time=payload["convergence_time"],
+        max_additive_error=math.nan if error is None else error,
+        extra=payload.get("extra", {}),
+    )
+
+
+class ResultCache:
+    """Append-only JSON-lines store of finished trial records.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (created if missing).  One cache *file* lives under
+        it per ``name``, so several sweeps can share a directory.
+    name:
+        Stem of the cache file (``<name>.jsonl``).
+
+    Notes
+    -----
+    The cache is written only by the parent (driver) process — workers return
+    records over the pool's result pipe — so no file locking is needed.
+    """
+
+    def __init__(self, directory: str | Path, name: str = "sweep") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / f"{name}.jsonl"
+        self._records: dict[str, RunRecord] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = record_from_dict(payload["record"])
+                    key = payload["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Torn write from a killed sweep: ignore the partial line.
+                    continue
+                self._records[key] = record
+
+    # -- mapping interface ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> RunRecord | None:
+        """Return the cached record for ``key``, or ``None`` on a miss."""
+        return self._records.get(key)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        """Store ``record`` under ``key`` and append it to the cache file."""
+        self._records[key] = record
+        line = json.dumps(
+            {"key": key, "record": record_to_dict(record)},
+            sort_keys=True,
+            default=_jsonify,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def clear(self) -> None:
+        """Forget all cached records and truncate the cache file."""
+        self._records.clear()
+        if self.path.exists():
+            self.path.unlink()

@@ -15,28 +15,35 @@ counter termination), :func:`run_finite_state_experiment` sweeps any
 selectable engine (``"agent"``, ``"count"`` or ``"batched"`` — see
 :func:`repro.engine.selection.build_engine`).
 
-All runners return :class:`~repro.harness.results.RunRecord` lists so
-downstream figure/table builders do not care which engine produced the data.
+All three runners expand their sweep into picklable
+:class:`~repro.harness.parallel.TrialSpec` lists and execute them through
+:func:`~repro.harness.parallel.run_trials`, so every sweep can fan out over a
+worker pool (``workers > 1``) and resume from an on-disk result cache
+(``cache=ResultCache(...)``) — results are identical record-for-record to
+the serial ``workers=1`` path.  All runners return
+:class:`~repro.harness.results.RunRecord` lists so downstream figure/table
+builders do not care which engine produced the data.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
-from repro.core.log_size_estimation import (
-    LogSizeEstimationProtocol,
-    all_agents_done,
-    estimate_error,
-)
+from repro.core.array_simulator import expected_convergence_time
 from repro.core.parameters import ProtocolParameters
-from repro.engine.selection import build_engine
-from repro.engine.simulator import Simulation
-from repro.exceptions import ConvergenceError
-from repro.harness.results import RunRecord, SweepResult
+from repro.exceptions import SimulationError
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import (
+    KIND_ARRAY,
+    KIND_SEQUENTIAL,
+    TrialSpec,
+    build_finite_state_trials,
+    run_trials,
+)
+from repro.harness.results import SweepResult
 from repro.protocols.base import FiniteStateProtocol
+from repro.rng import spawn_seed
 
 
 @dataclass(frozen=True)
@@ -46,7 +53,7 @@ class ExperimentSpec:
     Attributes
     ----------
     population_sizes:
-        The sizes to sweep over.
+        The sizes to sweep over (each must be at least 2).
     runs_per_size:
         Independent runs (seeds) per size; the paper's Figure 2 uses 10.
     params:
@@ -55,8 +62,9 @@ class ExperimentSpec:
         Multiple of the a-priori convergence-time estimate allotted to each
         run before it is declared non-converged.
     base_seed:
-        Seed of the first run; run ``j`` at size index ``i`` uses
-        ``base_seed + 1000 i + j``.
+        Sweep-level seed; run ``j`` at size index ``i`` uses
+        ``spawn_seed(base_seed, i, j)`` (collision-free for any number of
+        runs, unlike the old ``base_seed + 1000 i + j`` scheme).
     """
 
     population_sizes: Sequence[int]
@@ -65,9 +73,26 @@ class ExperimentSpec:
     time_budget_factor: float = 4.0
     base_seed: int = 0
 
+    def __post_init__(self) -> None:
+        if not self.population_sizes:
+            raise SimulationError("population_sizes must be non-empty")
+        too_small = [size for size in self.population_sizes if size < 2]
+        if too_small:
+            raise SimulationError(
+                f"every population size must be >= 2, got {too_small}"
+            )
+        if self.runs_per_size < 1:
+            raise SimulationError(
+                f"runs_per_size must be >= 1, got {self.runs_per_size}"
+            )
+        if self.time_budget_factor <= 0:
+            raise SimulationError(
+                f"time_budget_factor must be positive, got {self.time_budget_factor}"
+            )
+
     def seed_for(self, size_index: int, run_index: int) -> int:
-        """Deterministic per-run seed."""
-        return self.base_seed + 1000 * size_index + run_index
+        """Deterministic, collision-free per-run seed."""
+        return spawn_seed(self.base_seed, size_index, run_index)
 
     def budget_for(self, population_size: int) -> float:
         """Parallel-time budget for one run at ``population_size``."""
@@ -75,48 +100,48 @@ class ExperimentSpec:
             population_size, self.params
         )
 
+    def trials(self, kind: str, engine: str, track_states: bool = False) -> list[TrialSpec]:
+        """Expand the sweep into one :class:`TrialSpec` per run."""
+        return [
+            TrialSpec(
+                kind=kind,
+                population_size=population_size,
+                size_index=size_index,
+                run_index=run_index,
+                base_seed=self.base_seed,
+                engine=engine,
+                max_parallel_time=self.budget_for(population_size),
+                params=self.params,
+                track_states=track_states,
+            )
+            for size_index, population_size in enumerate(self.population_sizes)
+            for run_index in range(self.runs_per_size)
+        ]
 
-def run_array_experiment(spec: ExperimentSpec, name: str = "figure2-array") -> SweepResult:
+
+def run_array_experiment(
+    spec: ExperimentSpec,
+    name: str = "figure2-array",
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> SweepResult:
     """Run the sweep on the vectorised engine and collect run records."""
-    result = SweepResult(name=name)
-    for size_index, population_size in enumerate(spec.population_sizes):
-        for run_index in range(spec.runs_per_size):
-            seed = spec.seed_for(size_index, run_index)
-            simulator = ArrayLogSizeSimulator(
-                population_size=population_size, params=spec.params, seed=seed
-            )
-            outcome = simulator.run_until_done(
-                max_parallel_time=spec.budget_for(population_size)
-            )
-            result.add(
-                RunRecord(
-                    population_size=population_size,
-                    seed=seed,
-                    converged=outcome.converged,
-                    convergence_time=outcome.convergence_time,
-                    max_additive_error=outcome.max_additive_error,
-                    extra={
-                        "engine": "array",
-                        "log_size2": outcome.log_size2,
-                        "interactions": outcome.interactions,
-                        "distinct_state_bound": outcome.distinct_state_bound,
-                        "final_estimate_mean": outcome.final_estimate_mean,
-                    },
-                )
-            )
-    return result
+    outcome = run_trials(spec.trials(KIND_ARRAY, "array"), workers=workers, cache=cache)
+    return SweepResult(name=name, records=outcome.records)
 
 
 def run_finite_state_experiment(
-    protocol_factory: Callable[[], FiniteStateProtocol],
-    predicate: Callable,
-    population_sizes: Sequence[int],
+    protocol_factory: Callable[[], FiniteStateProtocol] | str,
+    predicate: Callable | None = None,
+    population_sizes: Sequence[int] = (),
     runs_per_size: int = 3,
-    max_parallel_time: float = 100.0,
+    max_parallel_time: float | Callable[[int], float] = 100.0,
     engine: str = "count",
     base_seed: int = 0,
     name: str | None = None,
     check_interval: int | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
     **engine_options,
 ) -> SweepResult:
     """Sweep a finite-state protocol over population sizes on one engine.
@@ -124,13 +149,24 @@ def run_finite_state_experiment(
     Parameters
     ----------
     protocol_factory:
-        Zero-argument callable building a fresh protocol per run.
+        Zero-argument callable building a fresh protocol per run, or the
+        name of a registered workload (see
+        :data:`repro.harness.parallel.WORKLOADS`), in which case
+        ``predicate`` may be omitted.
     predicate:
         Convergence predicate evaluated against the engine (all engines share
         the count-level interface, so ``lambda sim: sim.count("S") == 0``
         works on every engine).
+    max_parallel_time:
+        Per-run parallel-time budget; may be a callable ``n -> budget``.
     engine:
         One of :data:`repro.engine.selection.ENGINE_NAMES`.
+    workers:
+        Worker processes; ``> 1`` requires picklable factory/predicate
+        (module-level functions or classes), which every registered workload
+        satisfies.
+    cache:
+        Optional :class:`ResultCache` for resumable, incremental sweeps.
     engine_options:
         Forwarded to :func:`repro.engine.selection.build_engine` (e.g.
         ``batch_size`` for the batched engine).
@@ -141,86 +177,36 @@ def run_finite_state_experiment(
         One :class:`RunRecord` per run; ``extra`` carries the engine name,
         interactions executed and the final output histogram.
     """
-    result = SweepResult(name=name or f"finite-state-{engine}")
-    for size_index, population_size in enumerate(population_sizes):
-        for run_index in range(runs_per_size):
-            seed = base_seed + 1000 * size_index + run_index
-            simulator = build_engine(
-                engine,
-                protocol_factory(),
-                population_size,
-                seed=seed,
-                **engine_options,
-            )
-            converged = True
-            convergence_time: float | None = None
-            try:
-                convergence_time = simulator.run_until(
-                    predicate,
-                    max_parallel_time=max_parallel_time,
-                    check_interval=check_interval,
-                )
-            except ConvergenceError:
-                converged = False
-            result.add(
-                RunRecord(
-                    population_size=population_size,
-                    seed=seed,
-                    converged=converged,
-                    convergence_time=convergence_time,
-                    extra={
-                        "engine": engine,
-                        "interactions": simulator.interactions,
-                        "outputs": {
-                            str(output): count
-                            for output, count in simulator.outputs().items()
-                        },
-                    },
-                )
-            )
-    return result
+    protocol_name = protocol_factory if isinstance(protocol_factory, str) else None
+    specs = build_finite_state_trials(
+        population_sizes=population_sizes,
+        runs_per_size=runs_per_size,
+        base_seed=base_seed,
+        engine=engine,
+        max_parallel_time=max_parallel_time,
+        check_interval=check_interval,
+        protocol=protocol_name,
+        protocol_factory=None if protocol_name else protocol_factory,
+        predicate=predicate,
+        **engine_options,
+    )
+    outcome = run_trials(specs, workers=workers, cache=cache)
+    return SweepResult(
+        name=name or f"finite-state-{engine}", records=outcome.records
+    )
 
 
 def run_sequential_experiment(
-    spec: ExperimentSpec, name: str = "figure2-sequential", track_states: bool = False
+    spec: ExperimentSpec,
+    name: str = "figure2-sequential",
+    track_states: bool = False,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> SweepResult:
     """Run the sweep on the agent-level engine and collect run records."""
-    result = SweepResult(name=name)
-    for size_index, population_size in enumerate(spec.population_sizes):
-        for run_index in range(spec.runs_per_size):
-            seed = spec.seed_for(size_index, run_index)
-            protocol = LogSizeEstimationProtocol(spec.params)
-            simulation = Simulation(
-                protocol=protocol,
-                population_size=population_size,
-                seed=seed,
-                track_states=track_states,
-            )
-            converged = True
-            convergence_time: float | None = None
-            try:
-                convergence_time = simulation.run_until(
-                    all_agents_done,
-                    max_parallel_time=spec.budget_for(population_size),
-                )
-            except ConvergenceError:
-                converged = False
-            try:
-                error = estimate_error(simulation)["max_additive_error"]
-            except ValueError:
-                error = math.nan
-            result.add(
-                RunRecord(
-                    population_size=population_size,
-                    seed=seed,
-                    converged=converged,
-                    convergence_time=convergence_time,
-                    max_additive_error=error,
-                    extra={
-                        "engine": "sequential",
-                        "interactions": simulation.metrics.interactions,
-                        "distinct_states": simulation.metrics.distinct_states,
-                    },
-                )
-            )
-    return result
+    outcome = run_trials(
+        spec.trials(KIND_SEQUENTIAL, "sequential", track_states=track_states),
+        workers=workers,
+        cache=cache,
+    )
+    return SweepResult(name=name, records=outcome.records)

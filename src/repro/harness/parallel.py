@@ -1,0 +1,588 @@
+"""Parallel sweep orchestration: picklable trial specs + a worker-pool driver.
+
+PR 1 made *single runs* fast (the batched engine); this module makes *sweeps*
+fast.  A sweep — every Figure-2 / termination / cross-engine experiment — is
+a list of independent trials, one per ``(protocol, n, run, engine)``
+combination.  Each trial is described by a frozen, picklable
+:class:`TrialSpec`; :func:`run_trial` executes one spec to a
+:class:`~repro.harness.results.RunRecord`; :func:`run_trials` maps specs over
+a ``multiprocessing`` worker pool (or serially for ``workers=1``) and
+optionally through a :class:`~repro.harness.cache.ResultCache`, so
+interrupted sweeps resume without recomputing finished trials.
+
+Determinism
+-----------
+A trial's randomness depends only on its spec: the per-trial seed is derived
+from ``(base_seed, size_index, run_index)`` via
+:func:`repro.rng.spawn_seed` (``numpy.random.SeedSequence`` spawning), never
+from worker identity or scheduling order, and results are collected in spec
+order.  ``workers=4`` therefore produces record-for-record identical output
+to ``workers=1``.
+
+Workload registry
+-----------------
+Cached/parallel sweeps driven from the CLI reference protocols *by name*
+through :data:`WORKLOADS` (worker processes re-import this module, so the
+registry is always available on the far side of the pickle boundary).
+Library callers may instead embed ``protocol_factory``/``predicate``
+callables in the spec; with ``workers > 1`` those callables must be
+picklable (module-level functions or classes, not lambdas or closures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+from dataclasses import dataclass, field, fields
+from typing import Callable, Sequence
+
+from repro.core.parameters import ProtocolParameters
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.harness.cache import ResultCache
+from repro.harness.results import RunRecord
+from repro.protocols.base import FiniteStateProtocol
+from repro.rng import spawn_seed
+
+__all__ = [
+    "KIND_ARRAY",
+    "KIND_FINITE_STATE",
+    "KIND_SEQUENTIAL",
+    "WORKLOADS",
+    "FiniteStateWorkload",
+    "SweepOutcome",
+    "TrialSpec",
+    "build_finite_state_trials",
+    "get_workload",
+    "register_workload",
+    "run_trial",
+    "run_trials",
+]
+
+#: Trial kinds understood by :func:`run_trial`.
+KIND_FINITE_STATE = "finite-state"
+KIND_ARRAY = "array"
+KIND_SEQUENTIAL = "sequential"
+_KINDS = (KIND_FINITE_STATE, KIND_ARRAY, KIND_SEQUENTIAL)
+
+
+# ---------------------------------------------------------------------------
+# Workload registry (finite-state protocols referenced by name)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FiniteStateWorkload:
+    """A named finite-state workload runnable by the sweep driver and CLI.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro sweep --protocol <name>``).
+    factory:
+        Zero-argument callable building a fresh protocol per trial.
+    predicate:
+        Convergence predicate over the count-level engine interface.
+    description:
+        One line for ``--help`` output.
+    default_population:
+        Default ``n`` for single-shot CLI runs.
+    default_budget:
+        Parallel-time budget as a function of ``n``.
+    """
+
+    name: str
+    factory: Callable[[], FiniteStateProtocol]
+    predicate: Callable[..., bool]
+    description: str
+    default_population: int
+    default_budget: Callable[[int], float]
+
+
+WORKLOADS: dict[str, FiniteStateWorkload] = {}
+
+
+def register_workload(workload: FiniteStateWorkload) -> FiniteStateWorkload:
+    """Register a named workload (overwrites an existing entry)."""
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> FiniteStateWorkload:
+    """Look up a registered workload, raising :class:`SimulationError` if absent."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown workload {name!r}; registered: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def _register_builtin_workloads() -> None:
+    # Imported lazily so importing the harness does not pull every protocol
+    # module at module-import time in a fixed order; the worker side re-runs
+    # this at import, so name lookups succeed in any start method.
+    from repro.protocols.epidemic import (
+        EpidemicProtocol,
+        epidemic_completion_predicate,
+    )
+    from repro.protocols.leader_election import (
+        FiniteStateCounterTermination,
+        FiniteStatePairwiseElimination,
+        termination_signal_predicate,
+        unique_leader_predicate,
+    )
+    from repro.protocols.majority import (
+        ApproximateMajorityProtocol,
+        majority_consensus_predicate,
+    )
+
+    register_workload(
+        FiniteStateWorkload(
+            name="epidemic",
+            factory=EpidemicProtocol,
+            predicate=epidemic_completion_predicate,
+            description="one-way epidemic until the whole population is infected",
+            default_population=100_000,
+            default_budget=lambda n: 200.0,
+        )
+    )
+    register_workload(
+        FiniteStateWorkload(
+            name="majority",
+            factory=ApproximateMajorityProtocol,
+            predicate=majority_consensus_predicate,
+            description="3-state approximate majority until consensus",
+            default_population=100_000,
+            default_budget=lambda n: 200.0,
+        )
+    )
+    register_workload(
+        FiniteStateWorkload(
+            name="leader",
+            factory=FiniteStatePairwiseElimination,
+            predicate=unique_leader_predicate,
+            description="pairwise-elimination leader election until one leader remains",
+            default_population=2_000,
+            # The election needs Theta(n) parallel time (Theta(n^2) interactions).
+            default_budget=lambda n: 4.0 * n,
+        )
+    )
+    register_workload(
+        FiniteStateWorkload(
+            name="termination",
+            factory=lambda: FiniteStateCounterTermination(counter_threshold=8),
+            predicate=termination_signal_predicate,
+            description="Figure-1 counter protocol until the first termination signal",
+            default_population=100_000,
+            default_budget=lambda n: 200.0,
+        )
+    )
+
+
+_register_builtin_workloads()
+
+
+# ---------------------------------------------------------------------------
+# Trial specification
+# ---------------------------------------------------------------------------
+
+
+def _callable_ref(value: Callable | None) -> str | None:
+    """Stable textual reference to a callable, for hashing into cache keys."""
+    if value is None:
+        return None
+    module = getattr(value, "__module__", type(value).__module__)
+    qualname = getattr(value, "__qualname__", type(value).__qualname__)
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One simulation trial, fully described by picklable data.
+
+    The spec is the unit of parallelism *and* the unit of caching: a worker
+    process receives the spec (nothing else), and the cache key is a hash of
+    every field, so any change to the sweep — protocol, size, run index,
+    base seed, engine, budget, options — invalidates exactly the affected
+    trials.
+
+    Attributes
+    ----------
+    kind:
+        ``"finite-state"`` (any registered/supplied finite-state protocol on
+        a selectable engine), ``"array"`` (vectorised
+        ``Log-Size-Estimation``), or ``"sequential"`` (agent-level
+        ``Log-Size-Estimation``).
+    population_size / size_index / run_index / base_seed:
+        Trial coordinates; the per-trial seed is
+        ``spawn_seed(base_seed, size_index, run_index)``.
+    engine:
+        Engine name for finite-state trials (one of
+        :data:`repro.engine.selection.ENGINE_NAMES`); informational for the
+        estimation kinds.
+    max_parallel_time:
+        Budget before the trial is recorded as non-converged.
+    protocol:
+        Name of a registered workload (preferred for cached sweeps), or
+        ``None`` when ``protocol_factory``/``predicate`` are given directly.
+    protocol_factory / predicate:
+        Direct callables (must be picklable for ``workers > 1``).
+    engine_options:
+        Canonicalised ``(key, value)`` pairs forwarded to
+        :func:`repro.engine.selection.build_engine`.
+    params:
+        :class:`ProtocolParameters` for the estimation kinds.
+    track_states:
+        Sequential kind only: enable per-agent state tracking.
+    """
+
+    kind: str
+    population_size: int
+    size_index: int
+    run_index: int
+    base_seed: int = 0
+    engine: str = "count"
+    max_parallel_time: float = 100.0
+    check_interval: int | None = None
+    protocol: str | None = None
+    protocol_factory: Callable[[], FiniteStateProtocol] | None = None
+    predicate: Callable[..., bool] | None = None
+    engine_options: tuple[tuple[str, object], ...] = ()
+    params: ProtocolParameters | None = None
+    track_states: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SimulationError(
+                f"unknown trial kind {self.kind!r}; expected one of {', '.join(_KINDS)}"
+            )
+        if self.population_size < 2:
+            raise SimulationError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.size_index < 0 or self.run_index < 0:
+            raise SimulationError(
+                f"size_index and run_index must be >= 0, got "
+                f"({self.size_index}, {self.run_index})"
+            )
+        if self.max_parallel_time <= 0:
+            raise SimulationError(
+                f"max_parallel_time must be positive, got {self.max_parallel_time}"
+            )
+        if self.kind == KIND_FINITE_STATE:
+            if self.protocol is None and (
+                self.protocol_factory is None or self.predicate is None
+            ):
+                raise SimulationError(
+                    "a finite-state trial needs either a registered workload name "
+                    "(protocol=...) or explicit protocol_factory and predicate"
+                )
+            from repro.engine.selection import ENGINE_NAMES
+
+            if self.engine not in ENGINE_NAMES:
+                raise SimulationError(
+                    f"unknown engine {self.engine!r}; expected one of "
+                    f"{', '.join(ENGINE_NAMES)}"
+                )
+        elif self.params is None:
+            raise SimulationError(
+                f"{self.kind} trials need ProtocolParameters (params=...)"
+            )
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-trial seed (collision-free across the sweep)."""
+        return spawn_seed(self.base_seed, self.size_index, self.run_index)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec, used as the result-cache key."""
+        payload = {
+            "kind": self.kind,
+            "population_size": self.population_size,
+            "size_index": self.size_index,
+            "run_index": self.run_index,
+            "base_seed": self.base_seed,
+            "engine": self.engine,
+            "max_parallel_time": self.max_parallel_time,
+            "check_interval": self.check_interval,
+            "protocol": self.protocol,
+            "protocol_factory": _callable_ref(self.protocol_factory),
+            "predicate": _callable_ref(self.predicate),
+            "engine_options": sorted(
+                (str(key), repr(value)) for key, value in self.engine_options
+            ),
+            "params": None if self.params is None else {
+                f.name: getattr(self.params, f.name) for f in fields(self.params)
+            },
+            "track_states": self.track_states,
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def resolve_workload(self) -> tuple[Callable[[], FiniteStateProtocol], Callable]:
+        """Resolve the protocol factory and predicate for a finite-state trial.
+
+        Explicit callables take precedence; a registered workload name fills
+        in whichever of the two was not supplied (so a caller can e.g. sweep
+        the ``"epidemic"`` workload under a custom stopping predicate).
+        """
+        factory = self.protocol_factory
+        predicate = self.predicate
+        if self.protocol is not None:
+            workload = get_workload(self.protocol)
+            factory = factory or workload.factory
+            predicate = predicate or workload.predicate
+        return factory, predicate
+
+
+def build_finite_state_trials(
+    population_sizes: Sequence[int],
+    runs_per_size: int,
+    base_seed: int = 0,
+    engine: str = "count",
+    max_parallel_time: float | Callable[[int], float] = 100.0,
+    check_interval: int | None = None,
+    protocol: str | None = None,
+    protocol_factory: Callable[[], FiniteStateProtocol] | None = None,
+    predicate: Callable[..., bool] | None = None,
+    **engine_options,
+) -> list[TrialSpec]:
+    """Expand a finite-state sweep into one :class:`TrialSpec` per trial.
+
+    ``max_parallel_time`` may be a callable ``n -> budget`` for workloads
+    whose budget scales with the population (e.g. leader election's ``4n``).
+    """
+    if not population_sizes:
+        raise SimulationError("population_sizes must be non-empty")
+    if runs_per_size < 1:
+        raise SimulationError(f"runs_per_size must be >= 1, got {runs_per_size}")
+    budget = (
+        max_parallel_time
+        if callable(max_parallel_time)
+        else (lambda n: float(max_parallel_time))
+    )
+    return [
+        TrialSpec(
+            kind=KIND_FINITE_STATE,
+            population_size=population_size,
+            size_index=size_index,
+            run_index=run_index,
+            base_seed=base_seed,
+            engine=engine,
+            max_parallel_time=budget(population_size),
+            check_interval=check_interval,
+            protocol=protocol,
+            protocol_factory=protocol_factory,
+            predicate=predicate,
+            engine_options=tuple(sorted(engine_options.items())),
+        )
+        for size_index, population_size in enumerate(population_sizes)
+        for run_index in range(runs_per_size)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Trial execution (runs inside worker processes)
+# ---------------------------------------------------------------------------
+
+
+def _run_finite_state_trial(spec: TrialSpec) -> RunRecord:
+    from repro.engine.selection import build_engine
+
+    factory, predicate = spec.resolve_workload()
+    simulator = build_engine(
+        spec.engine,
+        factory(),
+        spec.population_size,
+        seed=spec.seed,
+        **dict(spec.engine_options),
+    )
+    converged = True
+    convergence_time: float | None = None
+    try:
+        convergence_time = simulator.run_until(
+            predicate,
+            max_parallel_time=spec.max_parallel_time,
+            check_interval=spec.check_interval,
+        )
+    except ConvergenceError:
+        converged = False
+    return RunRecord(
+        population_size=spec.population_size,
+        seed=spec.seed,
+        converged=converged,
+        convergence_time=convergence_time,
+        extra={
+            "engine": spec.engine,
+            "interactions": int(simulator.interactions),
+            "outputs": {
+                str(output): int(count)
+                for output, count in simulator.outputs().items()
+            },
+        },
+    )
+
+
+def _run_array_trial(spec: TrialSpec) -> RunRecord:
+    from repro.core.array_simulator import ArrayLogSizeSimulator
+
+    simulator = ArrayLogSizeSimulator(
+        population_size=spec.population_size, params=spec.params, seed=spec.seed
+    )
+    outcome = simulator.run_until_done(max_parallel_time=spec.max_parallel_time)
+    return RunRecord(
+        population_size=spec.population_size,
+        seed=spec.seed,
+        converged=outcome.converged,
+        convergence_time=outcome.convergence_time,
+        max_additive_error=outcome.max_additive_error,
+        extra={
+            "engine": "array",
+            "log_size2": outcome.log_size2,
+            "interactions": outcome.interactions,
+            "distinct_state_bound": outcome.distinct_state_bound,
+            "final_estimate_mean": outcome.final_estimate_mean,
+        },
+    )
+
+
+def _run_sequential_trial(spec: TrialSpec) -> RunRecord:
+    from repro.core.log_size_estimation import (
+        LogSizeEstimationProtocol,
+        all_agents_done,
+        estimate_error,
+    )
+    from repro.engine.simulator import Simulation
+
+    protocol = LogSizeEstimationProtocol(spec.params)
+    simulation = Simulation(
+        protocol=protocol,
+        population_size=spec.population_size,
+        seed=spec.seed,
+        track_states=spec.track_states,
+    )
+    converged = True
+    convergence_time: float | None = None
+    try:
+        convergence_time = simulation.run_until(
+            all_agents_done, max_parallel_time=spec.max_parallel_time
+        )
+    except ConvergenceError:
+        converged = False
+    try:
+        error = estimate_error(simulation)["max_additive_error"]
+    except ValueError:
+        error = math.nan
+    return RunRecord(
+        population_size=spec.population_size,
+        seed=spec.seed,
+        converged=converged,
+        convergence_time=convergence_time,
+        max_additive_error=error,
+        extra={
+            "engine": "sequential",
+            "interactions": simulation.metrics.interactions,
+            "distinct_states": simulation.metrics.distinct_states,
+        },
+    )
+
+
+_TRIAL_RUNNERS = {
+    KIND_FINITE_STATE: _run_finite_state_trial,
+    KIND_ARRAY: _run_array_trial,
+    KIND_SEQUENTIAL: _run_sequential_trial,
+}
+
+
+def run_trial(spec: TrialSpec) -> RunRecord:
+    """Execute one trial (in whatever process this is called from)."""
+    return _TRIAL_RUNNERS[spec.kind](spec)
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """Result of :func:`run_trials`: records in spec order plus provenance.
+
+    Attributes
+    ----------
+    records:
+        One :class:`RunRecord` per input spec, in input order — identical
+        regardless of ``workers``.
+    executed:
+        Trials actually simulated in this invocation.
+    from_cache:
+        Trials replayed from the result cache.
+    """
+
+    records: list[RunRecord] = field(default_factory=list)
+    executed: int = 0
+    from_cache: int = 0
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> SweepOutcome:
+    """Run a sweep of trials, optionally in parallel and through a cache.
+
+    Parameters
+    ----------
+    specs:
+        The trials, typically from :func:`build_finite_state_trials` or the
+        :mod:`repro.harness.experiment` runners.
+    workers:
+        Worker processes.  ``1`` runs serially in-process (no pickling
+        constraints); ``> 1`` maps pending trials over a
+        ``multiprocessing.Pool`` with ``chunksize=1`` (trials are coarse, so
+        dynamic scheduling beats chunking).
+    cache:
+        Optional :class:`ResultCache`.  Hits are replayed without
+        simulation; new results are appended (and flushed) as they finish,
+        so a killed sweep resumes from its last completed trial.
+
+    Returns
+    -------
+    SweepOutcome
+        Records in spec order plus executed / from-cache counts.
+    """
+    specs = list(specs)
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    records: list[RunRecord | None] = [None] * len(specs)
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    from_cache = 0
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            keys[index] = spec.cache_key()
+            cached = cache.get(keys[index])
+            if cached is not None:
+                records[index] = cached
+                from_cache += 1
+                continue
+        pending.append(index)
+
+    def _store(index: int, record: RunRecord) -> None:
+        records[index] = record
+        if cache is not None:
+            cache.put(keys[index], record)
+
+    if workers == 1 or len(pending) <= 1:
+        for index in pending:
+            _store(index, run_trial(specs[index]))
+    else:
+        with multiprocessing.get_context().Pool(
+            processes=min(workers, len(pending))
+        ) as pool:
+            results = pool.imap(run_trial, (specs[i] for i in pending), chunksize=1)
+            for index, record in zip(pending, results):
+                _store(index, record)
+    return SweepOutcome(records=records, executed=len(pending), from_cache=from_cache)

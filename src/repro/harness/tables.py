@@ -31,6 +31,7 @@ from repro.protocols.approximate_counting import (
     AlistarhApproximateCounting,
     approximate_counting_converged,
 )
+from repro.rng import spawn_seed
 
 
 @dataclass(frozen=True)
@@ -66,7 +67,7 @@ def accuracy_table(
             simulator = ArrayLogSizeSimulator(
                 population_size=population_size,
                 params=params,
-                seed=base_seed + 1000 * size_index + run_index,
+                seed=spawn_seed(base_seed, size_index, run_index),
             )
             outcome = simulator.run_until_done(
                 max_parallel_time=time_budget_factor
@@ -110,7 +111,7 @@ def state_complexity_table(
         simulator = ArrayLogSizeSimulator(
             population_size=population_size,
             params=params,
-            seed=base_seed + size_index,
+            seed=spawn_seed(base_seed, size_index),
         )
         simulator.run_until_done(
             max_parallel_time=time_budget_factor
@@ -163,7 +164,7 @@ def baseline_comparison_table(
             simulation = Simulation(
                 protocol=protocol,
                 population_size=population_size,
-                seed=base_seed + 1000 * size_index + run_index,
+                seed=spawn_seed(base_seed, size_index, run_index, 0),
             )
             try:
                 simulation.run_until(
@@ -176,10 +177,12 @@ def baseline_comparison_table(
 
         paper_errors = []
         for run_index in range(runs_per_size):
+            # Arm 1 of the comparison; the 4-part spawn key keeps the
+            # baseline (arm 0) and paper-protocol streams disjoint.
             simulator = ArrayLogSizeSimulator(
                 population_size=population_size,
                 params=params,
-                seed=base_seed + 5000 + 1000 * size_index + run_index,
+                seed=spawn_seed(base_seed, size_index, run_index, 1),
             )
             outcome = simulator.run_until_done(
                 max_parallel_time=time_budget_factor

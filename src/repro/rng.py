@@ -32,7 +32,49 @@ __all__ = [
     "SyntheticCoin",
     "geometric",
     "max_of_geometrics",
+    "spawn_seed",
 ]
+
+
+def spawn_seed(base_seed: int, *spawn_key: int) -> int:
+    """Derive a collision-free child seed from a base seed and an index key.
+
+    The harness used to seed run ``j`` at size index ``i`` with
+    ``base_seed + 1000 i + j``, which collides as soon as ``j >= 1000`` and
+    across sweeps whose base seeds differ by a multiple of 1000.  This helper
+    instead hashes ``(base_seed, *spawn_key)`` through
+    :class:`numpy.random.SeedSequence` spawning — distinct keys yield
+    statistically independent streams, and distinct key *lengths* occupy
+    disjoint domains, so e.g. ``spawn_seed(s, i, j)`` and
+    ``spawn_seed(s, i, j, arm)`` never alias.
+
+    Every sweep runner (finite-state, array, sequential, termination,
+    tables) derives its per-trial seeds through this one function, so serial
+    and parallel execution of the same sweep see identical seeds.
+
+    Parameters
+    ----------
+    base_seed:
+        Sweep-level seed (any Python int).
+    spawn_key:
+        Non-negative trial coordinates, typically ``(size_index, run_index)``.
+
+    Returns
+    -------
+    int
+        A seed in ``[0, 2**64)`` suitable for both :class:`random.Random`
+        and :func:`numpy.random.default_rng`.
+    """
+    # numpy is already a hard dependency of the array/batched engines; the
+    # local import keeps ``repro.rng`` cheap for stdlib-only users.
+    from numpy.random import SeedSequence
+
+    if any(part < 0 for part in spawn_key):
+        raise ValueError(f"spawn_key parts must be non-negative, got {spawn_key}")
+    # SeedSequence entropy must be non-negative; fold negative base seeds in.
+    entropy = base_seed & 0xFFFFFFFFFFFFFFFF
+    sequence = SeedSequence(entropy=entropy, spawn_key=tuple(spawn_key))
+    return int(sequence.generate_state(2, "uint32").view("uint64")[0])
 
 
 def geometric(rng: random.Random, p: float = 0.5) -> int:

@@ -32,6 +32,7 @@ from typing import Callable, Sequence
 from repro.engine.simulator import Simulation
 from repro.exceptions import ConvergenceError, TerminationSpecError
 from repro.protocols.base import AgentProtocol
+from repro.rng import spawn_seed
 from repro.termination.definitions import TerminationSpec
 
 
@@ -132,7 +133,8 @@ def termination_time_sweep(
     max_parallel_time:
         Per-run budget; runs exceeding it are recorded as failures.
     seed:
-        Base seed; run ``j`` at size index ``i`` uses ``seed + 1000 i + j``.
+        Base seed; run ``j`` at size index ``i`` uses
+        :func:`repro.rng.spawn_seed`\\ ``(seed, i, j)`` (collision-free).
     """
     if runs_per_size < 1:
         raise TerminationSpecError(f"runs_per_size must be >= 1, got {runs_per_size}")
@@ -141,7 +143,7 @@ def termination_time_sweep(
         times: list[float] = []
         failures = 0
         for run_index in range(runs_per_size):
-            run_seed = seed + 1000 * size_index + run_index
+            run_seed = spawn_seed(seed, size_index, run_index)
             elapsed = measure_termination_time(
                 protocol_factory,
                 spec,

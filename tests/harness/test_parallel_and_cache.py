@@ -1,0 +1,353 @@
+"""Tests for the parallel sweep driver, seed spawning and the result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.parameters import ProtocolParameters
+from repro.exceptions import SimulationError
+from repro.harness.cache import ResultCache, record_from_dict, record_to_dict
+from repro.harness.experiment import (
+    ExperimentSpec,
+    run_array_experiment,
+    run_finite_state_experiment,
+    run_sequential_experiment,
+)
+from repro.harness.parallel import (
+    KIND_FINITE_STATE,
+    TrialSpec,
+    build_finite_state_trials,
+    get_workload,
+    run_trial,
+    run_trials,
+)
+from repro.harness.results import RunRecord, records_equal
+from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
+from repro.rng import spawn_seed
+
+FAST = ProtocolParameters.fast_test()
+
+
+def epidemic_trials(sizes=(64, 128), runs=2, **overrides):
+    options = dict(
+        population_sizes=list(sizes),
+        runs_per_size=runs,
+        base_seed=5,
+        engine="count",
+        max_parallel_time=200.0,
+        protocol_factory=EpidemicProtocol,
+        predicate=epidemic_completion_predicate,
+    )
+    options.update(overrides)
+    return build_finite_state_trials(**options)
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(7, 1, 2) == spawn_seed(7, 1, 2)
+
+    def test_no_collisions_on_large_run_grid(self):
+        # The old scheme (base + 1000 i + j) collides at runs_per_size >= 1000.
+        seeds = {spawn_seed(0, i, j) for i in range(3) for j in range(1500)}
+        assert len(seeds) == 3 * 1500
+
+    def test_old_scheme_collision_pairs_are_distinct(self):
+        assert spawn_seed(0, 1, 0) != spawn_seed(0, 0, 1000)
+        # Sweeps whose base seeds differ by 1000 no longer overlap either.
+        assert spawn_seed(1000, 0, 0) != spawn_seed(0, 1, 0)
+
+    def test_key_length_separates_domains(self):
+        assert spawn_seed(3, 1, 2) != spawn_seed(3, 1, 2, 0)
+
+    def test_negative_base_seed_allowed(self):
+        assert spawn_seed(-4, 0, 0) != spawn_seed(4, 0, 0)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seed(0, -1)
+
+
+class TestExperimentSpecValidation:
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(population_sizes=[])
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(population_sizes=[64, 1])
+
+    def test_nonpositive_runs_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(population_sizes=[64], runs_per_size=0)
+
+    def test_nonpositive_budget_factor_rejected(self):
+        with pytest.raises(SimulationError):
+            ExperimentSpec(population_sizes=[64], time_budget_factor=0.0)
+
+    def test_valid_spec_accepted(self):
+        spec = ExperimentSpec(population_sizes=[64], runs_per_size=2, params=FAST)
+        assert spec.seed_for(0, 0) != spec.seed_for(0, 1)
+
+
+class TestTrialSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            TrialSpec(kind="warp", population_size=64, size_index=0, run_index=0)
+
+    def test_small_population_rejected(self):
+        with pytest.raises(SimulationError):
+            epidemic_trials(sizes=[1])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            epidemic_trials(engine="warp")
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(SimulationError):
+            TrialSpec(
+                kind=KIND_FINITE_STATE,
+                population_size=64,
+                size_index=0,
+                run_index=0,
+            )
+
+    def test_unknown_workload_name_raises_on_run(self):
+        spec = TrialSpec(
+            kind=KIND_FINITE_STATE,
+            population_size=64,
+            size_index=0,
+            run_index=0,
+            protocol="no-such-workload",
+        )
+        with pytest.raises(SimulationError):
+            run_trial(spec)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(SimulationError):
+            epidemic_trials(sizes=[])
+        with pytest.raises(SimulationError):
+            epidemic_trials(runs=0)
+
+    def test_registered_workload_resolves(self):
+        workload = get_workload("epidemic")
+        assert workload.factory is EpidemicProtocol
+
+    def test_explicit_predicate_overrides_workload(self):
+        # A workload name fills in missing callables but never shadows
+        # explicitly supplied ones.
+        def never_converges(simulator) -> bool:
+            return False
+
+        spec = TrialSpec(
+            kind=KIND_FINITE_STATE,
+            population_size=64,
+            size_index=0,
+            run_index=0,
+            protocol="epidemic",
+            predicate=never_converges,
+            max_parallel_time=5.0,
+        )
+        factory, predicate = spec.resolve_workload()
+        assert factory is EpidemicProtocol
+        assert predicate is never_converges
+        assert not run_trial(spec).converged
+
+
+class TestParallelMatchesSerial:
+    def test_record_for_record_identical(self):
+        specs = epidemic_trials()
+        serial = run_trials(specs, workers=1)
+        parallel = run_trials(specs, workers=4)
+        assert serial.executed == parallel.executed == len(specs)
+        assert len(parallel.records) == len(specs)
+        for spec, left, right in zip(specs, serial.records, parallel.records):
+            assert left.population_size == spec.population_size
+            assert left.seed == spec.seed
+            assert records_equal(left, right)
+
+    @pytest.mark.parametrize("engine", ["agent", "count", "batched"])
+    def test_runner_parallel_equals_serial_per_engine(self, engine):
+        common = dict(
+            protocol_factory=EpidemicProtocol,
+            predicate=epidemic_completion_predicate,
+            population_sizes=[64, 128],
+            runs_per_size=2,
+            max_parallel_time=200.0,
+            engine=engine,
+            base_seed=9,
+        )
+        serial = run_finite_state_experiment(**common, workers=1)
+        parallel = run_finite_state_experiment(**common, workers=2)
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(serial.records, parallel.records)
+        )
+
+    def test_workload_by_name(self):
+        sweep = run_finite_state_experiment(
+            "epidemic",
+            population_sizes=[64],
+            runs_per_size=2,
+            max_parallel_time=200.0,
+            engine="count",
+            workers=2,
+        )
+        assert len(sweep.records) == 2
+        assert all(record.converged for record in sweep.records)
+
+    def test_array_experiment_parallel(self):
+        spec = ExperimentSpec(
+            population_sizes=[48, 64], runs_per_size=2, params=FAST, base_seed=1
+        )
+        serial = run_array_experiment(spec)
+        parallel = run_array_experiment(spec, workers=3)
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(serial.records, parallel.records)
+        )
+
+    def test_sequential_experiment_parallel(self):
+        spec = ExperimentSpec(
+            population_sizes=[48], runs_per_size=2, params=FAST, base_seed=2
+        )
+        serial = run_sequential_experiment(spec)
+        parallel = run_sequential_experiment(spec, workers=2)
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(serial.records, parallel.records)
+        )
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SimulationError):
+            run_trials(epidemic_trials(), workers=0)
+
+
+class TestResultCache:
+    def test_round_trip_preserves_records(self, tmp_path):
+        specs = epidemic_trials()
+        cache = ResultCache(tmp_path)
+        first = run_trials(specs, cache=cache)
+        assert first.executed == len(specs)
+        assert first.from_cache == 0
+
+        reloaded = ResultCache(tmp_path)
+        second = run_trials(specs, cache=reloaded)
+        assert second.executed == 0
+        assert second.from_cache == len(specs)
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(first.records, second.records)
+        )
+
+    def test_killed_sweep_resumes_from_cache(self, tmp_path):
+        specs = epidemic_trials()
+        cache = ResultCache(tmp_path)
+        full = run_trials(specs, cache=cache)
+
+        # Simulate a sweep killed after two finished trials: keep only the
+        # first two cache lines (plus a torn partial third line).
+        lines = cache.path.read_text(encoding="utf-8").splitlines()
+        cache.path.write_text(
+            "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2],
+            encoding="utf-8",
+        )
+
+        resumed_cache = ResultCache(tmp_path)
+        assert len(resumed_cache) == 2
+        resumed = run_trials(specs, cache=resumed_cache)
+        assert resumed.from_cache == 2
+        assert resumed.executed == len(specs) - 2
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(full.records, resumed.records)
+        )
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        specs = epidemic_trials()
+        cache = ResultCache(tmp_path)
+        run_trials(specs[:1], cache=cache)
+        outcome = run_trials(specs, workers=4, cache=ResultCache(tmp_path))
+        assert outcome.from_cache == 1
+        assert outcome.executed == len(specs) - 1
+        baseline = run_trials(specs)
+        assert all(
+            records_equal(left, right)
+            for left, right in zip(baseline.records, outcome.records)
+        )
+
+    def test_record_serialisation_round_trip(self):
+        import math
+
+        record = RunRecord(
+            population_size=64,
+            seed=12,
+            converged=False,
+            convergence_time=None,
+            max_additive_error=math.nan,
+            extra={"engine": "count", "outputs": {"True": 64}},
+        )
+        clone = record_from_dict(json.loads(json.dumps(record_to_dict(record))))
+        assert records_equal(record, clone)
+
+    def test_caches_are_shareable_across_sweeps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_trials(epidemic_trials(sizes=[64], runs=1), cache=cache)
+        other = run_trials(
+            epidemic_trials(sizes=[64], runs=1, engine="batched"), cache=cache
+        )
+        assert other.executed == 1  # different engine -> different key
+
+    def test_clear_empties_store_and_file(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_trials(epidemic_trials(sizes=[64], runs=1), cache=cache)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.path.exists()
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self):
+        spec = epidemic_trials()[0]
+        assert spec.cache_key() == spec.cache_key()
+        assert spec.cache_key() == epidemic_trials()[0].cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"population_size": 256},
+            {"size_index": 7},
+            {"run_index": 7},
+            {"base_seed": 99},
+            {"engine": "batched"},
+            {"max_parallel_time": 123.0},
+            {"check_interval": 32},
+            {"protocol": "epidemic", "protocol_factory": None, "predicate": None},
+            {"engine_options": (("batch_size", 16),)},
+        ],
+    )
+    def test_key_changes_when_any_field_changes(self, change):
+        base = epidemic_trials()[0]
+        changed = dataclasses.replace(base, **change)
+        assert changed.cache_key() != base.cache_key()
+
+    def test_params_and_kind_affect_key(self):
+        spec = ExperimentSpec(
+            population_sizes=[48], runs_per_size=1, params=FAST, base_seed=3
+        )
+        array_trial = spec.trials("array", "array")[0]
+        sequential_trial = spec.trials("sequential", "sequential")[0]
+        assert array_trial.cache_key() != sequential_trial.cache_key()
+        moderate = ExperimentSpec(
+            population_sizes=[48],
+            runs_per_size=1,
+            params=ProtocolParameters.moderate(),
+            base_seed=3,
+        )
+        assert (
+            moderate.trials("array", "array")[0].cache_key()
+            != array_trial.cache_key()
+        )

@@ -29,6 +29,7 @@ class TestParser:
             "termination",
             "bounds",
             "simulate",
+            "sweep",
         ):
             args = parser.parse_args([command] if command != "bounds" else ["bounds"])
             assert args.command == command
@@ -150,6 +151,88 @@ class TestCommands:
         )
         assert code == 1
         assert "converged                 : False" in capsys.readouterr().out
+
+    def test_sweep_serial(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocol",
+                "epidemic",
+                "--sizes",
+                "64,128",
+                "--runs",
+                "2",
+                "--engine",
+                "count",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4 total, 4 executed, 0 from cache" in output
+        assert "P(converged)" in output
+
+    def test_sweep_parallel_with_resume(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--protocol",
+            "epidemic",
+            "--sizes",
+            "64,128",
+            "--runs",
+            "2",
+            "--engine",
+            "count",
+            "--workers",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+            "--resume",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 executed, 0 from cache" in first
+        # Re-running the identical sweep with --resume executes zero trials.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 4 from cache" in second
+        assert (tmp_path / "epidemic-count.jsonl").exists()
+
+    def test_sweep_without_resume_clears_cache(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--protocol",
+            "epidemic",
+            "--sizes",
+            "64",
+            "--runs",
+            "1",
+            "--engine",
+            "count",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "1 executed, 0 from cache" in capsys.readouterr().out
+
+    def test_sweep_non_convergence_exit_code(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocol",
+                "leader",
+                "--sizes",
+                "2000",
+                "--runs",
+                "1",
+                "--engine",
+                "count",
+                "--max-time",
+                "1",
+            ]
+        )
+        assert code == 1
 
     def test_termination_command(self, capsys):
         code = main(
