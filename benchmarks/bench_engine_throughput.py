@@ -5,14 +5,17 @@ be pushed: interactions per second of
 
 (a) the agent-level engine (on the main protocol and on the epidemic),
 (b) the count-based engine on a two-state epidemic,
-(c) the batched count engine on the same epidemic, and
-(d) the vectorised matching-round engine on the main protocol.
+(c) the batched count engine on the same epidemic,
+(d) the vector engine on the same epidemic (generic finite-state kernel over
+    matching rounds), and
+(e) the vector engine running the main protocol's bespoke kernel
+    (``ArrayLogSizeSimulator``).
 
 Besides the pytest-benchmark entries, this module doubles as a script::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
-which sweeps the three finite-state engines over ``n = 10^3 .. 10^6``
+which sweeps the four finite-state engines over ``n = 10^3 .. 10^6``
 (override with ``REPRO_ENGINE_BENCH_SIZES``) running the epidemic for
 ``REPRO_ENGINE_BENCH_TIME`` (default 20) units of parallel time each, and
 writes a ``BENCH_engines.json`` trajectory artifact so future changes can be
@@ -87,7 +90,7 @@ def time_epidemic_run(engine: str, population_size: int, parallel_time: float, s
 def run_engine_sweep(
     sizes=ENGINE_SWEEP_SIZES, parallel_time: float = PARALLEL_TIME_UNITS
 ) -> dict:
-    """Time all three finite-state engines across ``sizes``; build the artifact."""
+    """Time all four finite-state engines across ``sizes``; build the artifact."""
     results = []
     for population_size in sizes:
         for engine in ENGINE_NAMES:
@@ -101,20 +104,25 @@ def run_engine_sweep(
                 f"  {engine:>7} n={population_size:>9,} : {record['seconds']:8.3f}s "
                 f"({rate_text})"
             )
-    speedups = {}
     by_key = {(r["engine"], r["population_size"]): r for r in results}
-    for population_size in sizes:
-        count = by_key.get(("count", population_size))
-        batched = by_key.get(("batched", population_size))
-        if count and batched and batched["seconds"] > 0:
-            speedups[str(population_size)] = count["seconds"] / batched["seconds"]
+
+    def _speedups(engine: str) -> dict:
+        ratios = {}
+        for population_size in sizes:
+            count = by_key.get(("count", population_size))
+            other = by_key.get((engine, population_size))
+            if count and other and other["seconds"] > 0:
+                ratios[str(population_size)] = count["seconds"] / other["seconds"]
+        return ratios
+
     return {
         "benchmark": "T-ENGINE epidemic engine sweep",
         "version": __version__,
         "protocol": EpidemicProtocol().describe(),
         "parallel_time_units": parallel_time,
         "results": results,
-        "batched_vs_count_speedup": speedups,
+        "batched_vs_count_speedup": _speedups("batched"),
+        "vector_vs_count_speedup": _speedups("vector"),
     }
 
 
@@ -157,7 +165,7 @@ def bench_count_engine_throughput(benchmark):
 @pytest.mark.parametrize("engine", list(ENGINE_NAMES))
 @pytest.mark.parametrize("population_size", [size for size in ENGINE_SWEEP_SIZES if size <= 100_000])
 def bench_epidemic_engine_comparison(benchmark, engine, population_size):
-    """All three finite-state engines on the same epidemic workload."""
+    """All four finite-state engines on the same epidemic workload."""
     if engine == "agent" and population_size > AGENT_ENGINE_SIZE_CAP:
         pytest.skip("agent engine is the exact reference; capped at small n")
     parallel_time = min(PARALLEL_TIME_UNITS, 5.0)

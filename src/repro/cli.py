@@ -26,6 +26,11 @@ Subcommands
     trials are appended to an on-disk JSON-lines cache, and ``--resume``
     replays cached trials so interrupted or repeated sweeps only execute
     what is missing (see ``DESIGN.md``, Sweep driver).
+``repro sweep --engine vector --protocol figure2 --sizes 100000,1000000``
+    The same sweep driver running the vector-engine workloads that are not
+    finite-state: ``figure2`` (``Log-Size-Estimation`` to all-done) and
+    ``leader-terminating`` (Theorem 3.13), at populations the agent engine
+    cannot touch.
 """
 
 from __future__ import annotations
@@ -45,8 +50,10 @@ from repro.exceptions import ConvergenceError, SimulationError
 from repro.harness.cache import ResultCache
 from repro.harness.figures import reproduce_figure2
 from repro.harness.parallel import (
+    VECTOR_WORKLOADS,
     WORKLOADS,
     build_finite_state_trials,
+    build_vector_trials,
     get_workload,
     run_trials,
 )
@@ -235,28 +242,106 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if converged else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    workload = get_workload(args.protocol)
-    sizes = parse_size_list(args.sizes)
-    budget = (
-        (lambda n: args.max_time)
-        if args.max_time is not None
-        else workload.default_budget
-    )
-    engine_options = {}
-    if args.batch_size is not None:
-        engine_options["batch_size"] = args.batch_size
-    try:
-        specs = build_finite_state_trials(
-            population_sizes=sizes,
-            runs_per_size=args.runs,
-            base_seed=args.seed,
-            engine=args.engine,
-            max_parallel_time=budget,
-            check_interval=args.check_interval,
-            protocol=args.protocol,
-            **engine_options,
+def _print_sweep_summary(result: SweepResult) -> None:
+    summaries = result.summary_by_size()
+    rows = []
+    for size in result.population_sizes():
+        summary = summaries.get(size)
+        records = result.records_for(size)
+        rows.append(
+            [
+                size,
+                len(records),
+                sum(1 for record in records if not record.converged),
+                result.convergence_rate(size),
+                summary.mean if summary else None,
+                summary.minimum if summary else None,
+                summary.maximum if summary else None,
+            ]
         )
+    print(
+        format_table(
+            [
+                "n",
+                "runs",
+                "non-conv",
+                "P(converged)",
+                "mean time",
+                "min time",
+                "max time",
+            ],
+            rows,
+        )
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = parse_size_list(args.sizes)
+    is_vector_workload = args.protocol in VECTOR_WORKLOADS
+    try:
+        if is_vector_workload:
+            if args.engine != "vector":
+                raise SimulationError(
+                    f"workload {args.protocol!r} runs on the vector engine; "
+                    f"pass --engine vector"
+                )
+            if args.batch_size is not None:
+                raise SimulationError(
+                    "--batch-size only applies to the batched engine, not to "
+                    "vector workloads"
+                )
+            if args.check_interval is not None:
+                raise SimulationError(
+                    "--check-interval does not apply to vector workloads "
+                    "(convergence is checked every round)"
+                )
+            engine_options = {}
+            if args.phase_count is not None:
+                if args.protocol != "leader-terminating":
+                    raise SimulationError(
+                        "--phase-count only applies to the leader-terminating "
+                        "workload"
+                    )
+                engine_options["phase_count"] = args.phase_count
+            specs = build_vector_trials(
+                population_sizes=sizes,
+                runs_per_size=args.runs,
+                protocol=args.protocol,
+                params=_parameters_from_args(args),
+                base_seed=args.seed,
+                max_parallel_time=args.max_time,
+                **engine_options,
+            )
+        else:
+            if args.phase_count is not None:
+                raise SimulationError(
+                    "--phase-count only applies to the leader-terminating "
+                    "vector workload"
+                )
+            if args.fast:
+                raise SimulationError(
+                    "--fast only applies to vector workloads (finite-state "
+                    "workloads have no protocol constants to scale down)"
+                )
+            workload = get_workload(args.protocol)
+            budget = (
+                (lambda n: args.max_time)
+                if args.max_time is not None
+                else workload.default_budget
+            )
+            engine_options = {}
+            if args.batch_size is not None:
+                engine_options["batch_size"] = args.batch_size
+            specs = build_finite_state_trials(
+                population_sizes=sizes,
+                runs_per_size=args.runs,
+                base_seed=args.seed,
+                engine=args.engine,
+                max_parallel_time=budget,
+                check_interval=args.check_interval,
+                protocol=args.protocol,
+                **engine_options,
+            )
     except SimulationError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
@@ -287,25 +372,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"cache: {cache.path}")
     print()
-    summaries = result.summary_by_size()
-    rows = []
-    for size in result.population_sizes():
-        summary = summaries.get(size)
-        rows.append(
-            [
-                size,
-                len(result.records_for(size)),
-                result.convergence_rate(size),
-                summary.mean if summary else None,
-                summary.minimum if summary else None,
-                summary.maximum if summary else None,
-            ]
-        )
-    print(
-        format_table(
-            ["n", "runs", "P(converged)", "mean time", "min time", "max time"], rows
-        )
-    )
+    _print_sweep_summary(result)
     return 0 if all(record.converged for record in outcome.records) else 1
 
 
@@ -393,7 +460,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(ENGINE_NAMES),
         default="batched",
         help="simulation engine (agent: exact reference; count: per-interaction "
-        "counts; batched: multinomial batches, fastest at large n)",
+        "counts; batched: multinomial batches, fastest at large n; vector: "
+        "numpy matching rounds, exact per-round convergence measurement)",
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
@@ -422,9 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--protocol",
-        choices=sorted(WORKLOADS),
+        choices=sorted(WORKLOADS) + sorted(VECTOR_WORKLOADS),
         default="epidemic",
-        help="which finite-state workload to sweep",
+        help="which workload to sweep (finite-state workloads run on any "
+        "engine; figure2 and leader-terminating require --engine vector)",
     )
     sweep.add_argument(
         "--sizes", default="1000,10000,100000",
@@ -463,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--batch-size", type=int, default=None,
         help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    sweep.add_argument(
+        "--fast", action="store_true",
+        help="vector workloads only: use scaled-down protocol constants",
+    )
+    sweep.add_argument(
+        "--phase-count", type=int, default=None,
+        help="leader-terminating workload only: phases of the leader-driven "
+        "clock (paper: 289; small values terminate sooner)",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

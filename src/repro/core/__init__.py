@@ -29,8 +29,11 @@ Modules
     The restart-based composition scheme of Section 1.1 for running
     downstream (possibly nonuniform) protocols on top of the size estimate.
 ``array_simulator``
-    Vectorised (numpy) simulator of Protocol 1 for large populations —
-    the engine behind the Figure 2 reproduction.
+    Protocol 1 as a vector-engine kernel (numpy struct-of-arrays) for large
+    populations — the engine behind the Figure 2 reproduction.
+``vector_leader``
+    The Theorem 3.13 leader-driven terminating protocol as a vector-engine
+    kernel, scaling that experiment to ``n >= 10^6``.
 """
 
 from repro.core.parameters import ProtocolParameters
@@ -46,7 +49,15 @@ from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
 from repro.core.probability_one import ProbabilityOneUpperBoundProtocol
 from repro.core.phase_clock import LeaderDrivenPhaseClock, LeaderlessPhaseClock
 from repro.core.composition import RestartComposition, StagedComposition
-from repro.core.array_simulator import ArrayLogSizeSimulator, ArraySimulationResult
+from repro.core.array_simulator import (
+    ArrayLogSizeSimulator,
+    ArraySimulationResult,
+    LogSizeVectorProtocol,
+)
+from repro.core.vector_leader import (
+    LeaderTerminatingVectorProtocol,
+    expected_termination_time,
+)
 
 __all__ = [
     "ProtocolParameters",
@@ -65,4 +76,7 @@ __all__ = [
     "StagedComposition",
     "ArrayLogSizeSimulator",
     "ArraySimulationResult",
+    "LogSizeVectorProtocol",
+    "LeaderTerminatingVectorProtocol",
+    "expected_termination_time",
 ]

@@ -1,12 +1,12 @@
-"""Vectorised (numpy) simulator of the ``Log-Size-Estimation`` protocol.
+"""Vectorised ``Log-Size-Estimation`` on the vector engine.
 
 Reproducing Figure 2 at the paper's population sizes requires on the order of
 ``10^9``–``10^10`` pairwise interactions, far beyond what a per-interaction
-Python loop can do.  This module simulates the *same* protocol with all agent
-fields held in numpy arrays, processing one *synchronous random-matching
-round* at a time: each round draws a uniformly random perfect matching of the
-agents, randomly orients every matched pair (sender/receiver), and applies
-the protocol's transition to all pairs simultaneously.
+Python loop can do.  This module expresses the *same* protocol as a
+:class:`~repro.engine.vector.VectorProtocol`: all agent fields live in numpy
+arrays (struct-of-arrays), and the shared random-matching-round scheduler of
+:class:`~repro.engine.vector.VectorSimulator` applies the transition kernel
+to every matched pair simultaneously.
 
 The matching-round scheduler is a standard approximation of the sequential
 uniform-pair scheduler (each agent gets exactly one interaction per round
@@ -22,6 +22,11 @@ protocol): role partition, phase-clock tick + epoch advance, ``logSize2``
 max-propagation with restart, epoch catch-up (worker-worker and
 storage-storage), ``Update-Sum`` deposits, per-epoch ``gr`` max-propagation,
 and output announcement/propagation.
+
+:class:`ArrayLogSizeSimulator` keeps the historical facade (``run_round`` /
+``run_until_done`` / :class:`ArraySimulationResult`) over the generic
+engine; the kernel itself (:class:`LogSizeVectorProtocol`) is reused by the
+leader-driven terminating variant in :mod:`repro.core.vector_leader`.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.parameters import ProtocolParameters
-from repro.exceptions import ConvergenceError, SimulationError
+from repro.engine.vector import VectorFields, VectorProtocol, VectorSimulator
 
 # Role encoding in the arrays.
 ROLE_UNASSIGNED = 0
@@ -49,10 +54,11 @@ class ArraySimulationResult:
     population_size:
         Number of agents simulated.
     converged:
-        Whether every agent finished all epochs within the budget.
+        Whether the protocol's convergence condition was met within the
+        budget (for Figure 2: every agent finished all epochs).
     convergence_time:
-        Parallel time at which the convergence condition (all agents done,
-        as in Figure 2) was first observed, or ``None``.
+        Parallel time at which the convergence condition was first observed
+        — exact to the matching round — or ``None``.
     rounds:
         Number of matching rounds executed.
     interactions:
@@ -97,56 +103,37 @@ class ArraySimulationResult:
         }
 
 
-class ArrayLogSizeSimulator:
-    """Vectorised simulator of Protocol 1 over a population of ``n`` agents.
+class LogSizeVectorProtocol(VectorProtocol):
+    """Vectorised transition kernel of Protocol 1 (``Log-Size-Estimation``).
 
     Parameters
     ----------
-    population_size:
-        Number of agents (at least 2).
     params:
         Protocol constants (defaults to the paper's values).
-    seed:
-        Seed of the numpy generator; runs are reproducible per seed.
     """
 
-    def __init__(
-        self,
-        population_size: int,
-        params: ProtocolParameters | None = None,
-        seed: int | None = None,
-    ) -> None:
-        if population_size < 2:
-            raise SimulationError(
-                f"population must contain at least 2 agents, got {population_size}"
-            )
-        self.n = population_size
+    tracked_fields = ("time", "epoch", "gr", "total", "log_size2")
+
+    def __init__(self, params: ProtocolParameters | None = None) -> None:
         self.params = params or ProtocolParameters.paper()
-        self.rng = np.random.default_rng(seed)
-        self.rounds = 0
-
-        n = population_size
-        self.role = np.full(n, ROLE_UNASSIGNED, dtype=np.int8)
-        self.time = np.zeros(n, dtype=np.int64)
-        self.total = np.zeros(n, dtype=np.int64)
-        self.epoch = np.zeros(n, dtype=np.int64)
-        self.gr = np.ones(n, dtype=np.int64)
-        self.log_size2 = np.ones(n, dtype=np.int64)
-        self.done = np.zeros(n, dtype=bool)
-        self.updated = np.zeros(n, dtype=bool)
-        self.output = np.full(n, np.nan, dtype=np.float64)
-
-        # Field-range tracking for the state-complexity table (Lemma 3.9).
-        self._max_time = 0
-        self._max_epoch = 0
-        self._max_gr = 1
-        self._max_total = 0
-        self._max_log_size2 = 1
-
-        # Cheap flags avoiding work once phases of the run are over.
         self._partition_complete = False
 
-    # -- random draws -------------------------------------------------------------
+    def describe(self) -> str:
+        return f"VectorLogSizeEstimation({self.params.describe()})"
+
+    def init_fields(self, fields: VectorFields, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self.role = fields.add("role", np.int8, fill=ROLE_UNASSIGNED)
+        self.time = fields.add("time", np.int64)
+        self.total = fields.add("total", np.int64)
+        self.epoch = fields.add("epoch", np.int64)
+        self.gr = fields.add("gr", np.int64, fill=1)
+        self.log_size2 = fields.add("log_size2", np.int64, fill=1)
+        self.done = fields.add("done", bool)
+        self.updated = fields.add("updated", bool)
+        self.output = fields.add("output", np.float64, fill=np.nan)
+
+    # -- random draws --------------------------------------------------------
 
     def _draw_geometric(self, count: int) -> np.ndarray:
         """Vector of i.i.d. geometric samples (support ``{1, 2, ...}``)."""
@@ -159,7 +146,7 @@ class ArrayLogSizeSimulator:
     def _draw_log_size2(self, count: int) -> np.ndarray:
         return self._draw_geometric(count) + self.params.log_size2_offset
 
-    # -- per-round sub-steps -----------------------------------------------------------
+    # -- per-round sub-steps -------------------------------------------------
 
     def _partition(self, rec: np.ndarray, sen: np.ndarray) -> None:
         role = self.role
@@ -378,26 +365,15 @@ class ArrayLogSizeSimulator:
         self.output[rec[fill_rec]] = out_s[fill_rec]
         self.output[sen[fill_sen]] = out_r[fill_sen]
 
-    def _track_ranges(self) -> None:
-        self._max_time = max(self._max_time, int(self.time.max()))
-        self._max_epoch = max(self._max_epoch, int(self.epoch.max()))
-        self._max_gr = max(self._max_gr, int(self.gr.max()))
-        self._max_total = max(self._max_total, int(self.total.max()))
-        self._max_log_size2 = max(self._max_log_size2, int(self.log_size2.max()))
+    # -- VectorProtocol interface --------------------------------------------
 
-    # -- round / run drivers --------------------------------------------------------------
-
-    def run_round(self) -> None:
-        """Execute one synchronous random-matching round (``floor(n/2)`` interactions)."""
-        n = self.n
-        half = n // 2
-        perm = self.rng.permutation(n)
-        first = perm[:half]
-        second = perm[half : 2 * half]
-        orient = self.rng.random(half) < 0.5
-        rec = np.where(orient, first, second)
-        sen = np.where(orient, second, first)
-
+    def apply_round(
+        self,
+        fields: VectorFields,
+        rec: np.ndarray,
+        sen: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         if not self._partition_complete:
             self._partition(rec, sen)
         self._tick_clocks(rec, sen)
@@ -406,84 +382,39 @@ class ArrayLogSizeSimulator:
         self._update_sum(rec, sen)
         self._propagate_gr(rec, sen)
         self._propagate_output(rec, sen)
-        self.rounds += 1
 
-    @property
-    def interactions(self) -> int:
-        """Total interactions executed so far."""
-        return self.rounds * (self.n // 2)
-
-    @property
-    def parallel_time(self) -> float:
-        """Parallel time elapsed so far."""
-        return self.interactions / self.n
-
-    def all_done(self) -> bool:
+    def all_done(self, fields: VectorFields) -> bool:
         """Figure 2's convergence condition: every agent finished all epochs."""
         return bool(self.done.all())
+
+    # -- estimates and result building ---------------------------------------
 
     def estimates(self) -> np.ndarray:
         """Per-agent estimates currently reported (NaN where unavailable)."""
         return self.output
 
-    def max_additive_error(self) -> float:
+    def max_additive_error(self, population_size: int) -> float:
         """``max_agent |estimate - log2 n|`` over agents reporting an estimate."""
-        reported = self.output[~np.isnan(self.output)]
+        reported = self.estimates()
+        reported = reported[~np.isnan(reported)]
         if reported.size == 0:
             return math.inf
-        return float(np.abs(reported - math.log2(self.n)).max())
+        return float(np.abs(reported - math.log2(population_size)).max())
 
-    def distinct_state_bound(self) -> int:
+    def distinct_state_bound(self, fields: VectorFields) -> int:
         """Product of realised field ranges (the Lemma 3.9 style state count)."""
         return int(
-            (self._max_log_size2 + 1)
-            * (self._max_gr + 1)
-            * (self._max_time + 1)
-            * (self._max_epoch + 1)
+            (fields.max_observed("log_size2") + 1)
+            * (fields.max_observed("gr") + 1)
+            * (fields.max_observed("time") + 1)
+            * (fields.max_observed("epoch") + 1)
         )
 
-    def run_until_done(
-        self,
-        max_parallel_time: float,
-        check_every_rounds: int = 64,
-        raise_on_timeout: bool = False,
+    def build_result(
+        self, simulator: VectorSimulator, convergence_time: float | None
     ) -> ArraySimulationResult:
-        """Run until every agent is done (or the time budget is exhausted).
-
-        Parameters
-        ----------
-        max_parallel_time:
-            Budget in parallel time.
-        check_every_rounds:
-            How often (in rounds) the convergence condition is evaluated and
-            the field ranges sampled.
-        raise_on_timeout:
-            When ``True`` a :class:`~repro.exceptions.ConvergenceError` is
-            raised if the budget is exhausted; otherwise a result with
-            ``converged=False`` is returned.
-        """
-        if check_every_rounds < 1:
-            raise SimulationError("check_every_rounds must be positive")
-        max_rounds = int(max_parallel_time * self.n / max(1, self.n // 2)) + 1
-        convergence_time: float | None = None
-        while self.rounds < max_rounds:
-            for _ in range(check_every_rounds):
-                self.run_round()
-                if self.rounds >= max_rounds:
-                    break
-            self._track_ranges()
-            if self.all_done():
-                convergence_time = self.parallel_time
-                break
-        if convergence_time is None and raise_on_timeout:
-            raise ConvergenceError(
-                f"vectorised run did not converge within {max_parallel_time} time "
-                f"(n={self.n})"
-            )
-        return self._build_result(convergence_time)
-
-    def _build_result(self, convergence_time: float | None) -> ArraySimulationResult:
-        reported = self.output[~np.isnan(self.output)]
+        reported = self.estimates()
+        reported = reported[~np.isnan(reported)]
         if reported.size:
             mean_estimate = float(reported.mean())
             min_estimate = float(reported.min())
@@ -491,18 +422,121 @@ class ArrayLogSizeSimulator:
         else:
             mean_estimate = min_estimate = max_estimate = math.nan
         return ArraySimulationResult(
-            population_size=self.n,
+            population_size=simulator.n,
             converged=convergence_time is not None,
             convergence_time=convergence_time,
-            rounds=self.rounds,
-            interactions=self.interactions,
+            rounds=simulator.rounds,
+            interactions=simulator.interactions,
             final_estimate_mean=mean_estimate,
             final_estimate_min=min_estimate,
             final_estimate_max=max_estimate,
-            max_additive_error=self.max_additive_error(),
+            max_additive_error=self.max_additive_error(simulator.n),
             log_size2=int(self.log_size2.max()),
-            distinct_state_bound=self.distinct_state_bound(),
+            distinct_state_bound=self.distinct_state_bound(simulator.fields),
         )
+
+
+class ArrayLogSizeSimulator(VectorSimulator):
+    """Vectorised simulator of Protocol 1 over a population of ``n`` agents.
+
+    A thin facade over :class:`~repro.engine.vector.VectorSimulator` running
+    :class:`LogSizeVectorProtocol`, kept for the historical API
+    (``run_round`` / ``run_until_done`` / ``estimates`` /
+    ``max_additive_error`` / ``distinct_state_bound``).
+
+    Parameters
+    ----------
+    population_size:
+        Number of agents (at least 2).
+    params:
+        Protocol constants (defaults to the paper's values).
+    seed:
+        Seed of the numpy generator; runs are reproducible per seed.
+    """
+
+    def __init__(
+        self,
+        population_size: int,
+        params: ProtocolParameters | None = None,
+        seed: int | None = None,
+    ) -> None:
+        kernel = LogSizeVectorProtocol(params)
+        super().__init__(kernel, population_size, seed=seed)
+        self.params = kernel.params
+
+    # -- array views (historical attribute surface) --------------------------
+
+    @property
+    def role(self) -> np.ndarray:
+        return self.protocol.role
+
+    @property
+    def time(self) -> np.ndarray:
+        return self.protocol.time
+
+    @property
+    def total(self) -> np.ndarray:
+        return self.protocol.total
+
+    @property
+    def epoch(self) -> np.ndarray:
+        return self.protocol.epoch
+
+    @property
+    def gr(self) -> np.ndarray:
+        return self.protocol.gr
+
+    @property
+    def log_size2(self) -> np.ndarray:
+        return self.protocol.log_size2
+
+    @property
+    def done(self) -> np.ndarray:
+        return self.protocol.done
+
+    @property
+    def updated(self) -> np.ndarray:
+        return self.protocol.updated
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.protocol.output
+
+    # -- realised field ranges (state-complexity table) -----------------------
+
+    @property
+    def _max_time(self) -> int:
+        return self.fields.max_observed("time")
+
+    @property
+    def _max_epoch(self) -> int:
+        return self.fields.max_observed("epoch")
+
+    @property
+    def _max_gr(self) -> int:
+        return self.fields.max_observed("gr")
+
+    @property
+    def _max_total(self) -> int:
+        return self.fields.max_observed("total")
+
+    @property
+    def _max_log_size2(self) -> int:
+        return self.fields.max_observed("log_size2")
+
+    # -- queries --------------------------------------------------------------
+
+    def estimates(self) -> np.ndarray:
+        """Per-agent estimates currently reported (NaN where unavailable)."""
+        return self.protocol.estimates()
+
+    def max_additive_error(self) -> float:
+        """``max_agent |estimate - log2 n|`` over agents reporting an estimate."""
+        return self.protocol.max_additive_error(self.n)
+
+    def distinct_state_bound(self) -> int:
+        """Product of realised field ranges (the Lemma 3.9 style state count)."""
+        return self.protocol.distinct_state_bound(self.fields)
 
 
 def expected_convergence_time(population_size: int, params: ProtocolParameters) -> float:

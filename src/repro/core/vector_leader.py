@@ -1,0 +1,251 @@
+"""Vectorised leader-driven terminating size estimation (Theorem 3.13).
+
+The agent-level implementation
+(:class:`repro.core.leader_terminating.LeaderTerminatingSizeEstimation`) tops
+out around ``n ~ 10^3`` in pure Python; this kernel runs the same protocol on
+the vector engine so the Theorem 3.13 experiment (termination-signal time
+grows with ``n``, unlike the flat curve of Theorem 4.1) scales to
+``n >= 10^6``.
+
+Composition, mirroring the agent-level transition order per interaction:
+
+1. the underlying ``Log-Size-Estimation`` computation proceeds unchanged
+   (the inherited :class:`~repro.core.array_simulator.LogSizeVectorProtocol`
+   kernel);
+2. the Angluin–Aspnes–Eisenstat leader-driven phase clock ticks on every
+   matched pair — followers adopt the later ``(round, phase)`` reading, the
+   leader advances when its partner has caught up with it;
+3. the leader produces the termination signal once its completed clock wraps
+   reach ``termination_rounds_factor * epochs_factor * logSize2``, announcing
+   its current estimate;
+4. the termination signal and announced estimate spread by epidemic.
+
+One deliberate deviation (documented in ``DESIGN.md``): the leader's
+termination threshold is checked once per round rather than only on the
+leader's own interactions.  Under the matching-round scheduler the leader
+interacts every round anyway (except the idle agent of an odd-``n`` round),
+so the signal time differs by at most one round.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.array_simulator import (
+    LogSizeVectorProtocol,
+    expected_convergence_time,
+)
+from repro.core.parameters import ProtocolParameters
+from repro.engine.vector import VectorFields
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "LeaderTerminatingVectorProtocol",
+    "expected_termination_time",
+]
+
+
+class LeaderTerminatingVectorProtocol(LogSizeVectorProtocol):
+    """Vectorised uniform terminating size estimation with an initial leader.
+
+    Parameters
+    ----------
+    params:
+        Constants of the underlying size-estimation protocol.
+    phase_count:
+        Number of phases of the leader-driven clock.  The paper requires a
+        sufficiently large constant (> 288) for its high-probability bounds;
+        tests and large-``n`` benchmarks use smaller values for speed.
+    termination_rounds_factor:
+        The leader terminates after
+        ``termination_rounds_factor * epochs_factor * logSize2`` completed
+        clock wraps (the paper's ``k2``).
+    """
+
+    tracked_fields = LogSizeVectorProtocol.tracked_fields + (
+        "clock_phase",
+        "clock_round",
+    )
+
+    def __init__(
+        self,
+        params: ProtocolParameters | None = None,
+        phase_count: int = 289,
+        termination_rounds_factor: int = 2,
+    ) -> None:
+        if phase_count < 3:
+            raise ProtocolError(f"phase_count must be at least 3, got {phase_count}")
+        if termination_rounds_factor < 1:
+            raise ProtocolError(
+                "termination_rounds_factor must be >= 1, got "
+                f"{termination_rounds_factor}"
+            )
+        super().__init__(params)
+        self.phase_count = phase_count
+        self.termination_rounds_factor = termination_rounds_factor
+
+    def describe(self) -> str:
+        return (
+            f"VectorLeaderTerminating(phases={self.phase_count}, "
+            f"k2={self.termination_rounds_factor}, {self.params.describe()})"
+        )
+
+    def init_fields(self, fields: VectorFields, rng: np.random.Generator) -> None:
+        super().init_fields(fields, rng)
+        self.is_leader = fields.add("is_leader", bool)
+        self.is_leader[0] = True
+        self.clock_phase = fields.add("clock_phase", np.int64)
+        self.clock_round = fields.add("clock_round", np.int64)
+        self.terminated = fields.add("terminated", bool)
+        self.announced = fields.add("announced", np.float64, fill=np.nan)
+        self._leader_indices = np.flatnonzero(self.is_leader)
+
+    # -- phase clock ---------------------------------------------------------
+
+    def _advance_clock(self, agents: np.ndarray) -> None:
+        phase = self.clock_phase[agents] + 1
+        wrapped = phase >= self.phase_count
+        self.clock_phase[agents] = np.where(wrapped, 0, phase)
+        self.clock_round[agents] += wrapped
+
+    def _tick_phase_clock(self, rec: np.ndarray, sen: np.ndarray) -> None:
+        phase_r = self.clock_phase[rec]
+        phase_s = self.clock_phase[sen]
+        round_r = self.clock_round[rec]
+        round_s = self.clock_round[sen]
+        lead_r = self.is_leader[rec]
+        lead_s = self.is_leader[sen]
+
+        rec_ahead = (round_r > round_s) | ((round_r == round_s) & (phase_r > phase_s))
+        sen_ahead = (round_s > round_r) | ((round_s == round_r) & (phase_s > phase_r))
+
+        # Followers catch up to the maximum reading they observe.
+        adopt_rec = (~lead_r) & sen_ahead
+        if adopt_rec.any():
+            self.clock_phase[rec[adopt_rec]] = phase_s[adopt_rec]
+            self.clock_round[rec[adopt_rec]] = round_s[adopt_rec]
+        adopt_sen = (~lead_s) & rec_ahead
+        if adopt_sen.any():
+            self.clock_phase[sen[adopt_sen]] = phase_r[adopt_sen]
+            self.clock_round[sen[adopt_sen]] = round_r[adopt_sen]
+
+        # The leader ticks when met by an agent that caught up with it
+        # (compared on the readings as they were at the start of the round).
+        advance_rec = lead_r & ~rec_ahead
+        if advance_rec.any():
+            self._advance_clock(rec[advance_rec])
+        advance_sen = lead_s & ~sen_ahead
+        if advance_sen.any():
+            self._advance_clock(sen[advance_sen])
+
+    # -- termination ---------------------------------------------------------
+
+    def _check_leader_termination(self) -> None:
+        leaders = self._leader_indices
+        active = leaders[~self.terminated[leaders]]
+        if active.size == 0:
+            return
+        threshold = (
+            self.termination_rounds_factor
+            * self.params.epochs_factor
+            * self.log_size2[active]
+        )
+        firing = active[self.clock_round[active] >= threshold]
+        if firing.size == 0:
+            return
+        self.terminated[firing] = True
+        # Announce the current estimate (may still be absent; the epidemic
+        # spread below fills it in from live estimates, as in the agent code).
+        self.announced[firing] = self.output[firing]
+
+    def _spread_termination(self, rec: np.ndarray, sen: np.ndarray) -> None:
+        spreading = self.terminated[rec] | self.terminated[sen]
+        if not spreading.any():
+            return
+        pair_rec = rec[spreading]
+        pair_sen = sen[spreading]
+        self.terminated[pair_rec] = True
+        self.terminated[pair_sen] = True
+        announced_r = self.announced[pair_rec]
+        announced_s = self.announced[pair_sen]
+        value = np.where(~np.isnan(announced_r), announced_r, announced_s)
+        live = np.where(
+            ~np.isnan(self.output[pair_rec]),
+            self.output[pair_rec],
+            self.output[pair_sen],
+        )
+        value = np.where(np.isnan(value), live, value)
+        self.announced[pair_rec] = np.where(np.isnan(announced_r), value, announced_r)
+        self.announced[pair_sen] = np.where(np.isnan(announced_s), value, announced_s)
+
+    # -- VectorProtocol interface --------------------------------------------
+
+    def apply_round(
+        self,
+        fields: VectorFields,
+        rec: np.ndarray,
+        sen: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        super().apply_round(fields, rec, sen, rng)
+        self._tick_phase_clock(rec, sen)
+        self._check_leader_termination()
+        self._spread_termination(rec, sen)
+
+    def all_done(self, fields: VectorFields) -> bool:
+        """Convergence condition: the termination signal reached every agent."""
+        return bool(self.terminated.all())
+
+    def any_terminated(self) -> bool:
+        """Whether the termination signal has been produced by some agent."""
+        return bool(self.terminated.any())
+
+    def distinct_state_bound(self, fields: VectorFields) -> int:
+        """Realised state count, including this protocol's own fields.
+
+        Extends the inherited Lemma 3.9 style product with the leader-clock
+        reading and the termination flag (``announced`` is excluded the same
+        way the base protocol excludes its derived ``output``).
+        """
+        return int(
+            super().distinct_state_bound(fields)
+            * (fields.max_observed("clock_phase") + 1)
+            * (fields.max_observed("clock_round") + 1)
+            * 2  # the terminated flag
+        )
+
+    def estimates(self) -> np.ndarray:
+        """The announced estimate once terminated, else the live estimate.
+
+        Mirrors :meth:`LeaderTerminatingSizeEstimation.output`: an agent
+        reports what came with the termination signal when it carried an
+        estimate, and its live ``Log-Size-Estimation`` output otherwise.
+        """
+        return np.where(~np.isnan(self.announced), self.announced, self.output)
+
+
+def expected_termination_time(
+    population_size: int,
+    params: ProtocolParameters,
+    phase_count: int = 289,
+    termination_rounds_factor: int = 2,
+) -> float:
+    """Rough a-priori estimate of the all-terminated time (sizes budgets).
+
+    The leader needs ``k2 * epochs_factor * logSize2`` clock wraps of
+    ``phase_count`` phases each; under the matching-round scheduler the
+    leader advances one phase after roughly ``log2 n`` rounds (the new
+    reading spreads by epidemic doubling until the leader's round-partner has
+    caught up), i.e. ``~log2(n)/2`` units of parallel time.  The underlying
+    size estimation runs concurrently, so the two contributions are summed
+    only to stay conservative, plus an epidemic's worth of spreading time.
+    """
+    log2_n = math.log2(max(2, population_size))
+    log_estimate = log2_n + params.log_size2_offset + 1
+    wraps = termination_rounds_factor * params.epochs_factor * log_estimate
+    per_phase_time = max(2.0, log2_n) / 2.0
+    clock_time = wraps * phase_count * per_phase_time
+    spread_time = 2.0 * max(2.0, log2_n)
+    return expected_convergence_time(population_size, params) + clock_time + spread_time

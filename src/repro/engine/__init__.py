@@ -21,7 +21,16 @@ Two engines are provided:
   multinomial draw (with an exact sequential fallback at small counts),
   which is the fastest option for finite-state protocols at ``n >= 10^5``.
 
-:func:`repro.engine.selection.build_engine` constructs any of the three
+* :mod:`repro.engine.vector` — the *vector* engine: per-agent state held in
+  numpy struct-of-arrays, advanced one synchronous random-matching round at
+  a time with exact per-round convergence measurement.  It runs bespoke
+  :class:`~repro.engine.vector.VectorProtocol` kernels (the
+  ``Log-Size-Estimation`` and leader-terminating paper protocols, whose
+  unbounded per-agent fields rule out count compression) and, through
+  :class:`~repro.engine.vector.VectorFiniteStateSimulator`, any finite-state
+  protocol behind the count-level interface.
+
+:func:`repro.engine.selection.build_engine` constructs any of the four
 behind a shared count-level interface; see ``DESIGN.md`` (Engine selection).
 
 Supporting pieces: the interaction schedulers
@@ -56,6 +65,14 @@ from repro.engine.scheduler import (
 )
 from repro.engine.simulator import Simulation, SimulationReport
 from repro.engine.trace import ExecutionTrace, TraceRecorder
+from repro.engine.vector import (
+    FiniteStateVectorProtocol,
+    VectorFields,
+    VectorFiniteStateSimulator,
+    VectorProtocol,
+    VectorRunResult,
+    VectorSimulator,
+)
 
 __all__ = [
     "BatchedCountSimulator",
@@ -81,4 +98,10 @@ __all__ = [
     "SimulationReport",
     "ExecutionTrace",
     "TraceRecorder",
+    "FiniteStateVectorProtocol",
+    "VectorFields",
+    "VectorFiniteStateSimulator",
+    "VectorProtocol",
+    "VectorRunResult",
+    "VectorSimulator",
 ]

@@ -1,6 +1,6 @@
 """Engine selection for configuration-level experiments.
 
-Three engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
+Four engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
 
 ``"agent"``
     The reference agent-level :class:`~repro.engine.simulator.Simulation`
@@ -14,6 +14,14 @@ Three engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
     :class:`~repro.engine.batched_simulator.BatchedCountSimulator` —
     multinomial batches of ``~sqrt(n)`` interactions over compiled transition
     tables; the fastest for ``n >= 10^5``.
+``"vector"``
+    :class:`~repro.engine.vector.VectorFiniteStateSimulator` — per-agent
+    state in numpy arrays, one synchronous random-matching round per step
+    (a scheduling substitution: exact convergence measurement, constant-
+    factor time agreement with the sequential engines; see ``DESIGN.md``).
+    The same engine also runs the non-finite-state vector kernels
+    (``Log-Size-Estimation``, the Theorem 3.13 leader-terminating protocol)
+    through :class:`~repro.engine.vector.VectorSimulator` directly.
 
 :func:`build_engine` hides the choice behind one constructor, and
 :class:`CountingSimulationAdapter` gives the agent engine the same
@@ -37,19 +45,31 @@ from repro.engine.running import (
     run_with_trace,
 )
 from repro.engine.simulator import Simulation
+from repro.engine.vector import VectorFiniteStateSimulator
 from repro.exceptions import SimulationError
 from repro.protocols.base import FiniteStateProtocol
 
 __all__ = [
     "ENGINE_NAMES",
+    "SEQUENTIAL_ENGINE_NAMES",
     "CountingSimulationAdapter",
     "build_engine",
 ]
 
 #: The engine identifiers accepted by :func:`build_engine` (and the CLI).
-ENGINE_NAMES = ("agent", "count", "batched")
+ENGINE_NAMES = ("agent", "count", "batched", "vector")
 
-CountLevelEngine = Union["CountingSimulationAdapter", CountSimulator, BatchedCountSimulator]
+#: The engines that implement the exact sequential uniform-pair scheduler
+#: (the vector engine substitutes synchronous matching rounds, agreeing only
+#: up to constant factors in time — see ``DESIGN.md``, Substitutions).
+SEQUENTIAL_ENGINE_NAMES = ("agent", "count", "batched")
+
+CountLevelEngine = Union[
+    "CountingSimulationAdapter",
+    CountSimulator,
+    BatchedCountSimulator,
+    VectorFiniteStateSimulator,
+]
 
 
 class CountingSimulationAdapter:
@@ -153,7 +173,8 @@ def build_engine(
     Parameters
     ----------
     engine:
-        One of :data:`ENGINE_NAMES` (``"agent"``, ``"count"``, ``"batched"``).
+        One of :data:`ENGINE_NAMES` (``"agent"``, ``"count"``, ``"batched"``,
+        ``"vector"``).
     engine_options:
         Extra keyword arguments forwarded to the engine constructor (only the
         batched engine takes any: ``batch_size``, ``small_count_threshold``).
@@ -193,6 +214,15 @@ def build_engine(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
             **engine_options,
+        )
+    if engine == "vector":
+        if engine_options:
+            raise SimulationError(
+                f"the vector engine accepts no extra options, got {sorted(engine_options)}"
+            )
+        return VectorFiniteStateSimulator(
+            protocol, population_size, seed=seed,
+            initial_configuration=initial_configuration,
         )
     raise SimulationError(
         f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"

@@ -36,7 +36,10 @@ from repro.harness.experiment import (
 from repro.harness.parallel import (
     SweepOutcome,
     TrialSpec,
+    VectorWorkload,
     build_finite_state_trials,
+    build_vector_trials,
+    register_vector_workload,
     run_trial,
     run_trials,
 )
@@ -57,7 +60,10 @@ __all__ = [
     "ResultCache",
     "SweepOutcome",
     "TrialSpec",
+    "VectorWorkload",
     "build_finite_state_trials",
+    "build_vector_trials",
+    "register_vector_workload",
     "run_trial",
     "run_trials",
     "ExperimentSpec",

@@ -16,11 +16,13 @@ run index, base seed, engine, budget, engine options — changing *any* of them
 changes the key, so a cache directory can safely accumulate results from many
 different sweeps without false hits.
 
-Format note: lines are JSON with Python's ``NaN`` token extension — a ``NaN``
-float nested in a record's ``extra`` dict (e.g. the ``final_estimate_mean``
-of a non-converged estimation run) is written as the bare ``NaN`` token,
-which ``json.loads`` accepts but strict parsers (``jq``, other languages) may
-not.  Top-level ``max_additive_error`` ``NaN`` is mapped to ``null``.
+Format note: every line is *strict* JSON.  Non-finite floats (the ``inf``
+``max_additive_error`` of a non-converged estimation trial, the ``NaN``
+``final_estimate_mean`` of a run with no estimates) are canonicalised to
+``null`` on write — the ``Infinity`` / ``NaN`` token extensions Python's
+``json`` would otherwise emit are not JSON and break strict parsers (``jq``,
+other languages).  On load a ``null`` ``max_additive_error`` is rebuilt as
+``NaN`` ("not applicable"); ``null``\\ s nested in ``extra`` stay ``None``.
 """
 
 from __future__ import annotations
@@ -34,41 +36,55 @@ from repro.harness.results import RunRecord
 __all__ = ["ResultCache", "record_to_dict", "record_from_dict"]
 
 
-def _jsonify(value):
-    """JSON encoder fallback: unwrap numpy scalars, stringify the rest."""
+def _canonicalise(value):
+    """Make ``value`` strict-JSON-able: non-finite floats become ``None``.
+
+    Numpy scalars are unwrapped first (``.item()``), containers are walked
+    recursively, and anything else non-JSON-native is stringified.
+    """
     item = getattr(value, "item", None)
-    if callable(item):
-        return item()
+    if callable(item) and not isinstance(value, (int, float, str, bool)):
+        value = item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _canonicalise(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalise(entry) for entry in value]
+    if value is None or isinstance(value, (int, str, bool)):
+        return value
     return str(value)
 
 
 def record_to_dict(record: RunRecord) -> dict:
-    """Serialise a :class:`RunRecord` to plain JSON-able data.
+    """Serialise a :class:`RunRecord` to plain, strict-JSON-able data.
 
-    ``NaN`` in the ``max_additive_error`` field (runs where error is not
-    applicable) is mapped to ``None``.  Values nested inside ``extra`` are
-    stored as-is; a ``NaN`` there is written with Python's ``NaN`` token
-    extension, which :func:`json.loads` round-trips (see the module note).
+    Non-finite floats anywhere in the record — the top-level
+    ``max_additive_error`` (``NaN`` where not applicable, ``inf`` for a
+    non-converged trial with no estimates) as well as values nested inside
+    ``extra`` — are mapped to ``None`` so the cache file stays valid JSON
+    (see the module note).
     """
     return {
         "population_size": int(record.population_size),
         "seed": int(record.seed),
         "converged": bool(record.converged),
-        "convergence_time": (
+        "convergence_time": _canonicalise(
             None if record.convergence_time is None else float(record.convergence_time)
         ),
-        "max_additive_error": (
-            None
-            if isinstance(record.max_additive_error, float)
-            and math.isnan(record.max_additive_error)
-            else record.max_additive_error
-        ),
-        "extra": record.extra,
+        "max_additive_error": _canonicalise(record.max_additive_error),
+        "extra": _canonicalise(record.extra),
     }
 
 
 def record_from_dict(payload: dict) -> RunRecord:
-    """Rebuild a :class:`RunRecord` from :func:`record_to_dict` output."""
+    """Rebuild a :class:`RunRecord` from :func:`record_to_dict` output.
+
+    A ``null`` ``max_additive_error`` loads as ``NaN`` — that covers both
+    sources of a ``null`` on disk (a ``NaN`` "not applicable" and the ``inf``
+    of a non-converged trial; the distinction is recoverable from
+    ``converged``).
+    """
     error = payload.get("max_additive_error")
     return RunRecord(
         population_size=payload["population_size"],
@@ -136,10 +152,13 @@ class ResultCache:
     def put(self, key: str, record: RunRecord) -> None:
         """Store ``record`` under ``key`` and append it to the cache file."""
         self._records[key] = record
+        # record_to_dict canonicalised every value; allow_nan=False turns any
+        # remaining non-finite float into a hard error rather than silently
+        # writing an invalid-JSON Infinity/NaN token.
         line = json.dumps(
             {"key": key, "record": record_to_dict(record)},
             sort_keys=True,
-            default=_jsonify,
+            allow_nan=False,
         )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")

@@ -15,7 +15,7 @@ export and an ASCII rendering of the scatter.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.parameters import ProtocolParameters
@@ -26,30 +26,57 @@ from repro.harness.results import SeriesSummary, SweepResult
 
 @dataclass(frozen=True)
 class Figure2Point:
-    """One run of the Figure 2 sweep."""
+    """One run of the Figure 2 sweep.
+
+    ``convergence_time`` is ``NaN`` (and ``converged`` is ``False``) for a
+    run that exhausted its budget; such runs appear only in
+    :attr:`Figure2Result.non_converged_points`.
+    """
 
     population_size: int
     seed: int
     convergence_time: float
     max_additive_error: float
+    converged: bool = True
 
 
 @dataclass
 class Figure2Result:
-    """The reproduced Figure 2 data set."""
+    """The reproduced Figure 2 data set.
+
+    ``points`` holds the converged runs (the plotted quantity is their
+    convergence time); non-converged runs are *not* silently dropped — they
+    are kept in ``non_converged_points`` and reported per size by
+    :meth:`non_converged_by_size`, the ``non-conv`` column of
+    :meth:`table` and the ``converged`` column of :meth:`to_csv`.
+    """
 
     points: list[Figure2Point]
     summaries: dict[int, SeriesSummary]
     params: ProtocolParameters
     non_converged_runs: int
+    non_converged_points: list[Figure2Point] = field(default_factory=list)
 
     def sizes(self) -> list[int]:
-        """Population sizes present, ascending."""
-        return sorted(self.summaries)
+        """Population sizes present, ascending (converged or not)."""
+        return sorted(
+            set(self.summaries)
+            | {point.population_size for point in self.non_converged_points}
+        )
+
+    def non_converged_by_size(self) -> dict[int, int]:
+        """Number of non-converged runs at each population size."""
+        counts = {size: 0 for size in self.sizes()}
+        for point in self.non_converged_points:
+            counts[point.population_size] += 1
+        return counts
 
     def mean_times(self) -> list[float]:
-        """Mean convergence time per size (same order as :meth:`sizes`)."""
-        return [self.summaries[size].mean for size in self.sizes()]
+        """Mean convergence time per size (``NaN`` where no run converged)."""
+        return [
+            self.summaries[size].mean if size in self.summaries else math.nan
+            for size in self.sizes()
+        ]
 
     def max_error_observed(self) -> float:
         """Largest additive error over every run (paper: always below 2)."""
@@ -58,10 +85,17 @@ class Figure2Result:
         return max(point.max_additive_error for point in self.points)
 
     def table(self) -> str:
-        """Aligned text table: size, runs, mean/min/max time, max error."""
+        """Aligned text table: size, runs, non-converged, time stats, max error.
+
+        ``runs`` counts only the converged runs feeding the time statistics;
+        ``non-conv`` makes budget-exhausted runs visible instead of letting
+        the ``runs`` column quietly shrink below the requested
+        ``runs_per_size``.
+        """
+        non_converged = self.non_converged_by_size()
         rows = []
         for size in self.sizes():
-            summary = self.summaries[size]
+            summary = self.summaries.get(size)
             errors = [
                 point.max_additive_error
                 for point in self.points
@@ -70,21 +104,33 @@ class Figure2Result:
             rows.append(
                 [
                     size,
-                    summary.count,
-                    summary.mean,
-                    summary.minimum,
-                    summary.maximum,
+                    summary.count if summary else 0,
+                    non_converged[size],
+                    summary.mean if summary else math.nan,
+                    summary.minimum if summary else math.nan,
+                    summary.maximum if summary else math.nan,
                     max(errors) if errors else math.nan,
                 ]
             )
         return format_table(
-            ["n", "runs", "mean time", "min time", "max time", "max |err|"], rows
+            [
+                "n",
+                "runs",
+                "non-conv",
+                "mean time",
+                "min time",
+                "max time",
+                "max |err|",
+            ],
+            rows,
         )
 
     def ascii_plot(self) -> str:
         """Coarse ASCII scatter matching the paper's log-x convergence plot."""
         xs = [float(point.population_size) for point in self.points]
         ys = [point.convergence_time for point in self.points]
+        if not xs:
+            return "(no converged runs to plot)"
         return render_ascii_series(
             xs,
             ys,
@@ -94,12 +140,23 @@ class Figure2Result:
         )
 
     def to_csv(self) -> str:
-        """CSV of the raw points (``n,seed,convergence_time,max_additive_error``)."""
-        lines = ["population_size,seed,convergence_time,max_additive_error"]
-        for point in self.points:
+        """CSV of the raw points, non-converged runs included.
+
+        Non-converged runs appear as rows with ``converged=False`` and an
+        empty ``convergence_time`` (so per-size non-converged counts are
+        part of the export rather than an invisible shortfall), after the
+        converged points, both in sweep order.
+        """
+        lines = ["population_size,seed,converged,convergence_time,max_additive_error"]
+        for point in self.points + self.non_converged_points:
+            time_text = (
+                "" if math.isnan(point.convergence_time) else point.convergence_time
+            )
+            error = point.max_additive_error
+            error_text = "" if not math.isfinite(error) else error
             lines.append(
-                f"{point.population_size},{point.seed},"
-                f"{point.convergence_time},{point.max_additive_error}"
+                f"{point.population_size},{point.seed},{point.converged},"
+                f"{time_text},{error_text}"
             )
         return "\n".join(lines)
 
@@ -108,9 +165,10 @@ class Figure2Result:
 
         The paper's bound is ``O(log^2 n)``; a roughly constant positive slope
         (rather than one growing with ``n``) indicates the measured times
-        scale like ``log^2 n``.  Returns ``None`` with fewer than two sizes.
+        scale like ``log^2 n``.  Returns ``None`` with fewer than two sizes
+        that have at least one converged run.
         """
-        sizes = self.sizes()
+        sizes = [size for size in self.sizes() if size in self.summaries]
         if len(sizes) < 2:
             return None
         xs = [math.log2(size) ** 2 for size in sizes]
@@ -161,7 +219,7 @@ def reproduce_figure2(
 def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure2Result:
     """Convert a sweep (from either engine) into a :class:`Figure2Result`."""
     points = []
-    non_converged = 0
+    non_converged_points = []
     for record in sweep.records:
         if record.converged and record.convergence_time is not None:
             points.append(
@@ -173,10 +231,19 @@ def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure
                 )
             )
         else:
-            non_converged += 1
+            non_converged_points.append(
+                Figure2Point(
+                    population_size=record.population_size,
+                    seed=record.seed,
+                    convergence_time=math.nan,
+                    max_additive_error=record.max_additive_error,
+                    converged=False,
+                )
+            )
     return Figure2Result(
         points=points,
         summaries=sweep.summary_by_size(),
         params=params,
-        non_converged_runs=non_converged,
+        non_converged_runs=len(non_converged_points),
+        non_converged_points=non_converged_points,
     )

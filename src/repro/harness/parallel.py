@@ -22,8 +22,12 @@ to ``workers=1``.
 Workload registry
 -----------------
 Cached/parallel sweeps driven from the CLI reference protocols *by name*
-through :data:`WORKLOADS` (worker processes re-import this module, so the
-registry is always available on the far side of the pickle boundary).
+through :data:`WORKLOADS` (finite-state protocols, runnable on any engine of
+:data:`repro.engine.selection.ENGINE_NAMES`) or :data:`VECTOR_WORKLOADS`
+(bespoke vector-engine kernels for the non-finite-state paper protocols:
+``figure2``, ``leader-terminating``); worker processes re-import this
+module, so both registries are always available on the far side of the
+pickle boundary.
 Library callers may instead embed ``protocol_factory``/``predicate``
 callables in the spec; with ``workers > 1`` those callables must be
 picklable (module-level functions or classes, not lambdas or closures).
@@ -49,12 +53,18 @@ __all__ = [
     "KIND_ARRAY",
     "KIND_FINITE_STATE",
     "KIND_SEQUENTIAL",
+    "KIND_VECTOR",
+    "VECTOR_WORKLOADS",
     "WORKLOADS",
     "FiniteStateWorkload",
     "SweepOutcome",
     "TrialSpec",
+    "VectorWorkload",
     "build_finite_state_trials",
+    "build_vector_trials",
+    "get_vector_workload",
     "get_workload",
+    "register_vector_workload",
     "register_workload",
     "run_trial",
     "run_trials",
@@ -64,7 +74,8 @@ __all__ = [
 KIND_FINITE_STATE = "finite-state"
 KIND_ARRAY = "array"
 KIND_SEQUENTIAL = "sequential"
-_KINDS = (KIND_FINITE_STATE, KIND_ARRAY, KIND_SEQUENTIAL)
+KIND_VECTOR = "vector"
+_KINDS = (KIND_FINITE_STATE, KIND_ARRAY, KIND_SEQUENTIAL, KIND_VECTOR)
 
 
 # ---------------------------------------------------------------------------
@@ -185,6 +196,109 @@ _register_builtin_workloads()
 
 
 # ---------------------------------------------------------------------------
+# Vector workloads (non-finite-state protocols on the vector engine)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VectorWorkload:
+    """A named vector-engine workload runnable by the sweep driver and CLI.
+
+    These cover the paper protocols that are *not* finite-state (their agents
+    carry unbounded integer fields) and therefore run as bespoke
+    :class:`~repro.engine.vector.VectorProtocol` kernels rather than through
+    :func:`repro.engine.selection.build_engine`.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro sweep --engine vector --protocol <name>``).
+    kernel_factory:
+        Callable ``(params, **options) -> VectorProtocol`` building a fresh
+        kernel per trial (options come from ``TrialSpec.engine_options``,
+        e.g. ``phase_count`` for the leader-terminating protocol).
+    description:
+        One line for ``--help`` output.
+    default_population:
+        Default ``n`` for single-shot CLI runs.
+    default_budget:
+        Parallel-time budget as ``(n, params, **options) -> float``.
+    """
+
+    name: str
+    kernel_factory: Callable[..., object]
+    description: str
+    default_population: int
+    default_budget: Callable[..., float]
+
+
+VECTOR_WORKLOADS: dict[str, VectorWorkload] = {}
+
+
+def register_vector_workload(workload: VectorWorkload) -> VectorWorkload:
+    """Register a named vector workload (overwrites an existing entry)."""
+    VECTOR_WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_vector_workload(name: str) -> VectorWorkload:
+    """Look up a registered vector workload, raising :class:`SimulationError`."""
+    try:
+        return VECTOR_WORKLOADS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown vector workload {name!r}; registered: "
+            f"{', '.join(sorted(VECTOR_WORKLOADS))}"
+        ) from None
+
+
+def _register_builtin_vector_workloads() -> None:
+    # Imported lazily for the same reason as the finite-state registry.
+    from repro.core.array_simulator import (
+        LogSizeVectorProtocol,
+        expected_convergence_time,
+    )
+    from repro.core.vector_leader import (
+        LeaderTerminatingVectorProtocol,
+        expected_termination_time,
+    )
+
+    def _figure2_budget(population_size, params, **_options):
+        return 4.0 * expected_convergence_time(population_size, params)
+
+    def _leader_budget(population_size, params, **options):
+        return 4.0 * expected_termination_time(population_size, params, **options)
+
+    register_vector_workload(
+        VectorWorkload(
+            name="figure2",
+            kernel_factory=LogSizeVectorProtocol,
+            description=(
+                "Log-Size-Estimation until every agent is done (the Figure 2 "
+                "convergence sweep)"
+            ),
+            default_population=100_000,
+            default_budget=_figure2_budget,
+        )
+    )
+    register_vector_workload(
+        VectorWorkload(
+            name="leader-terminating",
+            kernel_factory=LeaderTerminatingVectorProtocol,
+            description=(
+                "Theorem 3.13 leader-driven terminating size estimation until "
+                "the termination signal reaches every agent"
+            ),
+            default_population=100_000,
+            default_budget=_leader_budget,
+        )
+    )
+
+
+_register_builtin_vector_workloads()
+
+
+# ---------------------------------------------------------------------------
 # Trial specification
 # ---------------------------------------------------------------------------
 
@@ -212,8 +326,10 @@ class TrialSpec:
     ----------
     kind:
         ``"finite-state"`` (any registered/supplied finite-state protocol on
-        a selectable engine), ``"array"`` (vectorised
-        ``Log-Size-Estimation``), or ``"sequential"`` (agent-level
+        a selectable engine), ``"vector"`` (a registered
+        :data:`VECTOR_WORKLOADS` kernel on the vector engine), ``"array"``
+        (vectorised ``Log-Size-Estimation``; the historical alias for the
+        ``"figure2"`` vector workload), or ``"sequential"`` (agent-level
         ``Log-Size-Estimation``).
     population_size / size_index / run_index / base_seed:
         Trial coordinates; the per-trial seed is
@@ -285,6 +401,16 @@ class TrialSpec:
                 raise SimulationError(
                     f"unknown engine {self.engine!r}; expected one of "
                     f"{', '.join(ENGINE_NAMES)}"
+                )
+        elif self.kind == KIND_VECTOR:
+            if self.protocol is None:
+                raise SimulationError(
+                    "a vector trial needs a registered vector workload name "
+                    "(protocol=...)"
+                )
+            if self.params is None:
+                raise SimulationError(
+                    f"{self.kind} trials need ProtocolParameters (params=...)"
                 )
         elif self.params is None:
             raise SimulationError(
@@ -376,6 +502,61 @@ def build_finite_state_trials(
             protocol=protocol,
             protocol_factory=protocol_factory,
             predicate=predicate,
+            engine_options=tuple(sorted(engine_options.items())),
+        )
+        for size_index, population_size in enumerate(population_sizes)
+        for run_index in range(runs_per_size)
+    ]
+
+
+def build_vector_trials(
+    population_sizes: Sequence[int],
+    runs_per_size: int,
+    protocol: str,
+    params: ProtocolParameters,
+    base_seed: int = 0,
+    max_parallel_time: float | Callable[[int], float] | None = None,
+    **engine_options,
+) -> list[TrialSpec]:
+    """Expand a vector-workload sweep into one :class:`TrialSpec` per trial.
+
+    ``max_parallel_time`` may be a constant, a callable ``n -> budget``, or
+    ``None`` to use the workload's default budget (which accounts for the
+    protocol constants and any ``engine_options``, e.g. ``phase_count``).
+    """
+    if not population_sizes:
+        raise SimulationError("population_sizes must be non-empty")
+    if runs_per_size < 1:
+        raise SimulationError(f"runs_per_size must be >= 1, got {runs_per_size}")
+    workload = get_vector_workload(protocol)
+    # Probe the kernel factory once so unsupported engine_options fail here,
+    # at build time, instead of as a TypeError inside a worker process mid-
+    # sweep.  Kernel construction is cheap (arrays are allocated later, in
+    # init_fields); parameter-validation errors (ProtocolError) propagate.
+    try:
+        workload.kernel_factory(params, **engine_options)
+    except TypeError as error:
+        raise SimulationError(
+            f"vector workload {protocol!r} does not accept options "
+            f"{sorted(engine_options)}: {error}"
+        ) from None
+    if max_parallel_time is None:
+        budget = lambda n: workload.default_budget(n, params, **engine_options)
+    elif callable(max_parallel_time):
+        budget = max_parallel_time
+    else:
+        budget = lambda n: float(max_parallel_time)
+    return [
+        TrialSpec(
+            kind=KIND_VECTOR,
+            population_size=population_size,
+            size_index=size_index,
+            run_index=run_index,
+            base_seed=base_seed,
+            engine="vector",
+            max_parallel_time=budget(population_size),
+            protocol=protocol,
+            params=params,
             engine_options=tuple(sorted(engine_options.items())),
         )
         for size_index, population_size in enumerate(population_sizes)
@@ -489,10 +670,39 @@ def _run_sequential_trial(spec: TrialSpec) -> RunRecord:
     )
 
 
+def _run_vector_trial(spec: TrialSpec) -> RunRecord:
+    from repro.engine.vector import VectorSimulator
+
+    workload = get_vector_workload(spec.protocol)
+    kernel = workload.kernel_factory(spec.params, **dict(spec.engine_options))
+    simulator = VectorSimulator(kernel, spec.population_size, seed=spec.seed)
+    outcome = simulator.run_until_done(max_parallel_time=spec.max_parallel_time)
+    extra = {
+        "engine": "vector",
+        "protocol": spec.protocol,
+        "interactions": outcome.interactions,
+    }
+    # Estimation-style result fields, absent on a plain VectorRunResult from
+    # a custom registered workload.
+    for name in ("log_size2", "distinct_state_bound", "final_estimate_mean"):
+        value = getattr(outcome, name, None)
+        if value is not None:
+            extra[name] = value
+    return RunRecord(
+        population_size=spec.population_size,
+        seed=spec.seed,
+        converged=outcome.converged,
+        convergence_time=outcome.convergence_time,
+        max_additive_error=getattr(outcome, "max_additive_error", math.nan),
+        extra=extra,
+    )
+
+
 _TRIAL_RUNNERS = {
     KIND_FINITE_STATE: _run_finite_state_trial,
     KIND_ARRAY: _run_array_trial,
     KIND_SEQUENTIAL: _run_sequential_trial,
+    KIND_VECTOR: _run_vector_trial,
 }
 
 

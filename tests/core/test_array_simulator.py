@@ -94,6 +94,54 @@ class TestConvergence:
         assert outcomes[0] == outcomes[1]
 
 
+class TestExactConvergenceDetection:
+    """Regression tests for the convergence-time quantisation bug.
+
+    ``run_until_done`` used to evaluate the convergence condition only every
+    ``check_every_rounds`` (default 64) rounds, overstating every reported
+    Figure 2 time by up to 63 rounds (~32 units of parallel time at n=100 —
+    the same order as the quantity being plotted).  Detection must be exact
+    to the round; ``check_every_rounds`` only throttles field-range sampling.
+    """
+
+    def test_detection_is_exact_to_the_round(self, fast_params):
+        n, seed = 96, 13
+        # Ground truth: step round by round and record the first all-done round.
+        manual = ArrayLogSizeSimulator(n, params=fast_params, seed=seed)
+        while not manual.all_done():
+            manual.run_round()
+        exact_rounds = manual.rounds
+        # The driver must stop at exactly that round, not at the next
+        # multiple of check_every_rounds (this seed converges at a round
+        # that is not such a multiple, so quantised detection would differ).
+        assert exact_rounds % 64 != 0
+        driver = ArrayLogSizeSimulator(n, params=fast_params, seed=seed)
+        result = driver.run_until_done(max_parallel_time=5_000, check_every_rounds=64)
+        assert result.converged
+        assert result.rounds == exact_rounds
+        assert result.convergence_time == pytest.approx(
+            exact_rounds * (n // 2) / n
+        )
+
+    def test_detection_independent_of_range_sampling_cadence(self, fast_params):
+        times = []
+        for cadence in (1, 7, 64, 1000):
+            simulator = ArrayLogSizeSimulator(64, params=fast_params, seed=3)
+            result = simulator.run_until_done(
+                max_parallel_time=5_000, check_every_rounds=cadence
+            )
+            assert result.converged
+            times.append(result.convergence_time)
+        assert len(set(times)) == 1
+
+    def test_ranges_still_sampled_for_state_table(self, fast_params):
+        simulator = ArrayLogSizeSimulator(64, params=fast_params, seed=3)
+        simulator.run_until_done(max_parallel_time=5_000)
+        assert simulator._max_log_size2 >= 1
+        assert simulator._max_time > 0
+        assert simulator.distinct_state_bound() > 1
+
+
 class TestCrossEngineAgreement:
     """The vectorised engine must agree with the reference engine on behaviour."""
 

@@ -1,11 +1,18 @@
-"""Cross-engine equivalence: agent, count and batched engines agree.
+"""Cross-engine equivalence: agent, count, batched and vector engines agree.
 
-The three engines implement the same stochastic process (uniform ordered
-pairs, protocol transition distributions), so on identical workloads their
-*statistics* must agree — completion-time quantiles, correctness rates,
+The three *sequential* engines implement the same stochastic process (uniform
+ordered pairs, protocol transition distributions), so on identical workloads
+their *statistics* must agree — completion-time quantiles, correctness rates,
 fixed-time configuration levels — even though their random streams differ.
 These tests run modest populations over many seeds and compare across
 engines with tolerances sized by the sampling noise.
+
+The vector engine substitutes synchronous random-matching rounds for the
+sequential scheduler (every agent interacts exactly once per round), which
+preserves behaviour only up to constant factors in *time* while leaving
+*correctness* statistics intact (see ``DESIGN.md``, Substitutions).  Its
+completion times are therefore compared within a constant-factor band rather
+than the tight relative tolerances of the sequential engines.
 """
 
 from __future__ import annotations
@@ -15,7 +22,11 @@ import statistics
 
 import pytest
 
-from repro.engine.selection import ENGINE_NAMES, build_engine
+from repro.engine.selection import (
+    ENGINE_NAMES,
+    SEQUENTIAL_ENGINE_NAMES,
+    build_engine,
+)
 from repro.protocols.epidemic import (
     EpidemicProtocol,
     EpidemicState,
@@ -55,12 +66,13 @@ def epidemic_times() -> dict[str, list[float]]:
 
 class TestEpidemicEquivalence:
     def test_all_engines_complete_every_run(self, epidemic_times):
-        for engine, times in epidemic_times.items():
-            assert len(times) == EPIDEMIC_RUNS, engine
+        for engine in ENGINE_NAMES:
+            assert len(epidemic_times[engine]) == EPIDEMIC_RUNS, engine
 
     def test_mean_completion_times_agree(self, epidemic_times):
         means = {
-            engine: statistics.fmean(times) for engine, times in epidemic_times.items()
+            engine: statistics.fmean(epidemic_times[engine])
+            for engine in SEQUENTIAL_ENGINE_NAMES
         }
         reference = means["agent"]
         for engine, mean in means.items():
@@ -70,7 +82,8 @@ class TestEpidemicEquivalence:
 
     def test_median_completion_times_agree(self, epidemic_times):
         medians = {
-            engine: statistics.median(times) for engine, times in epidemic_times.items()
+            engine: statistics.median(epidemic_times[engine])
+            for engine in SEQUENTIAL_ENGINE_NAMES
         }
         reference = medians["agent"]
         for engine, median in medians.items():
@@ -81,54 +94,92 @@ class TestEpidemicEquivalence:
         for engine, times in epidemic_times.items():
             assert statistics.fmean(times) < budget, engine
 
+    def test_vector_engine_within_constant_factor(self, epidemic_times):
+        """Matching rounds complete the epidemic in ~0.5 log2 n time vs ~ln n.
+
+        The ratio to the sequential engines is a scheduler constant, not a
+        free parameter: it must stay within a fixed band across runs.
+        """
+        reference = statistics.fmean(epidemic_times["agent"])
+        vector = statistics.fmean(epidemic_times["vector"])
+        assert 0.3 * reference < vector < 1.5 * reference, (vector, reference)
+
 
 class TestFixedTimeConfiguration:
+    @staticmethod
+    def _mean_infected_fraction(engine: str) -> float:
+        level = []
+        for run_index in range(EPIDEMIC_RUNS):
+            simulator = build_engine(
+                engine, EpidemicProtocol(), EPIDEMIC_N, seed=2_000 + run_index
+            )
+            simulator.run_parallel_time(4)
+            level.append(simulator.count(EpidemicState.INFECTED) / EPIDEMIC_N)
+        return statistics.fmean(level)
+
     def test_mean_infected_fraction_after_fixed_time(self):
-        """After t=4 units the three engines report similar infection levels."""
-        fractions = {}
-        for engine in ENGINE_NAMES:
-            level = []
-            for run_index in range(EPIDEMIC_RUNS):
-                simulator = build_engine(
-                    engine, EpidemicProtocol(), EPIDEMIC_N, seed=2_000 + run_index
-                )
-                simulator.run_parallel_time(4)
-                level.append(simulator.count(EpidemicState.INFECTED) / EPIDEMIC_N)
-            fractions[engine] = statistics.fmean(level)
+        """After t=4 units the sequential engines report similar infection levels."""
+        fractions = {
+            engine: self._mean_infected_fraction(engine)
+            for engine in SEQUENTIAL_ENGINE_NAMES
+        }
         reference = fractions["agent"]
         assert 0.0 < reference < 1.0  # mid-epidemic: the comparison is informative
         for engine, fraction in fractions.items():
             assert fraction == pytest.approx(reference, abs=0.12), fractions
 
+    def test_vector_fixed_time_fraction_sane(self):
+        """The vector engine's mid-epidemic level differs by a bounded factor.
+
+        Matching rounds double the infected set once per round (``2^{2t}``
+        growth at two interactions per agent per time unit) where the
+        sequential scheduler grows like ``e^{2t}``, so the vector epidemic
+        runs somewhat behind at a fixed mid-epidemic time — by a scheduler
+        constant, not unboundedly.
+        """
+        reference = self._mean_infected_fraction("agent")
+        vector = self._mean_infected_fraction("vector")
+        assert reference * 0.5 <= vector <= min(1.0, reference * 1.2), (
+            vector,
+            reference,
+        )
+
 
 class TestMajorityEquivalence:
+    @staticmethod
+    def _majority_stats(engine: str) -> tuple[float, float]:
+        correct = 0
+        consensus_times = []
+        for run_index in range(MAJORITY_RUNS):
+            simulator = build_engine(
+                engine,
+                ApproximateMajorityProtocol(x_fraction=0.7),
+                MAJORITY_N,
+                seed=3_000 + run_index,
+            )
+            consensus_times.append(
+                simulator.run_until(
+                    majority_consensus_predicate,
+                    max_parallel_time=500,
+                    check_interval=max(MAJORITY_N // 8, 16),
+                )
+            )
+            if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
+                correct += 1
+        return correct / MAJORITY_RUNS, statistics.fmean(consensus_times)
+
     def test_majority_correctness_rate_agrees(self):
         """A 70/30 split must be won by the initial majority on every engine."""
         rates = {}
         times = {}
         for engine in ENGINE_NAMES:
-            correct = 0
-            consensus_times = []
-            for run_index in range(MAJORITY_RUNS):
-                simulator = build_engine(
-                    engine,
-                    ApproximateMajorityProtocol(x_fraction=0.7),
-                    MAJORITY_N,
-                    seed=3_000 + run_index,
-                )
-                consensus_times.append(
-                    simulator.run_until(
-                        majority_consensus_predicate,
-                        max_parallel_time=500,
-                        check_interval=max(MAJORITY_N // 8, 16),
-                    )
-                )
-                if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
-                    correct += 1
-            rates[engine] = correct / MAJORITY_RUNS
-            times[engine] = statistics.fmean(consensus_times)
+            rates[engine], times[engine] = self._majority_stats(engine)
         for engine, rate in rates.items():
+            # Correctness is scheduler-independent: the vector engine is held
+            # to the same bar as the sequential ones.
             assert rate >= 0.9, rates
         reference = times["agent"]
-        for engine, mean_time in times.items():
-            assert mean_time == pytest.approx(reference, rel=0.35), times
+        for engine in SEQUENTIAL_ENGINE_NAMES:
+            assert times[engine] == pytest.approx(reference, rel=0.35), times
+        # The vector engine's consensus time differs by a scheduler constant.
+        assert 0.3 * reference < times["vector"] < 1.5 * reference, times

@@ -1,0 +1,234 @@
+"""Tests for the vector engine: fields registry, generic kernel, selection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.configuration import Configuration
+from repro.engine.selection import ENGINE_NAMES, build_engine
+from repro.engine.vector import (
+    FiniteStateVectorProtocol,
+    VectorFields,
+    VectorFiniteStateSimulator,
+    VectorSimulator,
+)
+from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.base import FiniteStateProtocol, RandomizedTransition
+from repro.protocols.epidemic import (
+    EpidemicProtocol,
+    EpidemicState,
+    epidemic_completion_predicate,
+)
+from repro.protocols.majority import ApproximateMajorityProtocol
+
+
+class CoinFlipProtocol(FiniteStateProtocol):
+    """Undecided pairs flip a fair coin: (U, U) -> (H, H) or (T, T)."""
+
+    def states(self):
+        return ("U", "H", "T")
+
+    def initial_state(self, agent_id):
+        return "U"
+
+    def transitions(self, receiver, sender):
+        if receiver == "U" and sender == "U":
+            return (
+                RandomizedTransition("H", "H", probability=0.5),
+                RandomizedTransition("T", "T", probability=0.5),
+            )
+        return ()
+
+    def output(self, state):
+        return state
+
+    def describe(self):
+        return "CoinFlip"
+
+
+class TestVectorFields:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            VectorFields(1)
+
+    def test_add_and_lookup(self):
+        fields = VectorFields(10)
+        array = fields.add("x", int, fill=3)
+        assert (fields["x"] == 3).all()
+        assert array is fields["x"]
+        assert "x" in fields
+        assert fields.names() == ("x",)
+
+    def test_duplicate_field_rejected(self):
+        fields = VectorFields(4)
+        fields.add("x", int)
+        with pytest.raises(SimulationError):
+            fields.add("x", int)
+
+    def test_tracking_unregistered_field_rejected(self):
+        fields = VectorFields(4)
+        with pytest.raises(SimulationError):
+            fields.track("missing")
+
+    def test_range_sampling_takes_running_maximum(self):
+        fields = VectorFields(4)
+        array = fields.add("x", int)
+        fields.track("x")
+        array[:] = [1, 5, 2, 0]
+        fields.sample_ranges()
+        array[:] = 0
+        fields.sample_ranges()
+        assert fields.max_observed("x") == 5
+
+
+class TestFiniteStateKernel:
+    def test_epidemic_completes(self):
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 500, seed=2)
+        elapsed = simulator.run_until(
+            epidemic_completion_predicate, max_parallel_time=100
+        )
+        assert 0 < elapsed < 100
+        assert simulator.count(EpidemicState.INFECTED) == 500
+        assert simulator.count(EpidemicState.SUSCEPTIBLE) == 0
+        assert simulator.outputs() == {True: 500}
+
+    def test_randomized_transitions_split_roughly_evenly(self):
+        simulator = VectorFiniteStateSimulator(CoinFlipProtocol(), 2_000, seed=4)
+        simulator.run_until(
+            lambda sim: sim.count("U") <= 1, max_parallel_time=500
+        )
+        heads = simulator.count("H")
+        tails = simulator.count("T")
+        assert heads + tails >= 1_999
+        # Each decided pair is an independent fair coin: ~n/2 +- noise.
+        assert 0.4 < heads / (heads + tails) < 0.6
+
+    def test_reproducible_per_seed(self):
+        outcomes = []
+        for _ in range(2):
+            simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 300, seed=9)
+            outcomes.append(
+                simulator.run_until(
+                    epidemic_completion_predicate, max_parallel_time=100
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_initial_configuration_respected(self):
+        configuration = Configuration({"I": 150, "S": 150})
+        simulator = VectorFiniteStateSimulator(
+            EpidemicProtocol(), 300, seed=1, initial_configuration=configuration
+        )
+        assert simulator.count("I") == 150
+        simulator.run_round()
+        assert simulator.count("I") >= 150
+
+    def test_initial_configuration_size_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            VectorFiniteStateSimulator(
+                EpidemicProtocol(), 300, initial_configuration=Configuration({"I": 5})
+            )
+
+    def test_run_until_timeout_raises(self):
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 400, seed=3)
+        with pytest.raises(ConvergenceError):
+            simulator.run_until(
+                epidemic_completion_predicate, max_parallel_time=0.5
+            )
+
+    def test_round_accounting(self):
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 101, seed=1)
+        simulator.run_interactions(120)
+        # Whole rounds of floor(101/2) = 50 interactions: 3 rounds = 150.
+        assert simulator.rounds == 3
+        assert simulator.interactions == 150
+        assert simulator.parallel_time == pytest.approx(150 / 101)
+
+    def test_run_with_trace_snapshots(self):
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 200, seed=6)
+        trace = simulator.run_with_trace(total_parallel_time=4.0, samples=4)
+        assert len(trace) == 5
+        assert trace[0].interaction == 0
+        sizes = [point.configuration.size for point in trace]
+        assert all(size == 200 for size in sizes)
+        infected = [
+            point.configuration.counts.get(EpidemicState.INFECTED, 0)
+            for point in trace
+        ]
+        assert infected == sorted(infected)  # the epidemic only grows
+
+    def test_run_with_trace_does_not_compound_round_overshoot(self):
+        # Rounds of floor(101/2)=50 interactions never divide the 101-per-
+        # time-unit boundaries: each snapshot must land on the first round
+        # boundary at or after its exact boundary, not accumulate drift.
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 101, seed=6)
+        trace = simulator.run_with_trace(total_parallel_time=4.0, samples=4)
+        boundaries = [101, 202, 303, 404]
+        for point, boundary in zip(trace[1:], boundaries):
+            assert boundary <= point.interaction < boundary + 50, (
+                point.interaction,
+                boundary,
+            )
+        assert simulator.interactions == trace[-1].interaction
+
+    def test_majority_conserves_population(self):
+        simulator = VectorFiniteStateSimulator(
+            ApproximateMajorityProtocol(x_fraction=0.7), 301, seed=8
+        )
+        simulator.run_parallel_time(10)
+        assert simulator.configuration().size == 301
+
+
+class TestEngineSelection:
+    def test_vector_listed(self):
+        assert "vector" in ENGINE_NAMES
+
+    def test_build_engine_returns_vector_simulator(self):
+        simulator = build_engine("vector", EpidemicProtocol(), 64, seed=0)
+        assert isinstance(simulator, VectorFiniteStateSimulator)
+        assert simulator.population_size == 64
+
+    def test_vector_rejects_engine_options(self):
+        with pytest.raises(SimulationError):
+            build_engine("vector", EpidemicProtocol(), 64, batch_size=32)
+
+    def test_vector_accepts_initial_configuration(self):
+        configuration = Configuration({"I": 10, "S": 54})
+        simulator = build_engine(
+            "vector", EpidemicProtocol(), 64, seed=0,
+            initial_configuration=configuration,
+        )
+        assert simulator.count("I") == 10
+
+
+class TestVectorSimulatorDriver:
+    def test_check_every_rounds_validated(self):
+        kernel = FiniteStateVectorProtocol(EpidemicProtocol())
+        simulator = VectorSimulator(kernel, 50, seed=0)
+        with pytest.raises(SimulationError):
+            simulator.run_until_done(max_parallel_time=1.0, check_every_rounds=0)
+
+    def test_generic_result_for_predicate_free_kernel(self):
+        # A finite-state kernel has no intrinsic done condition: the run
+        # exhausts its budget and reports a generic non-converged result.
+        kernel = FiniteStateVectorProtocol(EpidemicProtocol())
+        simulator = VectorSimulator(kernel, 50, seed=0)
+        result = simulator.run_until_done(max_parallel_time=2.0)
+        assert not result.converged
+        assert result.convergence_time is None
+        assert result.interactions == result.rounds * 25
+        with pytest.raises(ConvergenceError):
+            VectorSimulator(
+                FiniteStateVectorProtocol(EpidemicProtocol()), 50, seed=0
+            ).run_until_done(max_parallel_time=2.0, raise_on_timeout=True)
+
+    def test_result_as_dict(self):
+        kernel = FiniteStateVectorProtocol(EpidemicProtocol())
+        simulator = VectorSimulator(kernel, 50, seed=0)
+        result = simulator.run_until_done(max_parallel_time=1.0)
+        data = result.as_dict()
+        assert data["population_size"] == 50
+        assert data["converged"] is False
+        assert math.isfinite(data["interactions"])

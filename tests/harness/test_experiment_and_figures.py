@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.parameters import ProtocolParameters
@@ -149,6 +151,75 @@ class TestFigure2:
         )
         result = figure2_from_sweep(sweep, FAST)
         assert result.non_converged_runs == 1
+
+    def test_non_converged_runs_reported_per_size_not_dropped(self):
+        """Regression: non-converged runs used to silently shrink the table's
+        ``runs`` column below the requested runs_per_size."""
+        spec = ExperimentSpec(population_sizes=[64, 96], runs_per_size=2, params=FAST)
+        sweep = run_array_experiment(spec)
+        # Mark one of the two n=96 runs as budget-exhausted.
+        failed_index = next(
+            index
+            for index, record in enumerate(sweep.records)
+            if record.population_size == 96
+        )
+        sweep.records[failed_index] = type(sweep.records[failed_index])(
+            population_size=96,
+            seed=sweep.records[failed_index].seed,
+            converged=False,
+            convergence_time=None,
+            max_additive_error=float("inf"),
+        )
+        result = figure2_from_sweep(sweep, FAST)
+        assert result.non_converged_by_size() == {64: 0, 96: 1}
+        assert len(result.non_converged_points) == 1
+        assert result.sizes() == [64, 96]
+        table = result.table()
+        assert "non-conv" in table
+        csv_lines = result.to_csv().splitlines()
+        assert csv_lines[0] == (
+            "population_size,seed,converged,convergence_time,max_additive_error"
+        )
+        # Every requested run appears in the export, converged or not.
+        assert len(csv_lines) == 1 + 4
+        failed_rows = [line for line in csv_lines[1:] if ",False," in line]
+        assert len(failed_rows) == 1
+        assert failed_rows[0].startswith("96,")
+        # The inf error is exported as an empty cell, not a bare "inf".
+        assert failed_rows[0].endswith(",")
+
+    def test_all_runs_failed_at_a_size_keeps_the_size_visible(self):
+        spec = ExperimentSpec(population_sizes=[64], runs_per_size=1, params=FAST)
+        sweep = run_array_experiment(spec)
+        sweep.records[0] = type(sweep.records[0])(
+            population_size=64,
+            seed=0,
+            converged=False,
+            convergence_time=None,
+        )
+        result = figure2_from_sweep(sweep, FAST)
+        assert result.sizes() == [64]
+        assert math.isnan(result.mean_times()[0])
+        assert "non-conv" in result.table()
+        assert "no converged runs" in result.ascii_plot()
+
+    def test_growth_exponent_skips_sizes_with_no_converged_runs(self):
+        spec = ExperimentSpec(population_sizes=[64, 96], runs_per_size=1, params=FAST)
+        sweep = run_array_experiment(spec)
+        failed_index = next(
+            index
+            for index, record in enumerate(sweep.records)
+            if record.population_size == 96
+        )
+        sweep.records[failed_index] = type(sweep.records[failed_index])(
+            population_size=96,
+            seed=sweep.records[failed_index].seed,
+            converged=False,
+            convergence_time=None,
+        )
+        result = figure2_from_sweep(sweep, FAST)
+        # Only one size has converged runs: no slope, but no crash either.
+        assert result.growth_exponent() is None
 
 
 class TestTables:

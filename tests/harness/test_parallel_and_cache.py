@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.harness.parallel import (
     KIND_FINITE_STATE,
     TrialSpec,
     build_finite_state_trials,
+    build_vector_trials,
     get_workload,
     run_trial,
     run_trials,
@@ -351,3 +353,153 @@ class TestCacheKeys:
             moderate.trials("array", "array")[0].cache_key()
             != array_trial.cache_key()
         )
+
+
+def _reject_constant(text):
+    raise AssertionError(f"non-strict JSON token in cache line: {text}")
+
+
+class TestNonFiniteSerialisation:
+    """Non-finite floats must never reach the persisted JSON (as the invalid
+    literals ``Infinity`` / ``NaN``); they are canonicalised to ``null``."""
+
+    def test_record_to_dict_canonicalises_nested_non_finites(self):
+        record = RunRecord(
+            population_size=8,
+            seed=1,
+            converged=False,
+            convergence_time=None,
+            max_additive_error=math.inf,
+            extra={
+                "a": math.nan,
+                "b": [math.inf, 2.0],
+                "c": {"d": -math.inf},
+                "ok": 3,
+            },
+        )
+        payload = record_to_dict(record)
+        assert payload["max_additive_error"] is None
+        assert payload["extra"]["a"] is None
+        assert payload["extra"]["b"] == [None, 2.0]
+        assert payload["extra"]["c"]["d"] is None
+        assert payload["extra"]["ok"] == 3
+        json.dumps(payload, allow_nan=False)  # must not raise
+
+    def test_non_converged_array_trial_round_trips_strict_json(self, tmp_path):
+        spec = TrialSpec(
+            kind="array",
+            population_size=64,
+            size_index=0,
+            run_index=0,
+            base_seed=1,
+            engine="array",
+            max_parallel_time=0.5,  # far too small: the trial cannot converge
+            params=FAST,
+        )
+        record = run_trial(spec)
+        assert not record.converged
+        # No agent reports an estimate: the in-memory error is +infinity and
+        # the mean estimate is NaN — exactly the values that used to leak
+        # into the cache file as invalid JSON.
+        assert math.isinf(record.max_additive_error)
+        assert math.isnan(record.extra["final_estimate_mean"])
+
+        cache = ResultCache(tmp_path, name="nonfinite")
+        cache.put(spec.cache_key(), record)
+        text = cache.path.read_text(encoding="utf-8")
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        for line in text.splitlines():
+            json.loads(line, parse_constant=_reject_constant)  # strict parse
+
+        reloaded = ResultCache(tmp_path, name="nonfinite").get(spec.cache_key())
+        assert reloaded is not None
+        assert reloaded.converged is False
+        assert math.isnan(reloaded.max_additive_error)
+        assert reloaded.extra["final_estimate_mean"] is None
+
+
+class TestVectorSweeps:
+    def test_vector_trials_cache_and_resume(self, tmp_path):
+        specs = build_vector_trials(
+            [64], 2, protocol="figure2", params=FAST, base_seed=9
+        )
+        first = run_trials(specs, cache=ResultCache(tmp_path, name="vec"))
+        assert first.executed == 2
+        assert all(record.converged for record in first.records)
+        second = run_trials(specs, cache=ResultCache(tmp_path, name="vec"))
+        assert second.executed == 0
+        assert second.from_cache == 2
+        for live, cached in zip(first.records, second.records):
+            assert records_equal(live, cached)
+
+    def test_vector_parallel_matches_serial(self):
+        specs = build_vector_trials(
+            [64, 96], 1, protocol="figure2", params=FAST, base_seed=4
+        )
+        serial = run_trials(specs, workers=1)
+        parallel = run_trials(specs, workers=2)
+        for one, other in zip(serial.records, parallel.records):
+            assert records_equal(one, other)
+
+    def test_vector_spec_requires_workload_name(self):
+        with pytest.raises(SimulationError):
+            TrialSpec(
+                kind="vector",
+                population_size=64,
+                size_index=0,
+                run_index=0,
+                params=FAST,
+            )
+
+    def test_vector_spec_requires_params(self):
+        with pytest.raises(SimulationError):
+            TrialSpec(
+                kind="vector",
+                population_size=64,
+                size_index=0,
+                run_index=0,
+                protocol="figure2",
+            )
+
+    def test_unknown_vector_workload_raises_on_run(self):
+        spec = TrialSpec(
+            kind="vector",
+            population_size=64,
+            size_index=0,
+            run_index=0,
+            protocol="no-such-workload",
+            params=FAST,
+        )
+        with pytest.raises(SimulationError):
+            run_trial(spec)
+
+    def test_unsupported_engine_options_rejected_at_build_time(self):
+        # figure2's kernel takes no options: the sweep must fail up front
+        # with a SimulationError, not a TypeError inside a worker mid-sweep.
+        with pytest.raises(SimulationError, match="phase_count"):
+            build_vector_trials(
+                [64], 1, protocol="figure2", params=FAST, phase_count=8
+            )
+
+    def test_invalid_option_values_surface_as_protocol_errors(self):
+        from repro.exceptions import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            build_vector_trials(
+                [64],
+                1,
+                protocol="leader-terminating",
+                params=FAST,
+                phase_count=2,  # below the clock's minimum of 3
+            )
+
+    def test_engine_options_reach_the_kernel_and_the_key(self):
+        base = build_vector_trials(
+            [64], 1, protocol="leader-terminating", params=FAST, phase_count=8
+        )[0]
+        other = build_vector_trials(
+            [64], 1, protocol="leader-terminating", params=FAST, phase_count=16
+        )[0]
+        assert base.engine_options == (("phase_count", 8),)
+        assert base.cache_key() != other.cache_key()

@@ -87,7 +87,7 @@ class TestCommands:
         assert main(["states", "--fast", "--sizes", "64"]) == 0
         assert "state complexity" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("engine", ["agent", "count", "batched"])
+    @pytest.mark.parametrize("engine", ["agent", "count", "batched", "vector"])
     def test_simulate_epidemic_all_engines(self, capsys, engine):
         code = main(
             [
@@ -233,6 +233,120 @@ class TestCommands:
             ]
         )
         assert code == 1
+
+    def test_sweep_vector_figure2(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--engine",
+            "vector",
+            "--protocol",
+            "figure2",
+            "--fast",
+            "--sizes",
+            "64,128",
+            "--runs",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+            "--resume",
+        ]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "'figure2' on the vector engine" in output
+        assert "4 total, 4 executed, 0 from cache" in output
+        assert "non-conv" in output
+        assert (tmp_path / "figure2-vector.jsonl").exists()
+        # Re-running the identical sweep replays every trial from the cache.
+        assert main(args) == 0
+        assert "0 executed, 4 from cache" in capsys.readouterr().out
+
+    def test_sweep_vector_leader_terminating(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--engine",
+                "vector",
+                "--protocol",
+                "leader-terminating",
+                "--fast",
+                "--phase-count",
+                "8",
+                "--sizes",
+                "64",
+                "--runs",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "'leader-terminating' on the vector engine" in output
+        assert "1 total, 1 executed" in output
+
+    def test_sweep_vector_workload_requires_vector_engine(self, capsys):
+        code = main(
+            ["sweep", "--protocol", "figure2", "--engine", "batched", "--sizes", "64"]
+        )
+        assert code == 2
+        assert "pass --engine vector" in capsys.readouterr().err
+
+    def test_sweep_vector_rejects_inapplicable_engine_flags(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--engine",
+                "vector",
+                "--protocol",
+                "figure2",
+                "--batch-size",
+                "64",
+                "--sizes",
+                "64",
+            ]
+        )
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+        code = main(
+            [
+                "sweep",
+                "--engine",
+                "vector",
+                "--protocol",
+                "figure2",
+                "--check-interval",
+                "100",
+                "--sizes",
+                "64",
+            ]
+        )
+        assert code == 2
+        assert "--check-interval" in capsys.readouterr().err
+
+    def test_sweep_phase_count_rejected_for_other_workloads(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--engine",
+                "vector",
+                "--protocol",
+                "figure2",
+                "--phase-count",
+                "8",
+                "--sizes",
+                "64",
+            ]
+        )
+        assert code == 2
+        assert "leader-terminating" in capsys.readouterr().err
+
+    def test_sweep_finite_state_rejects_vector_only_flags(self, capsys):
+        base = ["sweep", "--protocol", "epidemic", "--engine", "count",
+                "--sizes", "64", "--runs", "1"]
+        code = main(base + ["--phase-count", "8"])
+        assert code == 2
+        assert "--phase-count" in capsys.readouterr().err
+        code = main(base + ["--fast"])
+        assert code == 2
+        assert "--fast" in capsys.readouterr().err
 
     def test_termination_command(self, capsys):
         code = main(
