@@ -13,7 +13,7 @@ with the estimate always within additive error 2.  The vectorised
 matching-round engine used here reproduces the same growth shape
 (time ~ c * log^2 n) and the <=2 additive error; absolute parallel times are
 smaller by a constant factor because every agent has exactly one interaction
-per round (see DESIGN.md, Substitutions).
+per round (see DESIGN.md, Schedulers).
 """
 
 from __future__ import annotations

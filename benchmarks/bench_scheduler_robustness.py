@@ -1,0 +1,256 @@
+"""T-SCHED — scheduler robustness of Log-Size-Estimation.
+
+The paper proves its accuracy and convergence claims for one scheduler: a
+uniformly random ordered pair per interaction (approximated by the vector
+engine's uniform matching round).  This benchmark measures how *robust* the
+size-estimation protocol is when the scheduler departs from that model:
+for each scenario scheduler (see ``repro engines``) it runs the Figure 2
+workload to all-agents-done and records the convergence rate, the
+convergence time and the maximum additive estimation error.
+
+Expected shape: the error degrades *gracefully* — lazy subpopulations and
+community structure slow convergence (times grow, some harsh scenarios may
+exhaust their budget) but the agents that do finish still estimate
+``log2 n`` within a small additive error, because the protocol's averaging
+epochs are scheduler-agnostic.  A collapse (error growing with ``n``) would
+mean the paper's claim is an artefact of the uniform scheduler.
+
+Besides the pytest-benchmark entries, this module doubles as a script::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_robustness.py
+
+which sweeps every scenario over ``REPRO_SCHED_SIZES`` (default
+``1000,10000,100000``) with ``REPRO_SCHED_RUNS`` runs per size (default 2),
+prints the per-scheduler table and writes a ``BENCH_schedulers.json``
+artifact.  Scaled-down ``fast_test`` protocol constants are the default so
+that ``n = 10^5`` stays tractable in pure numpy; set
+``REPRO_SCHED_PARAMS=paper`` for the paper's constants.  Trials run through
+the sweep driver, so ``REPRO_SWEEP_WORKERS`` fans them out and re-runs are
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from benchmarks.conftest import SWEEP_WORKERS
+from repro._version import __version__
+from repro.core.array_simulator import expected_convergence_time
+from repro.core.parameters import ProtocolParameters
+from repro.harness.parallel import build_vector_trials, run_trials
+from repro.workloads.populations import sizes_from_env
+
+SCHED_SIZES = sizes_from_env("REPRO_SCHED_SIZES", [1_000, 10_000, 100_000])
+SCHED_RUNS = max(1, int(os.environ.get("REPRO_SCHED_RUNS", "2")))
+#: Budget multiple of the uniform-matching convergence-time estimate; the
+#: non-uniform scenarios are slower, so the budget is deliberately generous
+#: (a run that still times out is reported as non-converged — that is data).
+BUDGET_FACTOR = float(os.environ.get("REPRO_SCHED_BUDGET_FACTOR", "10"))
+ARTIFACT_NAME = "BENCH_schedulers.json"
+
+
+def _params() -> ProtocolParameters:
+    if os.environ.get("REPRO_SCHED_PARAMS", "fast") == "paper":
+        return ProtocolParameters.paper()
+    return ProtocolParameters.fast_test()
+
+
+def scheduler_scenarios(population_size: int, params: ProtocolParameters):
+    """The scenario grid: (label, scheduler name, options).
+
+    The quiescing window is sized relative to the uniform convergence-time
+    estimate so the starvation phase overlaps the protocol's working phase
+    at every ``n``.
+    """
+    window = round(expected_convergence_time(population_size, params) / 2, 3)
+    return [
+        ("matching", "matching", {}),
+        ("weighted(0.3 lazy @ 0.25)", "weighted",
+         {"lazy_fraction": 0.3, "lazy_rate": 0.25}),
+        ("weighted(0.5 lazy @ 0.1)", "weighted",
+         {"lazy_fraction": 0.5, "lazy_rate": 0.1}),
+        ("two-block(intra=0.9)", "two-block", {"intra": 0.9}),
+        ("two-block(intra=0.99)", "two-block", {"intra": 0.99}),
+        ("quiescing(30% for t/2)", "quiescing",
+         {"fraction": 0.3, "start": 0.0, "duration": window}),
+    ]
+
+
+def run_scenario(
+    label: str,
+    scheduler: str,
+    options: dict,
+    population_size: int,
+    params: ProtocolParameters,
+    runs: int = SCHED_RUNS,
+    base_seed: int = 2019,
+) -> dict:
+    """Run one (scheduler, n) cell and summarise it as a JSON-friendly dict."""
+    budget = BUDGET_FACTOR * expected_convergence_time(population_size, params)
+    specs = build_vector_trials(
+        [population_size],
+        runs,
+        protocol="figure2",
+        params=params,
+        base_seed=base_seed,
+        max_parallel_time=budget,
+        scheduler=scheduler,
+        scheduler_options=options,
+    )
+    started = time.perf_counter()
+    outcome = run_trials(specs, workers=min(SWEEP_WORKERS, len(specs)))
+    elapsed = time.perf_counter() - started
+    records = outcome.records
+    converged = [record for record in records if record.converged]
+    errors = [
+        record.max_additive_error
+        for record in converged
+        if record.max_additive_error is not None
+        and math.isfinite(record.max_additive_error)
+    ]
+    times = [record.convergence_time for record in converged]
+    return {
+        "scenario": label,
+        "scheduler": scheduler,
+        "scheduler_options": options,
+        "population_size": population_size,
+        "runs": len(records),
+        "converged": len(converged),
+        "convergence_rate": len(converged) / len(records),
+        "mean_convergence_time": sum(times) / len(times) if times else None,
+        "max_convergence_time": max(times) if times else None,
+        "max_additive_error": max(errors) if errors else None,
+        "budget_parallel_time": budget,
+        "wall_seconds": elapsed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entries (one modest-n point per scenario)
+# ---------------------------------------------------------------------------
+
+_BENCH_N = 256
+_BENCH_PARAMS = ProtocolParameters.fast_test()
+
+
+@pytest.mark.parametrize(
+    "label,scheduler,options",
+    [
+        pytest.param(label, scheduler, options, id=label)
+        for label, scheduler, options in scheduler_scenarios(_BENCH_N, _BENCH_PARAMS)
+    ],
+)
+def bench_scheduler_robustness(benchmark, label, scheduler, options):
+    """One robustness cell: Figure 2 workload under a scenario scheduler."""
+    cell = {}
+
+    def run_cell():
+        cell.update(
+            run_scenario(label, scheduler, options, _BENCH_N, _BENCH_PARAMS, runs=2)
+        )
+        return cell
+
+    benchmark.pedantic(run_cell, rounds=1, iterations=1)
+    benchmark.extra_info.update(cell)
+    if scheduler == "matching":
+        # The baseline must reproduce the paper's empirical accuracy.
+        assert cell["convergence_rate"] == 1.0
+        assert cell["max_additive_error"] < 4.0
+    elif cell["max_additive_error"] is not None:
+        # Graceful degradation: converged non-uniform runs stay within a
+        # constant additive band, they do not collapse.
+        assert cell["max_additive_error"] < 8.0
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the per-scheduler robustness table + artifact
+# ---------------------------------------------------------------------------
+
+
+def _format_cell(value, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def main() -> int:
+    params = _params()
+    params_label = "paper" if os.environ.get("REPRO_SCHED_PARAMS") == "paper" else "fast"
+    print(
+        f"scheduler robustness sweep: figure2 (Log-Size-Estimation), "
+        f"{params_label} constants, sizes {SCHED_SIZES}, {SCHED_RUNS} runs/size, "
+        f"budget {BUDGET_FACTOR}x uniform estimate"
+    )
+    results = []
+    for population_size in SCHED_SIZES:
+        for label, scheduler, options in scheduler_scenarios(population_size, params):
+            cell = run_scenario(label, scheduler, options, population_size, params)
+            results.append(cell)
+            print(
+                f"  n={population_size:>8} {label:<26} "
+                f"conv {cell['converged']}/{cell['runs']}  "
+                f"time {_format_cell(cell['mean_convergence_time'])}  "
+                f"err {_format_cell(cell['max_additive_error'])}  "
+                f"[{cell['wall_seconds']:.1f}s]"
+            )
+    print()
+    header = f"{'scenario':<28}" + "".join(
+        f"| n={size:<10} " for size in SCHED_SIZES
+    )
+    print("max additive error (x = no run converged within budget):")
+    print(header)
+    print("-" * len(header))
+    for label, _, _ in scheduler_scenarios(SCHED_SIZES[0], params):
+        row = f"{label:<28}"
+        for size in SCHED_SIZES:
+            cell = next(
+                r for r in results
+                if r["scenario"] == label and r["population_size"] == size
+            )
+            value = cell["max_additive_error"]
+            row += f"| {_format_cell(value):<12}" if value is not None else f"| {'x':<12}"
+        print(row)
+    print()
+    print("mean convergence parallel time:")
+    print(header)
+    print("-" * len(header))
+    for label, _, _ in scheduler_scenarios(SCHED_SIZES[0], params):
+        row = f"{label:<28}"
+        for size in SCHED_SIZES:
+            cell = next(
+                r for r in results
+                if r["scenario"] == label and r["population_size"] == size
+            )
+            row += f"| {_format_cell(cell['mean_convergence_time'], 1):<12}"
+        print(row)
+
+    artifact = {
+        "version": __version__,
+        "params": params_label,
+        "sizes": SCHED_SIZES,
+        "runs_per_size": SCHED_RUNS,
+        "budget_factor": BUDGET_FACTOR,
+        "results": results,
+    }
+    path = _REPO_ROOT / ARTIFACT_NAME
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"\nartifact written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

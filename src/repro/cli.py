@@ -31,6 +31,13 @@ Subcommands
     finite-state: ``figure2`` (``Log-Size-Estimation`` to all-done) and
     ``leader-terminating`` (Theorem 3.13), at populations the agent engine
     cannot touch.
+``repro simulate/sweep ... --scheduler two-block --scheduler-opt intra=0.95``
+    Run under a non-uniform interaction scheduler (see ``repro engines`` for
+    the engine × scheduler compatibility matrix and ``DESIGN.md``,
+    Schedulers, for the scenario semantics).
+``repro engines``
+    Print the engine × scheduler compatibility matrix and one-line
+    descriptions of every registered scheduler.
 """
 
 from __future__ import annotations
@@ -45,7 +52,17 @@ from repro.analysis.error_bounds import theorem_3_1_summary
 from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
 from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
 from repro.core.parameters import ProtocolParameters
-from repro.engine.selection import ENGINE_NAMES, build_engine
+from repro.engine.scheduler import (
+    SCHEDULER_NAMES,
+    SchedulerSpec,
+    get_scheduler_policy,
+)
+from repro.engine.selection import (
+    DEFAULT_SCHEDULERS,
+    ENGINE_NAMES,
+    build_engine,
+    engine_scheduler_matrix,
+)
 from repro.exceptions import ConvergenceError, SimulationError
 from repro.harness.cache import ResultCache
 from repro.harness.figures import reproduce_figure2
@@ -70,6 +87,46 @@ def _parameters_from_args(args: argparse.Namespace) -> ProtocolParameters:
     if getattr(args, "fast", False):
         return ProtocolParameters.fast_test()
     return ProtocolParameters.paper()
+
+
+def _parse_scheduler_options(pairs: Sequence[str] | None) -> dict:
+    """Parse repeated ``--scheduler-opt key=value`` flags.
+
+    Values are coerced to int, then float, falling back to the raw string.
+    """
+    options: dict = {}
+    for pair in pairs or ():
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SimulationError(
+                f"malformed --scheduler-opt {pair!r}; expected key=value"
+            )
+        value: object = raw
+        for convert in (int, float):
+            try:
+                value = convert(raw)
+                break
+            except ValueError:
+                continue
+        options[key] = value
+    return options
+
+
+def _scheduler_from_args(args: argparse.Namespace) -> tuple[str | None, dict]:
+    scheduler = getattr(args, "scheduler", None)
+    options = _parse_scheduler_options(getattr(args, "scheduler_opt", None))
+    if scheduler is None and options:
+        raise SimulationError("--scheduler-opt requires --scheduler")
+    return scheduler, options
+
+
+def _scheduler_label(
+    engine: str, scheduler: str | None, scheduler_options: dict | None
+) -> str:
+    """Human-readable scheduler identity, e.g. ``two-block(intra=0.95)``."""
+    if scheduler is None:
+        return DEFAULT_SCHEDULERS[engine]
+    return SchedulerSpec.coerce(scheduler, options=scheduler_options or {}).label()
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -209,14 +266,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.batch_size is not None:
         engine_options["batch_size"] = args.batch_size
     try:
+        scheduler, scheduler_options = _scheduler_from_args(args)
+        if scheduler is None and workload.scheduler is not None:
+            # The registry may bake a scheduler variant into the workload.
+            scheduler = workload.scheduler
+            if not scheduler_options:
+                scheduler_options = dict(workload.scheduler_options)
         simulator = build_engine(
-            args.engine, protocol, population_size, seed=args.seed, **engine_options
+            args.engine, protocol, population_size, seed=args.seed,
+            scheduler=scheduler, scheduler_options=scheduler_options,
+            **engine_options,
         )
     except SimulationError as error:
         print(f"repro simulate: error: {error}", file=sys.stderr)
         return 2
+    scheduler_label = _scheduler_label(args.engine, scheduler, scheduler_options)
     print(
-        f"{protocol.describe()} on the {args.engine} engine: {workload.description}"
+        f"{protocol.describe()} on the {args.engine} engine "
+        f"({scheduler_label} scheduler): {workload.description}"
     )
     converged = True
     convergence_time = None
@@ -229,6 +296,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     summary = {
         "population_size": population_size,
         "engine": args.engine,
+        "scheduler": scheduler_label,
         "converged": converged,
         "convergence_parallel_time": convergence_time,
         "interactions": simulator.interactions,
@@ -279,6 +347,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = parse_size_list(args.sizes)
     is_vector_workload = args.protocol in VECTOR_WORKLOADS
     try:
+        scheduler, scheduler_options = _scheduler_from_args(args)
         if is_vector_workload:
             if args.engine != "vector":
                 raise SimulationError(
@@ -310,6 +379,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 params=_parameters_from_args(args),
                 base_seed=args.seed,
                 max_parallel_time=args.max_time,
+                scheduler=scheduler,
+                scheduler_options=scheduler_options,
                 **engine_options,
             )
         else:
@@ -340,6 +411,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 max_parallel_time=budget,
                 check_interval=args.check_interval,
                 protocol=args.protocol,
+                scheduler=scheduler,
+                scheduler_options=scheduler_options,
                 **engine_options,
             )
     except SimulationError as error:
@@ -361,9 +434,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = SweepResult(
         name=f"sweep-{args.protocol}-{args.engine}", records=outcome.records
     )
+    # Label from the specs actually built, so a workload's registry-baked
+    # scheduler variant is reported correctly even without --scheduler.
+    scheduler_label = _scheduler_label(
+        args.engine, specs[0].scheduler, dict(specs[0].scheduler_options)
+    )
     print(
         f"sweep of {args.protocol!r} on the {args.engine} engine "
-        f"({len(sizes)} sizes x {args.runs} runs, workers={args.workers})"
+        f"({scheduler_label} scheduler; {len(sizes)} sizes x {args.runs} runs, "
+        f"workers={args.workers})"
     )
     print(
         f"trials: {len(specs)} total, {outcome.executed} executed, "
@@ -374,6 +453,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print()
     _print_sweep_summary(result)
     return 0 if all(record.converged for record in outcome.records) else 1
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    """Print the engine × scheduler compatibility matrix."""
+    matrix = engine_scheduler_matrix()
+    print("engine x scheduler compatibility (* = engine default):")
+    rows = []
+    for engine in ENGINE_NAMES:
+        supported = matrix[engine]
+        row = [engine]
+        for name in SCHEDULER_NAMES:
+            if name not in supported:
+                cell = "-"
+            elif name == DEFAULT_SCHEDULERS[engine]:
+                cell = "yes *"
+            else:
+                cell = "yes"
+            row.append(cell)
+        rows.append(row)
+    print(format_table(["engine", *SCHEDULER_NAMES], rows))
+    print()
+    print("schedulers:")
+    for name in SCHEDULER_NAMES:
+        policy_cls = get_scheduler_policy(name)
+        print(f"  {name}: {policy_cls.description}")
+        if policy_cls.option_names:
+            print(f"      options: {', '.join(policy_cls.option_names)}")
+    print()
+    print(
+        "Pick one with --scheduler NAME [--scheduler-opt key=value ...] on "
+        "`repro simulate` and `repro sweep`; see DESIGN.md (Schedulers) for "
+        "time semantics and paper fidelity."
+    )
+    return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -441,6 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--json", action="store_true")
     bounds.set_defaults(handler=_cmd_bounds)
 
+    engines = subparsers.add_parser(
+        "engines",
+        help="print the engine x scheduler compatibility matrix",
+        description=(
+            "Show which interaction schedulers each simulation engine can "
+            "run, the per-engine defaults, and every scheduler's options."
+        ),
+    )
+    engines.set_defaults(handler=_cmd_engines)
+
     simulate = subparsers.add_parser(
         "simulate", help="run a finite-state protocol on a selectable engine"
     )
@@ -472,6 +595,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--batch-size", type=int, default=None,
         help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    simulate.add_argument(
+        "--scheduler",
+        choices=list(SCHEDULER_NAMES),
+        default=None,
+        help="interaction scheduler (default: the engine's own — sequential "
+        "for agent/count/batched, matching for vector; `repro engines` "
+        "prints the compatibility matrix)",
+    )
+    simulate.add_argument(
+        "--scheduler-opt", action="append", default=None, metavar="KEY=VALUE",
+        help="scheduler option, repeatable (e.g. --scheduler two-block "
+        "--scheduler-opt intra=0.95)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -541,6 +677,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--phase-count", type=int, default=None,
         help="leader-terminating workload only: phases of the leader-driven "
         "clock (paper: 289; small values terminate sooner)",
+    )
+    sweep.add_argument(
+        "--scheduler",
+        choices=list(SCHEDULER_NAMES),
+        default=None,
+        help="interaction scheduler for every trial (default: the engine's "
+        "own; participates in the trial cache keys, so cached uniform "
+        "results are never replayed for a non-uniform sweep)",
+    )
+    sweep.add_argument(
+        "--scheduler-opt", action="append", default=None, metavar="KEY=VALUE",
+        help="scheduler option, repeatable (e.g. --scheduler weighted "
+        "--scheduler-opt lazy_rate=0.25)",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

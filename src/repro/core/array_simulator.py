@@ -12,7 +12,7 @@ The matching-round scheduler is a standard approximation of the sequential
 uniform-pair scheduler (each agent gets exactly one interaction per round
 instead of a Poisson-distributed number per unit of time); epidemic
 completion, the leaderless phase clock and the averaging of geometric maxima
-behave identically up to constant factors.  See ``DESIGN.md`` (Substitutions)
+behave identically up to constant factors.  See ``DESIGN.md`` (Schedulers)
 and the cross-validation test in
 ``tests/core/test_array_simulator.py``, which checks that the two engines
 agree on accuracy and on the growth shape of the convergence time.
@@ -452,6 +452,10 @@ class ArrayLogSizeSimulator(VectorSimulator):
         Protocol constants (defaults to the paper's values).
     seed:
         Seed of the numpy generator; runs are reproducible per seed.
+    scheduler:
+        Optional round-level scheduler (name, spec or instance), forwarded
+        to :class:`~repro.engine.vector.VectorSimulator`; defaults to the
+        uniform matching round.
     """
 
     def __init__(
@@ -459,9 +463,10 @@ class ArrayLogSizeSimulator(VectorSimulator):
         population_size: int,
         params: ProtocolParameters | None = None,
         seed: int | None = None,
+        scheduler=None,
     ) -> None:
         kernel = LogSizeVectorProtocol(params)
-        super().__init__(kernel, population_size, seed=seed)
+        super().__init__(kernel, population_size, seed=seed, scheduler=scheduler)
         self.params = kernel.params
 
     # -- array views (historical attribute surface) --------------------------

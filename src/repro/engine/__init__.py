@@ -56,12 +56,20 @@ from repro.engine.selection import (
     ENGINE_NAMES,
     CountingSimulationAdapter,
     build_engine,
+    engine_scheduler_matrix,
+    schedulers_for_engine,
 )
 from repro.engine.metrics import SimulationMetrics, StateUsageTracker
 from repro.engine.scheduler import (
     InteractionScheduler,
+    MatchingRoundScheduler,
     RandomMatchingScheduler,
+    RoundScheduler,
+    SchedulerPolicy,
+    SchedulerSpec,
     SequentialScheduler,
+    draw_matching_arrays,
+    scheduler_names,
 )
 from repro.engine.simulator import Simulation, SimulationReport
 from repro.engine.trace import ExecutionTrace, TraceRecorder
@@ -92,8 +100,16 @@ __all__ = [
     "SimulationMetrics",
     "StateUsageTracker",
     "InteractionScheduler",
+    "MatchingRoundScheduler",
     "RandomMatchingScheduler",
+    "RoundScheduler",
+    "SchedulerPolicy",
+    "SchedulerSpec",
     "SequentialScheduler",
+    "draw_matching_arrays",
+    "engine_scheduler_matrix",
+    "scheduler_names",
+    "schedulers_for_engine",
     "Simulation",
     "SimulationReport",
     "ExecutionTrace",

@@ -45,7 +45,7 @@ population-protocol simulators.  Two exact safeguards are applied on top:
 
 The sequential path samples from the *same* compiled tables, so both paths
 draw from identical transition distributions.  See ``DESIGN.md``
-(Substitutions) for the accompanying discussion and the cross-engine
+(Schedulers) for the accompanying discussion and the cross-engine
 equivalence tests in ``tests/engine/test_cross_engine.py``.
 
 Randomness comes from a dedicated ``numpy.random.Generator`` seeded like the
@@ -69,6 +69,7 @@ from repro.engine.running import (
     run_until_predicate,
     run_with_trace,
 )
+from repro.engine.scheduler import SchedulerSpec
 from repro.exceptions import SimulationError
 from repro.protocols.base import FiniteStateProtocol
 from repro.protocols.compiled import CompiledTransitionTable, compile_transition_table
@@ -102,6 +103,13 @@ class BatchedCountSimulator:
         this threshold, the engine steps exactly instead of batching.
         Defaults to ``8``; set to ``0`` to disable the small-count fallback
         (the consumption guard still protects against negative counts).
+    scheduler:
+        Count-level scheduling policy (a registered name or a
+        :class:`~repro.engine.scheduler.SchedulerSpec`).  The policy must
+        expose per-state interaction weights — ``"sequential"`` (uniform,
+        the default) or ``"state-weighted"`` (pair probabilities
+        proportional to ``(r_i c_i)(r_j c_j)``); the batch multinomial and
+        the exact fallback both honour the rates.
     """
 
     def __init__(
@@ -112,6 +120,7 @@ class BatchedCountSimulator:
         initial_configuration: Configuration | None = None,
         batch_size: int | None = None,
         small_count_threshold: int = 8,
+        scheduler: "SchedulerSpec | str | None" = None,
     ) -> None:
         if population_size < 2:
             raise SimulationError(
@@ -157,6 +166,12 @@ class BatchedCountSimulator:
                 f"small_count_threshold must be non-negative, got {small_count_threshold}"
             )
         self.small_count_threshold = small_count_threshold
+        self.scheduler_spec = SchedulerSpec.coerce(scheduler)
+        # None = uniform rates (the historical code path, draw-for-draw
+        # stream-preserving); else one activity rate per compiled state.
+        self._state_rates = self.scheduler_spec.build_policy().state_rates(
+            self.table.states
+        )
         self.interactions = 0
         #: Diagnostics: batches applied via multinomial draws vs. executed
         #: by the exact sequential fallback.
@@ -241,14 +256,30 @@ class BatchedCountSimulator:
     # -- batched stepping -----------------------------------------------------
 
     def _pair_probabilities(self) -> np.ndarray:
-        """Ordered state-pair selection probabilities at the current counts."""
+        """Ordered state-pair selection probabilities at the current counts.
+
+        Uniform policy: ``c_i c_j`` (diagonal ``c_i (c_i - 1)``).  A
+        state-weighted policy scales every agent of state ``s`` by its rate
+        ``r_s``: off-diagonal ``(r_i c_i)(r_j c_j)``, diagonal
+        ``(r_i c_i) r_i (c_i - 1)``.
+        """
         counts = self._counts.astype(np.float64)
-        weights = np.outer(counts, counts)
-        np.fill_diagonal(weights, counts * (counts - 1.0))
+        if self._state_rates is None:
+            weights = np.outer(counts, counts)
+            np.fill_diagonal(weights, counts * (counts - 1.0))
+        else:
+            scaled = self._state_rates * counts
+            weights = np.outer(scaled, scaled)
+            np.fill_diagonal(weights, scaled * self._state_rates * (counts - 1.0))
+        total = weights.sum()
+        if total <= 0.0:
+            raise SimulationError(
+                "scheduler assigns zero total weight to the current configuration"
+            )
         # Normalising by the actual float sum (exactly n(n-1) in exact
-        # arithmetic) keeps the vector a valid multinomial pvals argument
-        # despite rounding.
-        return weights / weights.sum()
+        # arithmetic for the uniform policy) keeps the vector a valid
+        # multinomial pvals argument despite rounding.
+        return weights / total
 
     def _reactive_counts_small(self) -> bool:
         """Whether every reactive state currently has a dangerously small count.
@@ -331,8 +362,13 @@ class BatchedCountSimulator:
         rather than paying numpy scalar/RNG overhead every interaction.  The
         receiver is sampled by count weight, the sender among the remaining
         ``n - 1`` agents (the threshold shift is the same construction as
-        :meth:`CountSimulator._sample_state_weighted`).
+        :meth:`CountSimulator._sample_state_weighted`).  Under a
+        state-weighted policy the same loop runs on rate-scaled float
+        weights (:meth:`_run_exact_weighted`).
         """
+        if self._state_rates is not None:
+            self._run_exact_weighted(count)
+            return
         n = self.population_size
         counts = self._counts.tolist()
         cumulative = []
@@ -372,6 +408,77 @@ class BatchedCountSimulator:
             for value in counts:
                 total += value
                 cumulative.append(total)
+        self._counts[:] = counts
+        self.interactions += count
+
+    def _run_exact_weighted(self, count: int) -> None:
+        """Exact per-interaction stepping under per-state activity rates.
+
+        Samples the ordered pair of distinct agents ``(a, b)`` with
+        probability proportional to ``r_a r_b`` — the *same* joint
+        distribution the batch multinomial of :meth:`_pair_probabilities`
+        draws from, so the two paths stay interchangeable within one run.
+        Implemented as two independent rate-weighted state draws with
+        same-agent rejection: a same-state draw ``(i, i)`` is the same agent
+        with probability ``1 / c_i`` and is then redrawn.
+        """
+        rates = self._state_rates.tolist()
+        counts = self._counts.tolist()
+
+        def _cumulative() -> tuple[list[float], float, int]:
+            cumulative: list[float] = []
+            total = 0.0
+            positive_agents = 0
+            for rate, value in zip(rates, counts):
+                total += rate * value
+                cumulative.append(total)
+                if rate > 0:
+                    positive_agents += value
+            return cumulative, total, positive_agents
+
+        def _draw_state() -> int:
+            return min(
+                bisect_right(cumulative, self._rng.random() * total),
+                len(counts) - 1,
+            )
+
+        cumulative, total, positive_agents = _cumulative()
+        exact = self._exact_table
+        for _ in range(count):
+            if total <= 0.0 or positive_agents < 2:
+                raise SimulationError(
+                    "state-weighted scheduler: fewer than two agents have a "
+                    "positive rate; no ordered pair can be selected"
+                )
+            while True:
+                receiver = _draw_state()
+                sender = _draw_state()
+                if receiver != sender:
+                    break
+                if counts[receiver] >= 2 and (
+                    self._rng.random() * counts[receiver] >= 1.0
+                ):
+                    break
+            entry = exact[receiver][sender]
+            if entry is None:
+                continue
+            outcomes, randomized = entry
+            if randomized:
+                draw = self._rng.random()
+                for mass, receiver_out, sender_out in outcomes:
+                    if draw < mass:
+                        break
+                else:
+                    continue  # residual mass = null transition
+            else:
+                _, receiver_out, sender_out = outcomes[0]
+            counts[receiver] -= 1
+            counts[sender] -= 1
+            counts[receiver_out] += 1
+            counts[sender_out] += 1
+            self._states_seen.add(self.table.states[receiver_out])
+            self._states_seen.add(self.table.states[sender_out])
+            cumulative, total, positive_agents = _cumulative()
         self._counts[:] = counts
         self.interactions += count
 

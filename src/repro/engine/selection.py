@@ -27,14 +27,20 @@ Four engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
 :class:`CountingSimulationAdapter` gives the agent engine the same
 count-level interface (``count`` / ``configuration`` / ``run_until`` /
 ``run_with_trace``) as the other two, so harness code, the CLI and the
-benchmarks can treat the engine as a string parameter.  See ``DESIGN.md``
-(Engine selection) for guidance on which engine fits which experiment.
+benchmarks can treat the engine as a string parameter.  The scheduler is a
+second string parameter (``build_engine(..., scheduler=...)``): each engine
+consumes one scheduler-policy capability
+(:data:`ENGINE_SCHEDULER_CAPABILITY`), which together with the policies'
+declared capabilities forms the engine × scheduler compatibility matrix
+(:func:`engine_scheduler_matrix`; printed by ``repro engines``).  See
+``DESIGN.md`` (Engine selection, Schedulers) for guidance on which engine
+and scheduler fit which experiment.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Hashable, Union
+from typing import Callable, Hashable, Mapping, Union
 
 from repro.engine.batched_simulator import BatchedCountSimulator
 from repro.engine.configuration import Configuration
@@ -44,25 +50,99 @@ from repro.engine.running import (
     run_until_predicate,
     run_with_trace,
 )
+from repro.engine.scheduler import (
+    SchedulerSpec,
+    get_scheduler_policy,
+    scheduler_names,
+)
 from repro.engine.simulator import Simulation
 from repro.engine.vector import VectorFiniteStateSimulator
 from repro.exceptions import SimulationError
 from repro.protocols.base import FiniteStateProtocol
 
 __all__ = [
+    "DEFAULT_SCHEDULERS",
     "ENGINE_NAMES",
+    "ENGINE_SCHEDULER_CAPABILITY",
     "SEQUENTIAL_ENGINE_NAMES",
     "CountingSimulationAdapter",
     "build_engine",
+    "engine_scheduler_matrix",
+    "resolve_scheduler_spec",
+    "schedulers_for_engine",
 ]
 
 #: The engine identifiers accepted by :func:`build_engine` (and the CLI).
 ENGINE_NAMES = ("agent", "count", "batched", "vector")
 
-#: The engines that implement the exact sequential uniform-pair scheduler
-#: (the vector engine substitutes synchronous matching rounds, agreeing only
-#: up to constant factors in time — see ``DESIGN.md``, Substitutions).
-SEQUENTIAL_ENGINE_NAMES = ("agent", "count", "batched")
+#: Which scheduler-policy capability each engine consumes: the agent engine
+#: takes any per-pair stream, the count-level engines any policy exposing
+#: per-state interaction weights, the vector engine any round scheduler.
+#: Together with each policy's declared capabilities this *is* the
+#: engine × scheduler compatibility matrix (``repro engines`` prints it).
+ENGINE_SCHEDULER_CAPABILITY = {
+    "agent": "pair",
+    "count": "counts",
+    "batched": "counts",
+    "vector": "rounds",
+}
+
+#: The scheduler used when a caller does not choose one: the paper's
+#: sequential policy wherever it is expressible, the matching substitution
+#: on the round-based vector engine.
+DEFAULT_SCHEDULERS = {
+    "agent": "sequential",
+    "count": "sequential",
+    "batched": "sequential",
+    "vector": "matching",
+}
+
+
+def schedulers_for_engine(engine: str) -> tuple[str, ...]:
+    """Registered scheduler names the given engine can run."""
+    try:
+        capability = ENGINE_SCHEDULER_CAPABILITY[engine]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
+        ) from None
+    return tuple(
+        name
+        for name in scheduler_names()
+        if capability in get_scheduler_policy(name).capabilities
+    )
+
+
+def engine_scheduler_matrix() -> dict[str, tuple[str, ...]]:
+    """The full engine × scheduler compatibility matrix."""
+    return {engine: schedulers_for_engine(engine) for engine in ENGINE_NAMES}
+
+
+def resolve_scheduler_spec(
+    engine: str,
+    scheduler: SchedulerSpec | str | None,
+    scheduler_options: Mapping[str, object] | None = None,
+) -> SchedulerSpec:
+    """Coerce a scheduler choice for ``engine``, validating compatibility."""
+    spec = SchedulerSpec.coerce(
+        scheduler, default=DEFAULT_SCHEDULERS[engine], options=scheduler_options
+    )
+    supported = schedulers_for_engine(engine)
+    if spec.name not in supported:
+        raise SimulationError(
+            f"scheduler {spec.name!r} is not compatible with the {engine} engine; "
+            f"supported: {', '.join(supported)} (see `repro engines`)"
+        )
+    return spec
+
+
+#: The engines whose default scheduler is the exact sequential uniform-pair
+#: policy (derived from the compatibility matrix; the vector engine
+#: substitutes synchronous matching rounds, agreeing only up to constant
+#: factors in time — see ``DESIGN.md``, Schedulers).
+SEQUENTIAL_ENGINE_NAMES = tuple(
+    engine for engine in ENGINE_NAMES if DEFAULT_SCHEDULERS[engine] == "sequential"
+)
 
 CountLevelEngine = Union[
     "CountingSimulationAdapter",
@@ -90,6 +170,7 @@ class CountingSimulationAdapter:
         population_size: int,
         seed: int | None = None,
         initial_configuration: Configuration | None = None,
+        scheduler: SchedulerSpec | str | None = None,
     ) -> None:
         self.protocol = protocol
         self.population_size = population_size
@@ -111,6 +192,7 @@ class CountingSimulationAdapter:
             protocol=protocol.as_agent_protocol(),
             population_size=population_size,
             seed=seed,
+            scheduler=scheduler,
             initial_states=initial_states,
         )
 
@@ -166,6 +248,8 @@ def build_engine(
     population_size: int,
     seed: int | None = None,
     initial_configuration: Configuration | None = None,
+    scheduler: SchedulerSpec | str | None = None,
+    scheduler_options: Mapping[str, object] | None = None,
     **engine_options,
 ) -> CountLevelEngine:
     """Construct the requested engine for ``protocol`` at ``population_size``.
@@ -175,6 +259,14 @@ def build_engine(
     engine:
         One of :data:`ENGINE_NAMES` (``"agent"``, ``"count"``, ``"batched"``,
         ``"vector"``).
+    scheduler:
+        Scheduling policy: a registered name or a
+        :class:`~repro.engine.scheduler.SchedulerSpec`.  ``None`` selects the
+        engine's default (:data:`DEFAULT_SCHEDULERS`).  The (engine,
+        scheduler) pair is validated against the compatibility matrix
+        (:func:`engine_scheduler_matrix`) before the engine is built.
+    scheduler_options:
+        Options for a scheduler given by name (e.g. ``{"intra": 0.95}``).
     engine_options:
         Extra keyword arguments forwarded to the engine constructor (only the
         batched engine takes any: ``batch_size``, ``small_count_threshold``).
@@ -182,8 +274,14 @@ def build_engine(
     Raises
     ------
     SimulationError
-        For an unknown engine name, or options the engine does not accept.
+        For an unknown engine name, an incompatible (engine, scheduler)
+        combination, or options the engine does not accept.
     """
+    if engine not in ENGINE_NAMES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
+        )
+    spec = resolve_scheduler_spec(engine, scheduler, scheduler_options)
     if engine == "agent":
         if engine_options:
             raise SimulationError(
@@ -192,6 +290,7 @@ def build_engine(
         return CountingSimulationAdapter(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
+            scheduler=spec,
         )
     if engine == "count":
         if engine_options:
@@ -201,6 +300,7 @@ def build_engine(
         return CountSimulator(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
+            scheduler=spec,
         )
     if engine == "batched":
         allowed = {"batch_size", "small_count_threshold"}
@@ -213,6 +313,7 @@ def build_engine(
         return BatchedCountSimulator(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
+            scheduler=spec,
             **engine_options,
         )
     if engine == "vector":
@@ -223,7 +324,9 @@ def build_engine(
         return VectorFiniteStateSimulator(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
+            scheduler=spec,
         )
-    raise SimulationError(
-        f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
-    )
+    # Unreachable while ENGINE_NAMES and the branches above stay in sync;
+    # a name added to ENGINE_NAMES without a branch must fail loudly rather
+    # than fall through to some other engine.
+    raise SimulationError(f"engine {engine!r} has no construction branch")

@@ -24,7 +24,11 @@ from repro.engine.configuration import Configuration
 from repro.engine.convergence import ConvergenceDetector
 from repro.engine.events import EventLog, InteractionEvent, PeriodicProbe
 from repro.engine.metrics import SimulationMetrics, StateUsageTracker
-from repro.engine.scheduler import InteractionScheduler, SequentialScheduler
+from repro.engine.scheduler import (
+    InteractionScheduler,
+    SchedulerSpec,
+    SequentialScheduler,
+)
 from repro.exceptions import ConvergenceError, SimulationError
 from repro.protocols.base import AgentProtocol
 from repro.rng import RandomSource
@@ -70,7 +74,11 @@ class Simulation:
         Seed for the shared random source (scheduler choices and agent coin
         flips).  Identical seeds reproduce identical executions.
     scheduler:
-        Optional scheduler instance; defaults to the paper's
+        Scheduling policy: a registered scheduler name (``"sequential"``,
+        ``"matching"``, ``"weighted"``, ...), a
+        :class:`~repro.engine.scheduler.SchedulerSpec` carrying options, or
+        a pre-built :class:`~repro.engine.scheduler.InteractionScheduler`
+        instance.  Defaults to the paper's
         :class:`~repro.engine.scheduler.SequentialScheduler`.
     track_states:
         When ``True``, the distinct state signatures visited by any agent are
@@ -89,7 +97,7 @@ class Simulation:
         protocol: AgentProtocol,
         population_size: int,
         seed: int | None = None,
-        scheduler: InteractionScheduler | None = None,
+        scheduler: InteractionScheduler | SchedulerSpec | str | None = None,
         track_states: bool = False,
         initial_states: Sequence[Any] | None = None,
         event_log_capacity: int | None = None,
@@ -101,7 +109,15 @@ class Simulation:
         self.protocol = protocol
         self.population_size = population_size
         self.rng = RandomSource(seed=seed)
-        self.scheduler = scheduler or SequentialScheduler(population_size, self.rng)
+        if isinstance(scheduler, InteractionScheduler):
+            self.scheduler = scheduler
+        elif scheduler is None:
+            self.scheduler = SequentialScheduler(population_size, self.rng)
+        else:
+            spec = SchedulerSpec.coerce(scheduler)
+            self.scheduler = spec.build_policy().make_pair_scheduler(
+                population_size, self.rng
+            )
         if self.scheduler.n != population_size:
             raise SimulationError(
                 "scheduler population size does not match the simulation population size"

@@ -24,13 +24,22 @@ Three kinds of protocol run on it:
   wraps that kernel behind the count-level interface shared by the other
   engines, so ``build_engine("vector", ...)`` is a drop-in fourth engine.
 
-Scheduling substitution (documented in ``DESIGN.md``): each matching round
-gives every agent exactly one interaction instead of the sequential
-scheduler's Poisson-distributed number per time unit, preserving epidemic
-completion, phase-clock behaviour and geometric-maximum averaging up to
-constant factors.  Convergence is measured *exactly*: the convergence
-condition is evaluated after every round (an ``O(n)`` reduction, negligible
-next to the round itself), never on a coarser grid — see
+Scheduling is pluggable at the *round* level: the engine consumes any
+:class:`~repro.engine.scheduler.RoundScheduler` (default: the shared
+uniform :class:`~repro.engine.scheduler.MatchingRoundScheduler`, the
+substitution documented in ``DESIGN.md`` — every agent has exactly one
+interaction per round instead of the sequential scheduler's
+Poisson-distributed number per time unit, preserving epidemic completion,
+phase-clock behaviour and geometric-maximum averaging up to constant
+factors).  Non-uniform round schedulers (``weighted``, ``two-block``,
+``quiescing``) may emit fewer than ``floor(n/2)`` pairs per round; every
+round still advances the parallel-time clock by its nominal
+``floor(n/2) / n`` tick (idle agents cost time, so lazy or starved
+populations converge later — consistent with the per-pair realisations of
+the same scenarios), while ``interactions`` reports the pairs actually
+executed.  Convergence is measured *exactly*: the convergence condition is
+evaluated after every round (an ``O(n)`` reduction, negligible next to the
+round itself), never on a coarser grid — see
 :meth:`VectorSimulator.run_until_done`.
 """
 
@@ -44,6 +53,7 @@ from typing import Callable, Hashable, Sequence
 import numpy as np
 
 from repro.engine.configuration import Configuration
+from repro.engine.scheduler import RoundScheduler, SchedulerSpec
 from repro.exceptions import ConvergenceError, SimulationError
 from repro.protocols.base import FiniteStateProtocol
 from repro.protocols.compiled import CompiledTransitionTable, compile_transition_table
@@ -213,18 +223,46 @@ class VectorSimulator:
         Number of agents (at least 2).
     seed:
         Seed of the numpy generator; runs are reproducible per seed.
+    scheduler:
+        Round-level scheduling policy: a registered scheduler name with a
+        round form (``"matching"``, ``"weighted"``, ``"two-block"``,
+        ``"quiescing"``), a :class:`~repro.engine.scheduler.SchedulerSpec`
+        carrying options, or a pre-built
+        :class:`~repro.engine.scheduler.RoundScheduler`.  Defaults to the
+        uniform matching round.
     """
+
+    #: Consecutive empty rounds tolerated before the engine concludes the
+    #: scheduler cannot make progress (e.g. a weighted policy whose active
+    #: set keeps drawing fewer than two agents) and raises instead of
+    #: spinning forever.  Time-budgeted loops terminate on their own (every
+    #: round advances the clock by its nominal tick); the guard protects the
+    #: executed-interaction-count loops (``run_interactions`` and friends),
+    #: whose targets an empty round never approaches.
+    MAX_CONSECUTIVE_EMPTY_ROUNDS = 10_000
 
     def __init__(
         self,
         protocol: VectorProtocol,
         population_size: int,
         seed: int | None = None,
+        scheduler: "RoundScheduler | SchedulerSpec | str | None" = None,
     ) -> None:
         self.protocol = protocol
         self.n = population_size
         self.rng = np.random.default_rng(seed)
+        if isinstance(scheduler, RoundScheduler):
+            if scheduler.n != population_size:
+                raise SimulationError(
+                    "round scheduler population size does not match the simulation"
+                )
+            self.scheduler = scheduler
+        else:
+            spec = SchedulerSpec.coerce(scheduler, default="matching")
+            self.scheduler = spec.build_policy().make_round_scheduler(population_size)
         self.rounds = 0
+        self._interactions = 0
+        self._empty_rounds = 0
         self.fields = VectorFields(population_size)
         protocol.init_fields(self.fields, self.rng)
         self.fields.track(*protocol.tracked_fields)
@@ -233,26 +271,44 @@ class VectorSimulator:
 
     @property
     def interactions(self) -> int:
-        """Total interactions executed so far (``rounds * floor(n / 2)``)."""
-        return self.rounds * (self.n // 2)
+        """Total interactions executed so far (summed over emitted pairs).
+
+        Under the default matching scheduler every round executes exactly
+        ``floor(n / 2)`` interactions; non-uniform round schedulers may emit
+        fewer (see :attr:`parallel_time` for how time is accounted then).
+        """
+        return self._interactions
 
     @property
     def parallel_time(self) -> float:
-        """Parallel time elapsed so far."""
-        return self.interactions / self.n
+        """Parallel time elapsed so far.
+
+        Every round is one synchronous tick of ``floor(n/2) / n`` time units
+        — the interval in which each agent *could* interact once —
+        regardless of how many pairs the scheduler actually emitted.  Idle
+        agents therefore cost time: a lazy or starved population converges
+        *later*, matching the per-pair realisations of the same scenarios
+        (where the global clock also keeps running while an agent idles).
+        Under the default matching scheduler this coincides exactly with
+        ``interactions / n``.
+        """
+        return self.rounds * (self.n // 2) / self.n
 
     def run_round(self) -> None:
-        """Execute one synchronous random-matching round (``floor(n/2)`` interactions)."""
-        n = self.n
-        half = n // 2
-        perm = self.rng.permutation(n)
-        first = perm[:half]
-        second = perm[half : 2 * half]
-        orient = self.rng.random(half) < 0.5
-        rec = np.where(orient, first, second)
-        sen = np.where(orient, second, first)
-        self.protocol.apply_round(self.fields, rec, sen, self.rng)
+        """Execute one synchronous round of scheduler-matched pairs."""
+        rec, sen = self.scheduler.draw_round(self.rng, self.parallel_time)
+        if rec.size:
+            self.protocol.apply_round(self.fields, rec, sen, self.rng)
+            self._empty_rounds = 0
+        else:
+            self._empty_rounds += 1
+            if self._empty_rounds >= self.MAX_CONSECUTIVE_EMPTY_ROUNDS:
+                raise SimulationError(
+                    f"round scheduler emitted no pairs for "
+                    f"{self._empty_rounds} consecutive rounds (n={self.n})"
+                )
         self.rounds += 1
+        self._interactions += int(rec.size)
 
     def all_done(self) -> bool:
         """Whether the protocol's convergence condition currently holds."""
@@ -288,9 +344,13 @@ class VectorSimulator:
         """
         if check_every_rounds < 1:
             raise SimulationError("check_every_rounds must be positive")
-        max_rounds = int(max_parallel_time * self.n / max(1, self.n // 2)) + 1
+        # Budget in nominal interactions (rounds * floor(n/2), the quantity
+        # behind :attr:`parallel_time`); for the default matching round this
+        # executes exactly the historical int(t * n / floor(n/2)) + 1 rounds.
+        budget = int(max_parallel_time * self.n)
+        half = self.n // 2
         convergence_time: float | None = None
-        while self.rounds < max_rounds:
+        while self.rounds * half <= budget:
             self.run_round()
             if self.rounds % check_every_rounds == 0:
                 self.fields.sample_ranges()
@@ -413,6 +473,7 @@ class VectorFiniteStateSimulator:
         population_size: int,
         seed: int | None = None,
         initial_configuration: Configuration | None = None,
+        scheduler: "RoundScheduler | SchedulerSpec | str | None" = None,
     ) -> None:
         self.protocol = protocol
         self.population_size = population_size
@@ -431,7 +492,9 @@ class VectorFiniteStateSimulator:
                 for _ in range(count)
             ]
         self.kernel = FiniteStateVectorProtocol(protocol, initial_states=initial_states)
-        self.simulator = VectorSimulator(self.kernel, population_size, seed=seed)
+        self.simulator = VectorSimulator(
+            self.kernel, population_size, seed=seed, scheduler=scheduler
+        )
 
     # -- accounting ----------------------------------------------------------
 
@@ -497,7 +560,9 @@ class VectorFiniteStateSimulator:
 
     def run_parallel_time(self, time: float) -> None:
         """Run whole rounds until ``time`` more units of parallel time passed."""
-        self.run_interactions(int(np.ceil(time * self.population_size)))
+        target = self.parallel_time + time
+        while self.parallel_time < target:
+            self.simulator.run_round()
 
     def run_until(
         self,
@@ -521,15 +586,19 @@ class VectorFiniteStateSimulator:
         rounds_between = 1 if check_interval is None else max(
             1, -(-check_interval // half)
         )
-        budget_rounds = int(max_parallel_time * self.population_size / half) + 1
+        # Budget in nominal interactions (rounds * floor(n/2), the quantity
+        # behind parallel_time); a check chunk stops at the round that
+        # crosses the budget, so the run never exceeds it by more than one
+        # round — exactly the historical int(t*n/half)+1 rounds, for any
+        # check_interval.
+        budget = int(max_parallel_time * self.population_size)
         if predicate(self):
             return self.parallel_time
-        executed = 0
-        while executed < budget_rounds:
-            steps = min(rounds_between, budget_rounds - executed)
-            for _ in range(steps):
+        while self.simulator.rounds * half <= budget:
+            for _ in range(rounds_between):
                 self.simulator.run_round()
-            executed += steps
+                if self.simulator.rounds * half > budget:
+                    break
             if predicate(self):
                 return self.parallel_time
         raise ConvergenceError(
@@ -559,15 +628,17 @@ class VectorFiniteStateSimulator:
                 configuration=self.configuration(),
             )
 
-        start = self.interactions
+        half = max(1, self.population_size // 2)
+        start = self.simulator.rounds * half
         total_interactions = interactions_for_time(
             total_parallel_time, self.population_size
         )
         trace = [_point()]
         for boundary in snapshot_boundaries(total_interactions, samples):
-            # Absolute targets: a round's overshoot past one boundary is not
-            # re-added to the next chunk.
-            while self.interactions < start + boundary:
+            # Absolute targets in nominal interactions (rounds * floor(n/2),
+            # the parallel-time clock): a round's overshoot past one boundary
+            # is not re-added to the next chunk.
+            while self.simulator.rounds * half < start + boundary:
                 self.simulator.run_round()
             trace.append(_point())
         return trace

@@ -142,6 +142,8 @@ def run_finite_state_experiment(
     check_interval: int | None = None,
     workers: int = 1,
     cache: ResultCache | None = None,
+    scheduler: str | None = None,
+    scheduler_options: dict | None = None,
     **engine_options,
 ) -> SweepResult:
     """Sweep a finite-state protocol over population sizes on one engine.
@@ -167,6 +169,10 @@ def run_finite_state_experiment(
         satisfies.
     cache:
         Optional :class:`ResultCache` for resumable, incremental sweeps.
+    scheduler / scheduler_options:
+        Scheduling policy for every trial (a registered scheduler name plus
+        options); ``None`` keeps the engine's default.  Participates in the
+        trial cache keys.
     engine_options:
         Forwarded to :func:`repro.engine.selection.build_engine` (e.g.
         ``batch_size`` for the batched engine).
@@ -188,6 +194,8 @@ def run_finite_state_experiment(
         protocol=protocol_name,
         protocol_factory=None if protocol_name else protocol_factory,
         predicate=predicate,
+        scheduler=scheduler,
+        scheduler_options=scheduler_options,
         **engine_options,
     )
     outcome = run_trials(specs, workers=workers, cache=cache)

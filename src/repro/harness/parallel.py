@@ -40,7 +40,7 @@ import json
 import math
 import multiprocessing
 from dataclasses import dataclass, field, fields
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConvergenceError, SimulationError
@@ -101,6 +101,11 @@ class FiniteStateWorkload:
         Default ``n`` for single-shot CLI runs.
     default_budget:
         Parallel-time budget as a function of ``n``.
+    scheduler / scheduler_options:
+        Optional scheduler variant baked into the workload (used when a
+        trial does not choose a scheduler explicitly), so registries can
+        carry e.g. a two-block flavour of an existing workload as its own
+        named entry.
     """
 
     name: str
@@ -109,6 +114,8 @@ class FiniteStateWorkload:
     description: str
     default_population: int
     default_budget: Callable[[int], float]
+    scheduler: str | None = None
+    scheduler_options: tuple[tuple[str, object], ...] = ()
 
 
 WORKLOADS: dict[str, FiniteStateWorkload] = {}
@@ -223,6 +230,9 @@ class VectorWorkload:
         Default ``n`` for single-shot CLI runs.
     default_budget:
         Parallel-time budget as ``(n, params, **options) -> float``.
+    scheduler / scheduler_options:
+        Optional round-scheduler variant baked into the workload (used when
+        a trial does not choose a scheduler explicitly).
     """
 
     name: str
@@ -230,6 +240,8 @@ class VectorWorkload:
     description: str
     default_population: int
     default_budget: Callable[..., float]
+    scheduler: str | None = None
+    scheduler_options: tuple[tuple[str, object], ...] = ()
 
 
 VECTOR_WORKLOADS: dict[str, VectorWorkload] = {}
@@ -348,6 +360,13 @@ class TrialSpec:
     engine_options:
         Canonicalised ``(key, value)`` pairs forwarded to
         :func:`repro.engine.selection.build_engine`.
+    scheduler / scheduler_options:
+        Scheduling policy name and canonicalised option pairs.  ``None``
+        selects the engine's default policy (sequential, or matching on the
+        round-based kinds); an explicit choice is validated against the
+        engine × scheduler compatibility matrix at spec construction and
+        participates in the cache key, so a cached uniform-scheduler trial
+        is never replayed for a non-uniform run.
     params:
         :class:`ProtocolParameters` for the estimation kinds.
     track_states:
@@ -366,6 +385,8 @@ class TrialSpec:
     protocol_factory: Callable[[], FiniteStateProtocol] | None = None
     predicate: Callable[..., bool] | None = None
     engine_options: tuple[tuple[str, object], ...] = ()
+    scheduler: str | None = None
+    scheduler_options: tuple[tuple[str, object], ...] = ()
     params: ProtocolParameters | None = None
     track_states: bool = False
 
@@ -416,6 +437,53 @@ class TrialSpec:
             raise SimulationError(
                 f"{self.kind} trials need ProtocolParameters (params=...)"
             )
+        if self.scheduler is not None:
+            self._validate_scheduler()
+        elif self.scheduler_options:
+            raise SimulationError(
+                "scheduler_options were given without a scheduler; they would "
+                "be silently ignored (set scheduler=... as well)"
+            )
+
+    #: Scheduler capability each trial kind consumes (finite-state trials
+    #: defer to the chosen engine's capability).
+    _KIND_SCHEDULER_CAPABILITY = {
+        KIND_VECTOR: "rounds",
+        KIND_ARRAY: "rounds",
+        KIND_SEQUENTIAL: "pair",
+    }
+
+    def _validate_scheduler(self) -> None:
+        """Fail fast on unknown/incompatible schedulers or bad options."""
+        from repro.engine.scheduler import get_scheduler_policy
+        from repro.engine.selection import ENGINE_SCHEDULER_CAPABILITY
+
+        policy_cls = get_scheduler_policy(self.scheduler)
+        if self.kind == KIND_FINITE_STATE:
+            capability = ENGINE_SCHEDULER_CAPABILITY[self.engine]
+        else:
+            capability = self._KIND_SCHEDULER_CAPABILITY[self.kind]
+        if capability not in policy_cls.capabilities:
+            raise SimulationError(
+                f"scheduler {self.scheduler!r} is not compatible with "
+                f"{self.kind} trials on the {self.engine} engine "
+                f"(needs the {capability!r} capability; see `repro engines`)"
+            )
+        # Instantiate once so malformed options surface at build time, not
+        # inside a worker process mid-sweep.
+        self.scheduler_spec().build_policy()
+
+    def scheduler_spec(self):
+        """The trial's scheduler as a :class:`SchedulerSpec` (or ``None``).
+
+        ``None`` means "the engine's default policy" and keeps the engines'
+        historical draw-for-draw RNG streams.
+        """
+        if self.scheduler is None:
+            return None
+        from repro.engine.scheduler import SchedulerSpec
+
+        return SchedulerSpec(name=self.scheduler, options=self.scheduler_options)
 
     @property
     def seed(self) -> int:
@@ -444,6 +512,15 @@ class TrialSpec:
             },
             "track_states": self.track_states,
         }
+        # The scheduler joins the payload only when one is explicitly
+        # chosen: default-scheduler specs keep hashing exactly as they did
+        # before schedulers became pluggable, so caches written by earlier
+        # releases stay valid, while any non-default scheduler (or option
+        # change) still gets its own key.  The canonical encoding lives on
+        # SchedulerSpec (one implementation, shared with its unit tests).
+        scheduler_spec = self.scheduler_spec()
+        if scheduler_spec is not None:
+            payload["scheduler"] = scheduler_spec.cache_payload()
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -473,12 +550,17 @@ def build_finite_state_trials(
     protocol: str | None = None,
     protocol_factory: Callable[[], FiniteStateProtocol] | None = None,
     predicate: Callable[..., bool] | None = None,
+    scheduler: str | None = None,
+    scheduler_options: Mapping[str, object] | None = None,
     **engine_options,
 ) -> list[TrialSpec]:
     """Expand a finite-state sweep into one :class:`TrialSpec` per trial.
 
     ``max_parallel_time`` may be a callable ``n -> budget`` for workloads
     whose budget scales with the population (e.g. leader election's ``4n``).
+    ``scheduler`` (with ``scheduler_options``) selects a scheduling policy
+    for every trial; ``None`` falls back to the workload's registered
+    scheduler variant, if any, else the engine default.
     """
     if not population_sizes:
         raise SimulationError("population_sizes must be non-empty")
@@ -489,6 +571,14 @@ def build_finite_state_trials(
         if callable(max_parallel_time)
         else (lambda n: float(max_parallel_time))
     )
+    if scheduler is None and protocol is not None:
+        workload = get_workload(protocol)
+        scheduler = workload.scheduler
+        # The workload's baked options accompany its baked scheduler unless
+        # the caller supplies explicit (non-empty) options of their own —
+        # the CLI always passes {} when no --scheduler-opt flag is given.
+        if scheduler is not None and not scheduler_options:
+            scheduler_options = dict(workload.scheduler_options)
     return [
         TrialSpec(
             kind=KIND_FINITE_STATE,
@@ -503,6 +593,8 @@ def build_finite_state_trials(
             protocol_factory=protocol_factory,
             predicate=predicate,
             engine_options=tuple(sorted(engine_options.items())),
+            scheduler=scheduler,
+            scheduler_options=tuple(sorted((scheduler_options or {}).items())),
         )
         for size_index, population_size in enumerate(population_sizes)
         for run_index in range(runs_per_size)
@@ -516,6 +608,8 @@ def build_vector_trials(
     params: ProtocolParameters,
     base_seed: int = 0,
     max_parallel_time: float | Callable[[int], float] | None = None,
+    scheduler: str | None = None,
+    scheduler_options: Mapping[str, object] | None = None,
     **engine_options,
 ) -> list[TrialSpec]:
     """Expand a vector-workload sweep into one :class:`TrialSpec` per trial.
@@ -523,12 +617,18 @@ def build_vector_trials(
     ``max_parallel_time`` may be a constant, a callable ``n -> budget``, or
     ``None`` to use the workload's default budget (which accounts for the
     protocol constants and any ``engine_options``, e.g. ``phase_count``).
+    ``scheduler`` selects the round scheduler (default: the workload's
+    registered variant, else uniform matching).
     """
     if not population_sizes:
         raise SimulationError("population_sizes must be non-empty")
     if runs_per_size < 1:
         raise SimulationError(f"runs_per_size must be >= 1, got {runs_per_size}")
     workload = get_vector_workload(protocol)
+    if scheduler is None:
+        scheduler = workload.scheduler
+        if scheduler is not None and not scheduler_options:
+            scheduler_options = dict(workload.scheduler_options)
     # Probe the kernel factory once so unsupported engine_options fail here,
     # at build time, instead of as a TypeError inside a worker process mid-
     # sweep.  Kernel construction is cheap (arrays are allocated later, in
@@ -558,6 +658,8 @@ def build_vector_trials(
             protocol=protocol,
             params=params,
             engine_options=tuple(sorted(engine_options.items())),
+            scheduler=scheduler,
+            scheduler_options=tuple(sorted((scheduler_options or {}).items())),
         )
         for size_index, population_size in enumerate(population_sizes)
         for run_index in range(runs_per_size)
@@ -578,6 +680,7 @@ def _run_finite_state_trial(spec: TrialSpec) -> RunRecord:
         factory(),
         spec.population_size,
         seed=spec.seed,
+        scheduler=spec.scheduler_spec(),
         **dict(spec.engine_options),
     )
     converged = True
@@ -610,7 +713,10 @@ def _run_array_trial(spec: TrialSpec) -> RunRecord:
     from repro.core.array_simulator import ArrayLogSizeSimulator
 
     simulator = ArrayLogSizeSimulator(
-        population_size=spec.population_size, params=spec.params, seed=spec.seed
+        population_size=spec.population_size,
+        params=spec.params,
+        seed=spec.seed,
+        scheduler=spec.scheduler_spec(),
     )
     outcome = simulator.run_until_done(max_parallel_time=spec.max_parallel_time)
     return RunRecord(
@@ -642,6 +748,7 @@ def _run_sequential_trial(spec: TrialSpec) -> RunRecord:
         protocol=protocol,
         population_size=spec.population_size,
         seed=spec.seed,
+        scheduler=spec.scheduler_spec(),
         track_states=spec.track_states,
     )
     converged = True
@@ -675,7 +782,9 @@ def _run_vector_trial(spec: TrialSpec) -> RunRecord:
 
     workload = get_vector_workload(spec.protocol)
     kernel = workload.kernel_factory(spec.params, **dict(spec.engine_options))
-    simulator = VectorSimulator(kernel, spec.population_size, seed=spec.seed)
+    simulator = VectorSimulator(
+        kernel, spec.population_size, seed=spec.seed, scheduler=spec.scheduler_spec()
+    )
     outcome = simulator.run_until_done(max_parallel_time=spec.max_parallel_time)
     extra = {
         "engine": "vector",

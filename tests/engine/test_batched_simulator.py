@@ -202,3 +202,45 @@ class TestTracing:
         simulator = BatchedCountSimulator(EpidemicProtocol(), 100, seed=15)
         with pytest.raises(SimulationError):
             simulator.run_with_trace(total_parallel_time=1, samples=0)
+
+
+class TestBatchedSchedulerPolicies:
+    def test_per_agent_scheduler_rejected(self):
+        from repro.protocols.epidemic import EpidemicProtocol
+
+        with pytest.raises(SimulationError):
+            BatchedCountSimulator(EpidemicProtocol(), 1000, scheduler="two-block")
+
+    def test_zero_rate_state_is_frozen_in_batches_and_fallback(self):
+        from repro.engine.scheduler import SchedulerSpec
+        from repro.protocols.epidemic import EpidemicProtocol
+
+        spec = SchedulerSpec("state-weighted", (("rates", (("I", 0.0),)),))
+        # Large n exercises the multinomial path, tiny batch the fallback.
+        simulator = BatchedCountSimulator(
+            EpidemicProtocol(), 2_000, seed=3, scheduler=spec
+        )
+        simulator.run_parallel_time(20)
+        assert simulator.count("I") == 1
+
+    def test_state_weighted_slows_the_epidemic(self):
+        from repro.engine.scheduler import SchedulerSpec
+        from repro.protocols.epidemic import EpidemicProtocol
+        from repro.protocols.epidemic import epidemic_completion_predicate
+
+        spec = SchedulerSpec("state-weighted", (("rates", (("I", 0.25),)),))
+        times = {}
+        for label, scheduler in (("uniform", None), ("weighted", spec)):
+            samples = []
+            for run_index in range(5):
+                simulator = BatchedCountSimulator(
+                    EpidemicProtocol(), 1_000, seed=100 + run_index,
+                    scheduler=scheduler,
+                )
+                samples.append(
+                    simulator.run_until(
+                        epidemic_completion_predicate, max_parallel_time=500
+                    )
+                )
+            times[label] = sum(samples) / len(samples)
+        assert times["weighted"] > 1.5 * times["uniform"], times

@@ -9,6 +9,7 @@ import pytest
 from repro.engine.configuration import Configuration
 from repro.engine.count_simulator import CountSimulator
 from repro.exceptions import ConvergenceError, SimulationError
+from repro.protocols.base import FiniteStateProtocol
 from repro.protocols.epidemic import (
     EpidemicProtocol,
     EpidemicState,
@@ -187,3 +188,96 @@ class TestTracing:
         simulator = CountSimulator(EpidemicProtocol(), 100, seed=11)
         with pytest.raises(SimulationError):
             simulator.run_with_trace(total_parallel_time=1, samples=0)
+
+
+class TestCountSchedulerPolicies:
+    def test_per_agent_scheduler_rejected(self):
+        from repro.protocols.epidemic import EpidemicProtocol
+
+        with pytest.raises(SimulationError):
+            CountSimulator(EpidemicProtocol(), 64, scheduler="weighted")
+
+    def test_zero_rate_state_is_frozen(self):
+        from repro.engine.scheduler import SchedulerSpec
+        from repro.protocols.epidemic import EpidemicProtocol
+
+        simulator = CountSimulator(
+            EpidemicProtocol(),
+            64,
+            seed=1,
+            scheduler=SchedulerSpec("state-weighted", (("rates", (("I", 0.0),)),)),
+        )
+        simulator.run_parallel_time(50)
+        # Infected agents never participate, so the epidemic cannot spread.
+        assert simulator.count("I") == 1
+
+    def test_state_weighted_run_is_reproducible(self):
+        from repro.engine.scheduler import SchedulerSpec
+        from repro.protocols.epidemic import EpidemicProtocol
+
+        spec = SchedulerSpec("state-weighted", (("rates", (("I", 0.5),)),))
+        outcomes = []
+        for _ in range(2):
+            simulator = CountSimulator(EpidemicProtocol(), 128, seed=7, scheduler=spec)
+            simulator.run_parallel_time(10)
+            outcomes.append(simulator.configuration())
+        assert outcomes[0] == outcomes[1]
+
+
+class _InertTwoState(FiniteStateProtocol):
+    """Two states, no transitions — pair sampling leaves counts untouched."""
+
+    def states(self):
+        return ("A", "B")
+
+    def initial_state(self, agent_id):
+        return "A" if agent_id == 0 else "B"
+
+    def transitions(self, receiver, sender):
+        return ()
+
+    def output(self, state):
+        return state
+
+    def describe(self):
+        return "InertTwoState"
+
+
+class TestStateWeightedJointDistribution:
+    def test_pair_distribution_matches_the_batched_multinomial_model(self):
+        """Regression: the per-interaction sampler must draw the ordered pair
+        with probability ~ (r_i c_i)(r_j c_j) — the joint product-of-rates
+        model of the batched engine's multinomial — not the biased
+        receiver-then-remaining scheme it previously used.
+
+        With rates {A: 10, B: 1} and counts {A: 1, B: 10} the joint model
+        gives P(receiver=A, sender=B) = 100/290 ~ 0.345, whereas the old
+        two-draw scheme gave 0.5.
+        """
+        from repro.engine.scheduler import SchedulerSpec
+
+        simulator = CountSimulator(
+            _InertTwoState(),
+            11,
+            seed=42,
+            scheduler=SchedulerSpec("state-weighted", (("rates", (("A", 10.0), ("B", 1.0))),)),
+        )
+        draws = 30_000
+        hits = sum(
+            1
+            for _ in range(draws)
+            if simulator._sample_ordered_state_pair() == ("A", "B")
+        )
+        assert hits / draws == pytest.approx(100 / 290, abs=0.02)
+
+    def test_single_positive_rate_agent_rejected(self):
+        from repro.engine.scheduler import SchedulerSpec
+
+        simulator = CountSimulator(
+            _InertTwoState(),
+            11,
+            seed=1,
+            scheduler=SchedulerSpec("state-weighted", (("rates", (("B", 0.0),)),)),
+        )
+        with pytest.raises(SimulationError, match="fewer than two"):
+            simulator.step()

@@ -10,7 +10,7 @@ engines with tolerances sized by the sampling noise.
 The vector engine substitutes synchronous random-matching rounds for the
 sequential scheduler (every agent interacts exactly once per round), which
 preserves behaviour only up to constant factors in *time* while leaving
-*correctness* statistics intact (see ``DESIGN.md``, Substitutions).  Its
+*correctness* statistics intact (see ``DESIGN.md``, Schedulers).  Its
 completion times are therefore compared within a constant-factor band rather
 than the tight relative tolerances of the sequential engines.
 """
@@ -183,3 +183,89 @@ class TestMajorityEquivalence:
             assert times[engine] == pytest.approx(reference, rel=0.35), times
         # The vector engine's consensus time differs by a scheduler constant.
         assert 0.3 * reference < times["vector"] < 1.5 * reference, times
+
+
+# ---------------------------------------------------------------------------
+# Engine x scheduler: the pluggable-scheduler equivalence grid
+# ---------------------------------------------------------------------------
+
+SCHED_N = 128
+SCHED_RUNS = 12
+
+
+def _epidemic_mean_time(engine: str, scheduler: str | None, options: dict) -> float:
+    times = []
+    for run_index in range(SCHED_RUNS):
+        simulator = build_engine(
+            engine,
+            EpidemicProtocol(),
+            SCHED_N,
+            seed=5_000 + run_index,
+            scheduler=scheduler,
+            scheduler_options=options,
+        )
+        times.append(
+            simulator.run_until(
+                epidemic_completion_predicate,
+                max_parallel_time=120 * math.log(SCHED_N),
+                check_interval=max(SCHED_N // 8, 16),
+            )
+        )
+    return statistics.fmean(times)
+
+
+class TestEngineSchedulerGrid:
+    """Cross-engine agreement parametrised over (engine, scheduler) pairs."""
+
+    def test_agent_matching_equals_vector_matching(self):
+        """Under the *same* scheduler the agent and vector engines run the
+        same stochastic process, so completion times agree tightly — not
+        just within the sequential-vs-matching constant-factor band."""
+        agent = _epidemic_mean_time("agent", "matching", {})
+        vector = _epidemic_mean_time("vector", "matching", {})
+        assert agent == pytest.approx(vector, rel=0.2), (agent, vector)
+
+    @pytest.mark.parametrize("engine", ["agent", "vector"])
+    def test_matching_engines_within_band_of_sequential(self, engine):
+        reference = _epidemic_mean_time("agent", "sequential", {})
+        matching = _epidemic_mean_time(engine, "matching", {})
+        assert 0.3 * reference < matching < 1.5 * reference, (matching, reference)
+
+    @pytest.mark.parametrize(
+        "scheduler,options,band",
+        [
+            ("weighted", {"lazy_fraction": 0.5, "lazy_rate": 0.2}, (0.2, 5.0)),
+            ("two-block", {"intra": 0.9}, (0.2, 5.0)),
+            ("quiescing", {"fraction": 0.25, "start": 0.0, "duration": 2.0}, (0.2, 5.0)),
+        ],
+    )
+    def test_agent_and_vector_agree_under_nonuniform_schedulers(
+        self, scheduler, options, band
+    ):
+        """The per-pair and round-based realisations of each scenario are
+        analogous models, not identical processes; their epidemic completion
+        times must stay within a constant factor of each other."""
+        agent = _epidemic_mean_time("agent", scheduler, dict(options))
+        vector = _epidemic_mean_time("vector", scheduler, dict(options))
+        assert band[0] * agent < vector < band[1] * agent, (agent, vector)
+
+    def test_state_weighted_agrees_between_count_and_batched(self):
+        """The two count-level engines run the identical state-weighted
+        distribution (batched via the multinomial, count per interaction)."""
+        options = {"rates": (("I", 0.3),)}
+        count = _epidemic_mean_time("count", "state-weighted", dict(options))
+        batched = _epidemic_mean_time("batched", "state-weighted", dict(options))
+        uniform = _epidemic_mean_time("count", "sequential", {})
+        assert count == pytest.approx(batched, rel=0.3), (count, batched)
+        # Throttling the infected agents must slow the epidemic down.
+        assert count > 1.2 * uniform, (count, uniform)
+
+    def test_incompatible_pairs_rejected(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            build_engine("count", EpidemicProtocol(), 64, scheduler="weighted")
+        with pytest.raises(SimulationError):
+            build_engine("vector", EpidemicProtocol(), 64, scheduler="sequential")
+        with pytest.raises(SimulationError):
+            build_engine("agent", EpidemicProtocol(), 64, scheduler="state-weighted")

@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.engine.configuration import Configuration
+from repro.engine.scheduler import SchedulerSpec
 from repro.engine.selection import ENGINE_NAMES, build_engine
 from repro.engine.vector import (
     FiniteStateVectorProtocol,
@@ -232,3 +233,127 @@ class TestVectorSimulatorDriver:
         assert data["population_size"] == 50
         assert data["converged"] is False
         assert math.isfinite(data["interactions"])
+
+
+class TestVectorSchedulers:
+    """Pluggable round schedulers on the vector engine."""
+
+    def test_quiescing_starves_the_epidemic_source(self):
+        # Agent 0 is the epidemic source and sits in the starved prefix, so
+        # the infection cannot move while the window is open.
+        simulator = VectorFiniteStateSimulator(
+            EpidemicProtocol(),
+            100,
+            seed=4,
+            scheduler=SchedulerSpec(
+                "quiescing",
+                (("duration", 5.0), ("fraction", 0.2), ("start", 0.0)),
+            ),
+        )
+        simulator.run_parallel_time(4.0)
+        assert simulator.count("I") == 1
+        simulator.run_until(
+            epidemic_completion_predicate, max_parallel_time=200
+        )
+        assert simulator.count("S") == 0
+
+    def test_weighted_rounds_emit_fewer_interactions(self):
+        simulator = VectorFiniteStateSimulator(
+            EpidemicProtocol(),
+            200,
+            seed=5,
+            scheduler=SchedulerSpec(
+                "weighted", (("lazy_fraction", 0.5), ("lazy_rate", 0.1))
+            ),
+        )
+        for _ in range(50):
+            simulator.run_round()
+        # ~55% of the agents are available per round on average, so the
+        # emitted interactions stay well under the full 100 per round...
+        assert simulator.interactions < 50 * 90
+        # ...but the clock still ticks a full nominal round each time: idle
+        # agents cost parallel time (lazy populations converge later).
+        assert simulator.parallel_time == pytest.approx(50 * 100 / 200)
+
+    def test_two_block_converges_and_conserves_population(self):
+        simulator = VectorFiniteStateSimulator(
+            EpidemicProtocol(),
+            150,
+            seed=6,
+            scheduler=SchedulerSpec("two-block", (("intra", 0.95),)),
+        )
+        elapsed = simulator.run_until(
+            epidemic_completion_predicate, max_parallel_time=500
+        )
+        assert elapsed > 0
+        assert simulator.configuration().size == 150
+
+    def test_prebuilt_round_scheduler_accepted_and_validated(self):
+        from repro.engine.scheduler import MatchingRoundScheduler
+
+        kernel = FiniteStateVectorProtocol(EpidemicProtocol())
+        simulator = VectorSimulator(
+            kernel, 60, seed=0, scheduler=MatchingRoundScheduler(60)
+        )
+        simulator.run_round()
+        assert simulator.interactions == 30
+        with pytest.raises(SimulationError):
+            VectorSimulator(
+                FiniteStateVectorProtocol(EpidemicProtocol()),
+                60,
+                scheduler=MatchingRoundScheduler(59),
+            )
+
+    def test_default_scheduler_stream_unchanged(self):
+        # The refactor must not move the default matching engine off its
+        # historical RNG stream: same seed, same trajectory as a manually
+        # driven simulator without any scheduler argument.
+        default = VectorFiniteStateSimulator(EpidemicProtocol(), 101, seed=9)
+        explicit = VectorFiniteStateSimulator(
+            EpidemicProtocol(), 101, seed=9, scheduler="matching"
+        )
+        for simulator in (default, explicit):
+            simulator.run_interactions(500)
+        assert default.configuration() == explicit.configuration()
+
+
+class TestRunUntilBudgetExact:
+    def test_check_interval_does_not_extend_the_budget(self):
+        """Regression: with a coarse check_interval the run must still stop
+        at the round that crosses the budget (historically exactly
+        int(t*n/half)+1 rounds), not run whole extra check chunks."""
+        simulator = VectorFiniteStateSimulator(EpidemicProtocol(), 100, seed=1)
+        with pytest.raises(ConvergenceError):
+            simulator.run_until(
+                lambda sim: False, max_parallel_time=10.0, check_interval=500
+            )
+        assert simulator.rounds == int(10.0 * 100 / 50) + 1
+
+
+class TestNominalTimeSemantics:
+    def test_thinned_rounds_still_cost_full_time(self):
+        """Regression: a lazy population must converge *later* in parallel
+        time, not earlier — rate-thinned rounds used to advance the clock
+        only by the pairs they executed, making laziness look like a
+        speed-up."""
+        import statistics
+
+        def mean_time(scheduler):
+            times = []
+            for run_index in range(8):
+                simulator = VectorFiniteStateSimulator(
+                    EpidemicProtocol(), 200, seed=7_000 + run_index,
+                    scheduler=scheduler,
+                )
+                times.append(
+                    simulator.run_until(
+                        epidemic_completion_predicate, max_parallel_time=400
+                    )
+                )
+            return statistics.fmean(times)
+
+        uniform = mean_time(None)
+        lazy = mean_time(
+            SchedulerSpec("weighted", (("lazy_fraction", 0.5), ("lazy_rate", 0.1)))
+        )
+        assert lazy > uniform, (lazy, uniform)

@@ -503,3 +503,203 @@ class TestVectorSweeps:
         )[0]
         assert base.engine_options == (("phase_count", 8),)
         assert base.cache_key() != other.cache_key()
+
+
+class TestSchedulerInSpecsAndCacheKeys:
+    """TrialSpec.scheduler participates in validation and the cache key."""
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"scheduler": "matching"},
+            {"scheduler": "quiescing"},
+            {
+                "scheduler": "weighted",
+                "scheduler_options": (("lazy_rate", 0.5),),
+            },
+        ],
+    )
+    def test_key_changes_with_scheduler_fields(self, change):
+        base = epidemic_trials(engine="agent")[0]
+        changed = dataclasses.replace(base, **change)
+        assert changed.cache_key() != base.cache_key()
+
+    def test_scheduler_options_alone_change_the_key(self):
+        mild = dataclasses.replace(
+            epidemic_trials(engine="agent")[0],
+            scheduler="weighted",
+            scheduler_options=(("lazy_rate", 0.5),),
+        )
+        harsh = dataclasses.replace(mild, scheduler_options=(("lazy_rate", 0.1),))
+        assert mild.cache_key() != harsh.cache_key()
+
+    def test_cached_uniform_trial_not_served_for_nonuniform_sweep(self, tmp_path):
+        """A cache warmed by a uniform-scheduler sweep must execute (not
+        replay) every trial of the same sweep under a non-uniform scheduler."""
+        uniform = epidemic_trials(sizes=[64], runs=2, engine="agent")
+        cache = ResultCache(tmp_path)
+        first = run_trials(uniform, cache=cache)
+        assert first.executed == 2
+
+        weighted = build_finite_state_trials(
+            population_sizes=[64],
+            runs_per_size=2,
+            base_seed=5,
+            engine="agent",
+            max_parallel_time=200.0,
+            protocol_factory=EpidemicProtocol,
+            predicate=epidemic_completion_predicate,
+            scheduler="weighted",
+            scheduler_options={"lazy_fraction": 0.5, "lazy_rate": 0.2},
+        )
+        outcome = run_trials(weighted, cache=ResultCache(tmp_path))
+        assert outcome.from_cache == 0
+        assert outcome.executed == 2
+        # And the non-uniform results themselves replay on a second pass.
+        replay = run_trials(weighted, cache=ResultCache(tmp_path))
+        assert replay.from_cache == 2
+        for live, cached in zip(outcome.records, replay.records):
+            assert records_equal(live, cached)
+
+    def test_incompatible_scheduler_rejected_at_build_time(self):
+        with pytest.raises(SimulationError):
+            epidemic_trials(scheduler="weighted")  # count engine cannot run it
+        with pytest.raises(SimulationError):
+            build_vector_trials(
+                [64], 1, protocol="figure2", params=FAST, scheduler="sequential"
+            )
+
+    def test_malformed_scheduler_options_rejected_at_build_time(self):
+        with pytest.raises(SimulationError):
+            epidemic_trials(
+                engine="agent",
+                scheduler="weighted",
+                scheduler_options={"lazy_rate": 0.0},
+            )
+
+    def test_vector_trials_accept_round_schedulers(self):
+        specs = build_vector_trials(
+            [64],
+            1,
+            protocol="figure2",
+            params=FAST,
+            scheduler="two-block",
+            scheduler_options={"intra": 0.8},
+        )
+        assert specs[0].scheduler == "two-block"
+        record = run_trial(specs[0])
+        assert record.converged
+
+    def test_workload_registry_accepts_scheduler_variants(self):
+        from repro.harness.parallel import (
+            FiniteStateWorkload,
+            WORKLOADS,
+            register_workload,
+        )
+        from repro.protocols.epidemic import EpidemicProtocol as Epidemic
+
+        variant = FiniteStateWorkload(
+            name="epidemic-two-block",
+            factory=Epidemic,
+            predicate=epidemic_completion_predicate,
+            description="epidemic inside a nearly-partitioned population",
+            default_population=1_000,
+            default_budget=lambda n: 400.0,
+            scheduler="two-block",
+            scheduler_options=(("intra", 0.95),),
+        )
+        register_workload(variant)
+        try:
+            specs = build_finite_state_trials(
+                population_sizes=[64],
+                runs_per_size=1,
+                engine="agent",
+                max_parallel_time=400.0,
+                protocol="epidemic-two-block",
+            )
+            assert specs[0].scheduler == "two-block"
+            assert specs[0].scheduler_options == (("intra", 0.95),)
+            assert run_trial(specs[0]).converged
+        finally:
+            del WORKLOADS["epidemic-two-block"]
+
+
+class TestSchedulerOptionPlumbing:
+    """Regressions: workload-baked options and dangling scheduler options."""
+
+    def test_workload_baked_options_survive_empty_cli_options(self):
+        # The CLI always passes {} when no --scheduler-opt flag is given; a
+        # workload's baked options must still apply.
+        from repro.harness.parallel import (
+            FiniteStateWorkload,
+            WORKLOADS,
+            register_workload,
+        )
+
+        register_workload(
+            FiniteStateWorkload(
+                name="epidemic-two-block-opts",
+                factory=EpidemicProtocol,
+                predicate=epidemic_completion_predicate,
+                description="variant with baked scheduler options",
+                default_population=1_000,
+                default_budget=lambda n: 400.0,
+                scheduler="two-block",
+                scheduler_options=(("intra", 0.95),),
+            )
+        )
+        try:
+            specs = build_finite_state_trials(
+                population_sizes=[64],
+                runs_per_size=1,
+                engine="agent",
+                max_parallel_time=400.0,
+                protocol="epidemic-two-block-opts",
+                scheduler_options={},  # what the CLI passes
+            )
+            assert specs[0].scheduler == "two-block"
+            assert specs[0].scheduler_options == (("intra", 0.95),)
+        finally:
+            del WORKLOADS["epidemic-two-block-opts"]
+
+    def test_dangling_scheduler_options_rejected(self):
+        with pytest.raises(SimulationError, match="without a scheduler"):
+            TrialSpec(
+                kind=KIND_FINITE_STATE,
+                population_size=64,
+                size_index=0,
+                run_index=0,
+                engine="agent",
+                protocol="epidemic",
+                scheduler_options=(("intra", 0.95),),
+            )
+
+
+class TestCacheKeyBackwardCompatibility:
+    def test_default_scheduler_specs_hash_like_pre_scheduler_releases(self):
+        """Regression: adding the scheduler fields must not invalidate caches
+        written before schedulers became pluggable — a default-scheduler spec
+        hashes over exactly the historical field set."""
+        import hashlib
+
+        spec = epidemic_trials()[0]
+        legacy_payload = {
+            "kind": spec.kind,
+            "population_size": spec.population_size,
+            "size_index": spec.size_index,
+            "run_index": spec.run_index,
+            "base_seed": spec.base_seed,
+            "engine": spec.engine,
+            "max_parallel_time": spec.max_parallel_time,
+            "check_interval": spec.check_interval,
+            "protocol": None,
+            "protocol_factory": "repro.protocols.epidemic:EpidemicProtocol",
+            "predicate": "repro.protocols.epidemic:epidemic_completion_predicate",
+            "engine_options": [],
+            "params": None,
+            "track_states": False,
+        }
+        legacy_key = hashlib.sha256(
+            json.dumps(legacy_payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        assert spec.cache_key() == legacy_key

@@ -367,3 +367,118 @@ class TestCommands:
         assert "Theorem 4.1" in output
         assert "uniform dense protocol" in output
         assert "leader-driven" in output
+
+
+class TestSchedulerCli:
+    def test_engines_command_prints_matrix(self, capsys):
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        assert "engine x scheduler compatibility" in output
+        for name in ("sequential", "matching", "weighted", "two-block",
+                     "quiescing", "state-weighted"):
+            assert name in output
+        assert "yes *" in output  # per-engine defaults are marked
+
+    def test_simulate_with_nonuniform_scheduler(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "500",
+                "--engine", "agent", "--scheduler", "two-block",
+                "--scheduler-opt", "intra=0.9", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "two-block(intra=0.9) scheduler" in output
+
+    def test_simulate_rejects_incompatible_scheduler(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "100",
+                "--engine", "count", "--scheduler", "matching",
+            ]
+        )
+        assert code == 2
+        assert "not compatible" in capsys.readouterr().err
+
+    def test_scheduler_opt_requires_scheduler(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "100",
+                "--scheduler-opt", "intra=0.9",
+            ]
+        )
+        assert code == 2
+        assert "--scheduler" in capsys.readouterr().err
+
+    def test_malformed_scheduler_opt_rejected(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "100",
+                "--engine", "agent", "--scheduler", "weighted",
+                "--scheduler-opt", "lazy_rate",
+            ]
+        )
+        assert code == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_sweep_with_scheduler_and_cache(self, capsys, tmp_path):
+        common = [
+            "sweep", "--protocol", "epidemic", "--sizes", "200", "--runs", "1",
+            "--engine", "vector", "--scheduler", "weighted",
+            "--scheduler-opt", "lazy_rate=0.25",
+            "--cache-dir", str(tmp_path), "--resume",
+        ]
+        assert main(common) == 0
+        first = capsys.readouterr().out
+        assert "weighted(lazy_rate=0.25) scheduler" in first
+        assert "1 executed, 0 from cache" in first
+        assert main(common) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 1 from cache" in second
+
+    def test_sweep_rejects_incompatible_scheduler(self, capsys):
+        code = main(
+            [
+                "sweep", "--protocol", "epidemic", "--sizes", "100",
+                "--engine", "batched", "--scheduler", "quiescing",
+            ]
+        )
+        assert code == 2
+        assert "not compatible" in capsys.readouterr().err
+
+    def test_state_weighted_rates_expressible_from_the_cli(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "300",
+                "--engine", "count", "--scheduler", "state-weighted",
+                "--scheduler-opt", "rates=I:0.5", "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "state-weighted(rates=I:0.5) scheduler" in capsys.readouterr().out
+
+    def test_malformed_state_weighted_rates_exit_cleanly(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "100",
+                "--engine", "count", "--scheduler", "state-weighted",
+                "--scheduler-opt", "rates=I-0.5",
+            ]
+        )
+        assert code == 2
+        assert "STATE:RATE" in capsys.readouterr().err
+
+    def test_state_weighted_rate_typos_rejected(self, capsys):
+        # Regression: a rate key naming no protocol state used to fall back
+        # to default_rate for every state, silently running the uniform
+        # scheduler under a non-uniform cache key.
+        code = main(
+            [
+                "simulate", "--protocol", "epidemic", "--n", "100",
+                "--engine", "count", "--scheduler", "state-weighted",
+                "--scheduler-opt", "rates=X:0.5",
+            ]
+        )
+        assert code == 2
+        assert "outside the protocol's state set" in capsys.readouterr().err
