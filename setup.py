@@ -1,8 +1,11 @@
 """Legacy setup shim.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works in offline environments where the ``wheel``
-package is unavailable (legacy ``setup.py develop`` installs need no wheel).
+The project metadata lives in ``pyproject.toml``; this file exists for
+offline environments where the ``wheel`` package is unavailable and the
+PEP 517/660 path of ``pip install -e .`` therefore cannot build: there,
+``python setup.py develop`` still installs the package (and its ``repro``
+console script) without needing wheel, as long as numpy is already
+present.
 """
 
 from setuptools import setup

@@ -38,6 +38,19 @@ Subcommands
 ``repro engines``
     Print the engine × scheduler compatibility matrix and one-line
     descriptions of every registered scheduler.
+``repro protocols``
+    List every registered workload — finite-state, vector and CRN — with
+    its engine compatibility.
+``repro crn info [--crn sir]``
+    List the CRN workload library, or show one network's species,
+    reactions, rate scale and lowerings.
+``repro crn simulate --crn approximate-majority --n 1000000 --engine batched``
+    Compile a reaction network onto an engine and run it to convergence;
+    ``--reaction "L+L -> L+F" --init L:1 --chem-time 5`` simulates an
+    ad-hoc network for a fixed chemical duration instead.
+``repro crn sweep --crn sir --sizes 10000,100000 --runs 10 --workers 4``
+    Sweep a CRN workload through the parallel driver; the full network
+    (every rate constant) participates in the result-cache key.
 """
 
 from __future__ import annotations
@@ -64,11 +77,19 @@ from repro.engine.selection import (
     engine_scheduler_matrix,
 )
 from repro.exceptions import ConvergenceError, SimulationError
+from repro.crn import (
+    CRN,
+    CRN_MODES,
+    CRN_WORKLOADS,
+    compile_crn,
+    get_crn_workload,
+)
 from repro.harness.cache import ResultCache
 from repro.harness.figures import reproduce_figure2
 from repro.harness.parallel import (
     VECTOR_WORKLOADS,
     WORKLOADS,
+    build_crn_trials,
     build_finite_state_trials,
     build_vector_trials,
     get_workload,
@@ -489,6 +510,281 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    """List every registered workload with its engine compatibility."""
+    all_engines = ",".join(ENGINE_NAMES)
+    rows = []
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]
+        rows.append([name, "finite-state", all_engines, workload.description])
+    for name in sorted(VECTOR_WORKLOADS):
+        workload = VECTOR_WORKLOADS[name]
+        rows.append([name, "vector", "vector", workload.description])
+    for name in sorted(CRN_WORKLOADS):
+        workload = CRN_WORKLOADS[name]
+        rows.append([name, "crn", all_engines, workload.description])
+    print("registered workloads:")
+    print(format_table(["name", "kind", "engines", "description"], rows))
+    print()
+    print(
+        "finite-state workloads run via `repro simulate/sweep --protocol NAME` "
+        "on any engine; vector workloads via `repro sweep --engine vector`; "
+        "CRN workloads via `repro crn simulate/sweep --crn NAME` (the thinned "
+        "lowering, --mode thinned, is count/batched only).  `repro engines` "
+        "prints the engine x scheduler matrix."
+    )
+    return 0
+
+
+def _parse_species_values(text: str | None, flag: str, convert) -> dict:
+    """Parse ``SPECIES:VALUE,SPECIES:VALUE`` flags for CRN initial conditions."""
+    values: dict = {}
+    for entry in (text or "").split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        species, separator, raw = entry.partition(":")
+        if not separator or not species:
+            raise SimulationError(
+                f"malformed {flag} entry {entry!r}; expected SPECIES:VALUE"
+            )
+        try:
+            values[species.strip()] = convert(raw.strip())
+        except ValueError:
+            raise SimulationError(
+                f"malformed {flag} value {raw!r} for species {species!r}"
+            ) from None
+    return values
+
+
+def _crn_from_args(args: argparse.Namespace) -> tuple[CRN, bool]:
+    """Resolve the network: a registered workload or an ad-hoc spec.
+
+    Returns ``(crn, registered)``.
+    """
+    reactions = list(args.reaction or [])
+    if args.crn is not None:
+        if reactions or args.init or args.seed_init:
+            raise SimulationError(
+                "--crn names a registered workload; ad-hoc --reaction/--init/"
+                "--seed-init flags cannot be combined with it"
+            )
+        return get_crn_workload(args.crn).crn, True
+    if not reactions:
+        raise SimulationError(
+            "no network given: pass --crn NAME (see `repro crn info`) or at "
+            "least one --reaction 'A + B -> C + D @ k'"
+        )
+    fractions = _parse_species_values(args.init, "--init", float)
+    seeds = _parse_species_values(args.seed_init, "--seed-init", int)
+    return (
+        CRN.from_spec(reactions, name=args.name, seeds=seeds, fractions=fractions),
+        False,
+    )
+
+
+def _crn_engines(mode: str) -> tuple[str, ...]:
+    """Engines a CRN lowering can build on."""
+    return ("count", "batched") if mode == "thinned" else tuple(ENGINE_NAMES)
+
+
+def _cmd_crn_info(args: argparse.Namespace) -> int:
+    if args.crn is None and not args.reaction:
+        print("registered CRN workloads (see also `repro protocols`):")
+        rows = [
+            [
+                name,
+                len(CRN_WORKLOADS[name].crn.species()),
+                len(CRN_WORKLOADS[name].crn.reactions),
+                CRN_WORKLOADS[name].default_population,
+                CRN_WORKLOADS[name].description,
+            ]
+            for name in sorted(CRN_WORKLOADS)
+        ]
+        print(format_table(["name", "species", "reactions", "default n", "description"], rows))
+        print()
+        print(
+            "`repro crn info --crn NAME` shows one network; `repro crn simulate"
+            " --reaction 'A + B -> C + D @ k' ...` runs an ad-hoc one."
+        )
+        return 0
+    try:
+        crn, registered = _crn_from_args(args)
+        uniform = compile_crn(crn)
+        thinned = compile_crn(crn, mode="thinned")
+    except SimulationError as error:
+        print(f"repro crn info: error: {error}", file=sys.stderr)
+        return 2
+    print(crn.describe())
+    print()
+    print("reactions:")
+    for reaction in crn.reactions:
+        print(f"  {reaction.text()}")
+    print()
+    summary = {
+        "species": ", ".join(crn.species()),
+        "seeds": ", ".join(f"{s}:{c}" for s, c in crn.seeds) or "-",
+        "fractions": ", ".join(f"{s}:{w:g}" for s, w in crn.fractions),
+        "rate_scale": uniform.rate_scale,
+        "uniform lowering engines": ",".join(_crn_engines("uniform")),
+        "thinned lowering engines": ",".join(_crn_engines("thinned")),
+        "thinned activity rates": ", ".join(
+            f"{s}:{r:g}" for s, r in thinned.state_rates
+        ),
+        "compiled states": uniform.protocol.compiled().num_states,
+        "reactive ordered pairs": uniform.protocol.compiled().reactive_pair_count(),
+    }
+    if registered:
+        workload = get_crn_workload(args.crn)
+        summary["workload"] = workload.description
+        summary["default population"] = workload.default_population
+        summary["chemical budget at default n"] = workload.default_chemical_budget(
+            workload.default_population
+        )
+    print(format_key_values(summary))
+    print()
+    print(
+        "parallel time = rate_scale x chemical time under the uniform "
+        "lowering (DESIGN.md, CRN front-end)."
+    )
+    return 0
+
+
+def _cmd_crn_simulate(args: argparse.Namespace) -> int:
+    try:
+        crn, registered = _crn_from_args(args)
+        compiled = compile_crn(crn, mode=args.mode)
+        if args.engine not in _crn_engines(args.mode):
+            raise SimulationError(
+                f"the {args.mode} lowering cannot run on the {args.engine} "
+                f"engine; supported: {', '.join(_crn_engines(args.mode))}"
+            )
+        workload = get_crn_workload(args.crn) if registered else None
+        if workload is None and args.mode == "thinned":
+            raise SimulationError(
+                "an ad-hoc network runs for a fixed --chem-time, which the "
+                "thinned lowering cannot honour (its event clock has no "
+                "constant mapping to chemical time); use --mode uniform, or "
+                "a registered workload with a convergence predicate"
+            )
+        population_size = (
+            args.n
+            if args.n is not None
+            else (workload.default_population if workload else 10_000)
+        )
+        if args.chem_time is not None:
+            chemical_budget = args.chem_time
+        elif workload is not None:
+            chemical_budget = workload.default_chemical_budget(population_size)
+        else:
+            raise SimulationError(
+                "an ad-hoc network needs --chem-time (the chemical duration "
+                "to simulate); registered workloads carry a default budget"
+            )
+        engine_options = {}
+        if args.batch_size is not None:
+            engine_options["batch_size"] = args.batch_size
+        simulator = compiled.build(
+            args.engine, population_size, seed=args.seed, **engine_options
+        )
+    except SimulationError as error:
+        print(f"repro crn simulate: error: {error}", file=sys.stderr)
+        return 2
+    budget_parallel = compiled.rate_scale * chemical_budget
+    print(
+        f"{compiled.protocol.describe()} on the {args.engine} engine"
+        + (f": {workload.description}" if workload else "")
+    )
+    summary = {
+        "population_size": population_size,
+        "engine": args.engine,
+        "mode": args.mode,
+        "rate_scale": compiled.rate_scale,
+    }
+    converged = True
+    if workload is not None:
+        convergence_time = None
+        try:
+            convergence_time = simulator.run_until(
+                workload.predicate, max_parallel_time=budget_parallel
+            )
+        except ConvergenceError:
+            converged = False
+        summary["converged"] = converged
+        summary["parallel_time"] = convergence_time
+    else:
+        # No convergence predicate exists for an ad-hoc network: the run
+        # simply covers the requested duration, so no "converged" claim is
+        # reported (and the exit code only reflects successful execution).
+        simulator.run_parallel_time(budget_parallel)
+        convergence_time = simulator.parallel_time
+        summary["parallel_time"] = convergence_time
+    summary["interactions"] = simulator.interactions
+    if compiled.time_exact and convergence_time is not None:
+        summary["chemical_time"] = convergence_time / compiled.rate_scale
+    for state, count in sorted(simulator.configuration().items()):
+        summary[f"count[{state}]"] = count
+    print(format_key_values(summary))
+    return 0 if converged else 1
+
+
+def _cmd_crn_sweep(args: argparse.Namespace) -> int:
+    sizes = parse_size_list(args.sizes)
+    try:
+        if args.engine not in _crn_engines(args.mode):
+            raise SimulationError(
+                f"the {args.mode} lowering cannot run on the {args.engine} "
+                f"engine; supported: {', '.join(_crn_engines(args.mode))}"
+            )
+        engine_options = {}
+        if args.batch_size is not None:
+            engine_options["batch_size"] = args.batch_size
+        specs = build_crn_trials(
+            population_sizes=sizes,
+            runs_per_size=args.runs,
+            crn=args.crn,
+            base_seed=args.seed,
+            engine=args.engine,
+            mode=args.mode,
+            max_chemical_time=args.chem_time,
+            check_interval=args.check_interval,
+            **engine_options,
+        )
+    except SimulationError as error:
+        print(f"repro crn sweep: error: {error}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir, name=f"crn-{args.crn}-{args.engine}")
+        if not args.resume:
+            cache.clear()
+
+    try:
+        outcome = run_trials(specs, workers=args.workers, cache=cache)
+    except SimulationError as error:
+        print(f"repro crn sweep: error: {error}", file=sys.stderr)
+        return 2
+
+    result = SweepResult(
+        name=f"crn-sweep-{args.crn}-{args.engine}", records=outcome.records
+    )
+    print(
+        f"CRN sweep of {args.crn!r} on the {args.engine} engine "
+        f"({args.mode} lowering; {len(sizes)} sizes x {args.runs} runs, "
+        f"workers={args.workers})"
+    )
+    print(
+        f"trials: {len(specs)} total, {outcome.executed} executed, "
+        f"{outcome.from_cache} from cache"
+    )
+    if cache is not None:
+        print(f"cache: {cache.path}")
+    print()
+    _print_sweep_summary(result)
+    return 0 if all(record.converged for record in outcome.records) else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     summary = theorem_3_1_summary(args.n)
     if args.json:
@@ -563,6 +859,143 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     engines.set_defaults(handler=_cmd_engines)
+
+    protocols = subparsers.add_parser(
+        "protocols",
+        help="list registered finite-state, vector and CRN workloads",
+        description=(
+            "Show every registered workload with its kind and the engines it "
+            "can run on (mirrors `repro engines` for workloads)."
+        ),
+    )
+    protocols.set_defaults(handler=_cmd_protocols)
+
+    crn = subparsers.add_parser(
+        "crn",
+        help="declarative CRN front-end: simulate/sweep reaction networks",
+        description=(
+            "Specify a protocol as a chemical reaction network — a registered "
+            "workload (--crn NAME) or ad-hoc reaction specs — compile it onto "
+            "an engine, and simulate mass-action kinetics exactly (see "
+            "DESIGN.md, CRN front-end)."
+        ),
+    )
+    crn_sub = crn.add_subparsers(dest="crn_command", required=True)
+
+    def _add_network_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--crn",
+            choices=sorted(CRN_WORKLOADS),
+            default=None,
+            help="registered CRN workload (see `repro crn info`)",
+        )
+        parser.add_argument(
+            "--reaction", action="append", default=None, metavar="SPEC",
+            help="ad-hoc reaction 'A + B -> C + D @ k', repeatable "
+            "(unimolecular: 'A -> B @ k')",
+        )
+        parser.add_argument(
+            "--init", default="", metavar="SPECIES:FRAC,...",
+            help="ad-hoc networks: relative initial fractions, e.g. "
+            "'A:0.52,B:0.48'",
+        )
+        parser.add_argument(
+            "--seed-init", default="", metavar="SPECIES:COUNT,...",
+            help="ad-hoc networks: exact seeded agent counts, e.g. 'I:1'",
+        )
+        parser.add_argument(
+            "--name", default="adhoc", help="name of an ad-hoc network"
+        )
+
+    crn_info = crn_sub.add_parser(
+        "info", help="list CRN workloads or inspect one network"
+    )
+    _add_network_flags(crn_info)
+    crn_info.set_defaults(handler=_cmd_crn_info)
+
+    crn_simulate = crn_sub.add_parser(
+        "simulate", help="compile a network onto an engine and run it"
+    )
+    _add_network_flags(crn_simulate)
+    crn_simulate.add_argument(
+        "--n", type=int, default=None,
+        help="population size (default: the workload's, or 10000 ad-hoc)",
+    )
+    crn_simulate.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="batched",
+        help="simulation engine (the thinned lowering needs count or batched)",
+    )
+    crn_simulate.add_argument(
+        "--mode", choices=list(CRN_MODES), default="uniform",
+        help="lowering mode: uniform (exact kinetics and times, any engine) "
+        "or thinned (exact reaction sequence via state-weighted rates, "
+        "fewer null interactions)",
+    )
+    crn_simulate.add_argument("--seed", type=int, default=0)
+    crn_simulate.add_argument(
+        "--chem-time", type=float, default=None,
+        help="chemical-time budget (registered workloads default to their "
+        "own; ad-hoc networks run for exactly this duration)",
+    )
+    crn_simulate.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    crn_simulate.set_defaults(handler=_cmd_crn_simulate)
+
+    crn_sweep = crn_sub.add_parser(
+        "sweep",
+        help="multi-size, multi-seed CRN sweep (parallel workers, resumable cache)",
+        description=(
+            "Sweep a registered CRN workload through the parallel driver.  "
+            "The full network — every rate constant — participates in the "
+            "trial cache keys, so cached results are never replayed for a "
+            "modified network."
+        ),
+    )
+    crn_sweep.add_argument(
+        "--crn", choices=sorted(CRN_WORKLOADS), required=True,
+        help="registered CRN workload to sweep",
+    )
+    crn_sweep.add_argument(
+        "--sizes", default="1000,10000,100000",
+        help="comma-separated population sizes",
+    )
+    crn_sweep.add_argument("--runs", type=int, default=3, help="runs (seeds) per size")
+    crn_sweep.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="batched",
+        help="simulation engine for every trial",
+    )
+    crn_sweep.add_argument(
+        "--mode", choices=list(CRN_MODES), default="uniform",
+        help="lowering mode (thinned needs --engine count or batched)",
+    )
+    crn_sweep.add_argument("--seed", type=int, default=0, help="sweep-level base seed")
+    crn_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, same results either way)",
+    )
+    crn_sweep.add_argument(
+        "--cache-dir", default="",
+        help="directory of the JSON-lines result cache (empty: no cache)",
+    )
+    crn_sweep.add_argument(
+        "--resume", action="store_true",
+        help="replay trials already in the cache instead of recomputing them",
+    )
+    crn_sweep.add_argument(
+        "--chem-time", type=float, default=None,
+        help="per-trial chemical-time budget (default: the workload's)",
+    )
+    crn_sweep.add_argument(
+        "--check-interval", type=int, default=None,
+        help="interactions between predicate checks (default: engine-chosen)",
+    )
+    crn_sweep.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    crn_sweep.set_defaults(handler=_cmd_crn_sweep)
 
     simulate = subparsers.add_parser(
         "simulate", help="run a finite-state protocol on a selectable engine"

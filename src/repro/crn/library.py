@@ -1,0 +1,237 @@
+"""Library of classic reaction networks and the ``CRN_WORKLOADS`` registry.
+
+Each :class:`CRNWorkload` pairs a :class:`~repro.crn.model.CRN` with a
+convergence predicate (over the count-level engine interface), a default
+population and a chemical-time budget, making it runnable by name through
+the sweep driver (``TrialSpec(kind="crn", ...)``), the CLI (``repro crn
+simulate/sweep/info``) and the benchmarks — the same shape as the
+finite-state :data:`~repro.harness.parallel.WORKLOADS` registry.
+
+Budgets are stated in *chemical* time; the trial builders convert them to
+parallel-time budgets through the compiled rate scale
+(:meth:`~repro.crn.compile.CompiledCRN.to_parallel_time`).
+
+Shipped networks
+----------------
+
+``approximate-majority``
+    The 3-state Angluin–Aspnes–Eisenstat network: the two opinions erase
+    each other through a blank intermediate; converges to the initial
+    majority w.h.p. in ``O(log n)`` chemical time.
+``epidemic``
+    One-way epidemic ``I + S -> I + I`` from a single seeded infection.
+``sir``
+    Epidemic with unimolecular recovery (``S + I -> I + I @ 2``,
+    ``I -> R @ 1``, basic reproduction number 2); converges when the
+    infection dies out.
+``predator-prey``
+    A conserving three-species oscillator (grass/rabbits/foxes, cyclic
+    Lotka–Volterra): counts orbit the coexistence point until a random
+    extinction absorbs the chain — a workload whose interest is the
+    trajectory, not a consensus.
+``leader``
+    Leader election by duel, ``L + L -> L + F``, from the all-leader
+    configuration; needs ``Theta(n)`` chemical time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.crn.model import CRN
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "CRN_WORKLOADS",
+    "CRNWorkload",
+    "epidemic_extinct_predicate",
+    "get_crn_workload",
+    "majority_decided_predicate",
+    "predator_prey_absorbed_predicate",
+    "register_crn_workload",
+    "single_leader_predicate",
+    "susceptibles_exhausted_predicate",
+]
+
+
+@dataclass(frozen=True)
+class CRNWorkload:
+    """A named CRN workload runnable by the sweep driver, CLI and benchmarks.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro crn simulate --crn <name>``).
+    crn:
+        The network, including its initial condition.
+    predicate:
+        Convergence predicate over the count-level engine interface (must be
+        a picklable module-level callable for parallel sweeps).
+    description:
+        One line for ``--help`` / ``repro protocols`` output.
+    default_population:
+        Default ``n`` for single-shot CLI runs.
+    default_chemical_budget:
+        Chemical-time budget as a function of ``n`` (converted to a
+        parallel-time budget through the compiled rate scale).
+    """
+
+    name: str
+    crn: CRN
+    predicate: Callable[..., bool]
+    description: str
+    default_population: int
+    default_chemical_budget: Callable[[int], float]
+
+
+CRN_WORKLOADS: dict[str, CRNWorkload] = {}
+
+
+def register_crn_workload(workload: CRNWorkload) -> CRNWorkload:
+    """Register a named CRN workload (overwrites an existing entry)."""
+    CRN_WORKLOADS[workload.name] = workload
+    return workload
+
+
+def get_crn_workload(name: str) -> CRNWorkload:
+    """Look up a registered CRN workload, raising :class:`SimulationError`."""
+    try:
+        return CRN_WORKLOADS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown CRN workload {name!r}; registered: "
+            f"{', '.join(sorted(CRN_WORKLOADS))}"
+        ) from None
+
+
+# -- predicates (module-level, picklable) ------------------------------------
+
+
+def majority_decided_predicate(simulator) -> bool:
+    """Approximate majority has decided: every agent holds one opinion."""
+    n = simulator.population_size
+    return simulator.count("A") == n or simulator.count("B") == n
+
+
+def susceptibles_exhausted_predicate(simulator) -> bool:
+    """The one-way epidemic is complete: no susceptible agent remains."""
+    return simulator.count("S") == 0
+
+
+def epidemic_extinct_predicate(simulator) -> bool:
+    """The SIR infection has died out (possibly before reaching anyone)."""
+    return simulator.count("I") == 0
+
+
+def predator_prey_absorbed_predicate(simulator) -> bool:
+    """The oscillator hit an absorbing boundary (an extinction)."""
+    return simulator.count("R") == 0 or simulator.count("F") == 0
+
+
+def single_leader_predicate(simulator) -> bool:
+    """Leader election by duel is done: exactly one leader remains."""
+    return simulator.count("L") == 1
+
+
+# -- the shipped library ------------------------------------------------------
+
+
+def _register_builtin_crn_workloads() -> None:
+    register_crn_workload(
+        CRNWorkload(
+            name="approximate-majority",
+            crn=CRN.from_spec(
+                [
+                    "A + B -> A + U",  # the sender's opinion is erased ...
+                    "B + A -> B + U",  # ... in either orientation
+                    "A + U -> A + A",
+                    "B + U -> B + B",
+                ],
+                name="approximate-majority",
+                fractions={"A": 0.52, "B": 0.48},
+            ),
+            predicate=majority_decided_predicate,
+            description=(
+                "3-state approximate majority (Angluin-Aspnes-Eisenstat) from "
+                "a 52/48 split until consensus"
+            ),
+            default_population=100_000,
+            default_chemical_budget=lambda n: 16.0 * max(4.0, math.log2(n)),
+        )
+    )
+    register_crn_workload(
+        CRNWorkload(
+            name="epidemic",
+            crn=CRN.from_spec(
+                ["I + S -> I + I"],
+                name="epidemic",
+                seeds={"I": 1},
+                fractions={"S": 1.0},
+            ),
+            predicate=susceptibles_exhausted_predicate,
+            description="one-way epidemic from a single infected agent",
+            default_population=100_000,
+            default_chemical_budget=lambda n: 8.0 * max(4.0, math.log2(n)),
+        )
+    )
+    register_crn_workload(
+        CRNWorkload(
+            name="sir",
+            crn=CRN.from_spec(
+                [
+                    "S + I -> I + I @ 2.0",
+                    "I -> R @ 1.0",
+                ],
+                name="sir",
+                seeds={"I": 1},
+                fractions={"S": 1.0},
+            ),
+            predicate=epidemic_extinct_predicate,
+            description=(
+                "SIR epidemic (R0 = 2) with unimolecular recovery, until the "
+                "infection dies out"
+            ),
+            default_population=100_000,
+            default_chemical_budget=lambda n: 30.0 + 10.0 * max(4.0, math.log2(n)),
+        )
+    )
+    register_crn_workload(
+        CRNWorkload(
+            name="predator-prey",
+            crn=CRN.from_spec(
+                [
+                    "G + R -> R + R @ 1.0",  # rabbits reproduce by grazing
+                    "R + F -> F + F @ 1.0",  # foxes reproduce by predation
+                    "F -> G @ 1.0",          # foxes die, closing the cycle
+                ],
+                name="predator-prey",
+                fractions={"G": 0.4, "R": 0.4, "F": 0.2},
+            ),
+            predicate=predator_prey_absorbed_predicate,
+            description=(
+                "conserving predator-prey oscillator (grass/rabbits/foxes); "
+                "'converges' only when a random extinction absorbs it"
+            ),
+            default_population=10_000,
+            default_chemical_budget=lambda n: 100.0,
+        )
+    )
+    register_crn_workload(
+        CRNWorkload(
+            name="leader",
+            crn=CRN.from_spec(
+                ["L + L -> L + F"],
+                name="leader",
+                fractions={"L": 1.0},
+            ),
+            predicate=single_leader_predicate,
+            description="leader election by duel (L + L -> L + F) from all leaders",
+            default_population=2_000,
+            default_chemical_budget=lambda n: 4.0 * n,
+        )
+    )
+
+
+_register_builtin_crn_workloads()

@@ -1,0 +1,410 @@
+"""Declarative chemical reaction networks (CRNs) over agent populations.
+
+Population protocols are formally equivalent to chemical reaction networks
+whose reactions preserve the number of molecules: a bimolecular reaction
+``A + B -> C + D`` is an interaction rule, a unimolecular reaction
+``A -> B`` is a spontaneous state change, and the rate constant is the
+paper's transition probability up to a global time rescale.  This module is
+the *front end* of that correspondence: a tiny declarative model —
+:class:`Reaction`, :class:`CRN`, a text parser — that turns a three-line
+spec like ::
+
+    crn = CRN.from_spec(
+        ["L + L -> L + F @ 1.0"], name="leader", fractions={"L": 1.0}
+    )
+
+into a validated network that :func:`repro.crn.compile.compile_crn` lowers
+onto every simulation engine in the repository.
+
+Semantics (stochastic mass action)
+----------------------------------
+
+A CRN over a population of ``n`` agents is a continuous-time Markov chain
+on species counts ``c``.  With the *interaction volume* ``v = (n - 1) / 2``
+(the convention under which the lowered population protocol reproduces the
+chain exactly — see ``DESIGN.md``, CRN front-end), reaction propensities
+are:
+
+* unimolecular ``A -> ... @ k``: ``k * c(A)``;
+* bimolecular ``A + B -> ... @ k`` with ``A != B``: ``k * c(A) * c(B) / v``;
+* bimolecular ``A + A -> ... @ k``: ``k * c(A) * (c(A) - 1) / (2 v)``.
+
+Reactant order is meaningful for the *outcome* (position ``i`` of the
+reactant tuple maps to position ``i`` of the product tuple) but not for the
+propensity: ``A + B -> A + U`` and ``B + A -> B + U`` are different
+reactions (the second converts the ``A``).
+
+Validation errors raise :class:`~repro.exceptions.SimulationError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "CRN",
+    "Reaction",
+    "parse_reaction",
+    "parse_reactions",
+]
+
+#: Species names must be parseable back out of the text form, so they may
+#: not contain whitespace or the ``+``, ``->``, ``@``, ``:`` or ``,``
+#: separators.
+_SPECIES_NAME = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+def _check_species_name(name: object) -> str:
+    if not isinstance(name, str) or not _SPECIES_NAME.match(name):
+        raise SimulationError(
+            f"invalid species name {name!r}; names are non-empty strings over "
+            f"letters, digits, '_', '.' and '-'"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One reaction: ordered reactants, ordered products, a rate constant.
+
+    Population protocols conserve the number of agents, so a reaction must
+    have the same arity on both sides — ``1 -> 1`` (unimolecular) or
+    ``2 -> 2`` (bimolecular).  Position is meaningful: reactant ``i``
+    becomes product ``i``, so ``A + B -> A + U`` converts the ``B`` in
+    either interaction orientation.
+    """
+
+    reactants: tuple[str, ...]
+    products: tuple[str, ...]
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        reactants = tuple(_check_species_name(s) for s in self.reactants)
+        products = tuple(_check_species_name(s) for s in self.products)
+        object.__setattr__(self, "reactants", reactants)
+        object.__setattr__(self, "products", products)
+        # Coerce the rate before anything formats it: every later error
+        # message renders the reaction through text(), which needs a float.
+        shape = f"{' + '.join(reactants)} -> {' + '.join(products)}"
+        try:
+            rate = float(self.rate)
+        except (TypeError, ValueError):
+            raise SimulationError(
+                f"rate constant of {shape} must be a number, got {self.rate!r}"
+            ) from None
+        if not rate > 0 or rate != rate or rate == float("inf"):
+            raise SimulationError(
+                f"rate constant of {shape} must be positive and finite, got {rate}"
+            )
+        object.__setattr__(self, "rate", rate)
+        if len(reactants) not in (1, 2):
+            raise SimulationError(
+                f"reaction {self.text()} must have 1 or 2 reactants, got "
+                f"{len(reactants)} (population protocols are at most bimolecular)"
+            )
+        if len(products) != len(reactants):
+            raise SimulationError(
+                f"reaction {self.text()} does not conserve the number of agents: "
+                f"{len(reactants)} reactants but {len(products)} products"
+            )
+        if sorted(products) == sorted(reactants):
+            # Covers positional identity (A+B -> A+B) and the pure swap
+            # (A+B -> B+A): neither changes any species count, but both
+            # would inflate the rate scale and slow every real reaction.
+            raise SimulationError(
+                f"reaction {self.text()} is a no-op (the product multiset "
+                f"equals the reactant multiset, so no species count ever "
+                f"changes); remove it"
+            )
+
+    @property
+    def is_unimolecular(self) -> bool:
+        """Whether the reaction has a single reactant (``A -> B`` form)."""
+        return len(self.reactants) == 1
+
+    def species(self) -> tuple[str, ...]:
+        """Species touched by this reaction, reactants first, deduplicated."""
+        seen: dict[str, None] = {}
+        for name in (*self.reactants, *self.products):
+            seen.setdefault(name)
+        return tuple(seen)
+
+    def text(self) -> str:
+        """The reaction in its parseable text form."""
+        left = " + ".join(self.reactants)
+        right = " + ".join(self.products)
+        return f"{left} -> {right} @ {self.rate:g}"
+
+    def canonical(self) -> tuple:
+        """Hash- and JSON-stable form used in sweep cache keys."""
+        return (self.reactants, self.products, self.rate)
+
+
+def _parse_side(text: str, reaction_text: str) -> tuple[str, ...]:
+    names = tuple(part.strip() for part in text.split("+"))
+    if any(not name for name in names):
+        raise SimulationError(
+            f"malformed reaction {reaction_text!r}: empty species in {text!r}"
+        )
+    return tuple(_check_species_name(name) for name in names)
+
+
+def parse_reaction(text: str) -> Reaction:
+    """Parse one reaction from its text form.
+
+    The grammar is ``REACTANTS -> PRODUCTS [@ RATE]`` where each side is one
+    or two ``+``-separated species names and the optional rate constant
+    defaults to ``1.0``::
+
+        parse_reaction("L + F -> L + L @ 2.0")
+        parse_reaction("I -> R")          # unimolecular, rate 1
+    """
+    if not isinstance(text, str):
+        raise SimulationError(f"a reaction spec must be a string, got {text!r}")
+    body, at, rate_text = text.partition("@")
+    rate = 1.0
+    if at:
+        try:
+            rate = float(rate_text.strip())
+        except ValueError:
+            raise SimulationError(
+                f"malformed rate constant {rate_text.strip()!r} in reaction {text!r}"
+            ) from None
+    left, arrow, right = body.partition("->")
+    if not arrow:
+        raise SimulationError(
+            f"malformed reaction {text!r}; expected 'REACTANTS -> PRODUCTS [@ RATE]'"
+        )
+    return Reaction(
+        reactants=_parse_side(left, text),
+        products=_parse_side(right, text),
+        rate=rate,
+    )
+
+
+def parse_reactions(text: str) -> tuple[Reaction, ...]:
+    """Parse a block of reactions, one per line or ``;``-separated.
+
+    Blank lines and ``#`` comments are skipped, so a CRN can be stated as a
+    small indented block::
+
+        parse_reactions('''
+            S + I -> I + I @ 2.0   # infection
+            I -> R                 # recovery
+        ''')
+    """
+    reactions = []
+    for chunk in text.replace(";", "\n").splitlines():
+        line = chunk.split("#", 1)[0].strip()
+        if line:
+            reactions.append(parse_reaction(line))
+    if not reactions:
+        raise SimulationError(f"no reactions found in {text!r}")
+    return tuple(reactions)
+
+
+def _normalise_reactions(
+    reactions: "str | Reaction | Iterable[str | Reaction]",
+) -> tuple[Reaction, ...]:
+    if isinstance(reactions, Reaction):
+        return (reactions,)
+    if isinstance(reactions, str):
+        return parse_reactions(reactions)
+    out: list[Reaction] = []
+    for entry in reactions:
+        if isinstance(entry, Reaction):
+            out.append(entry)
+        elif isinstance(entry, str):
+            out.extend(parse_reactions(entry))
+        else:
+            raise SimulationError(
+                f"reactions must be Reaction objects or spec strings, got {entry!r}"
+            )
+    if not out:
+        raise SimulationError("a CRN needs at least one reaction")
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class CRN:
+    """A named chemical reaction network plus its initial condition.
+
+    The initial condition has two parts, resolved at a concrete population
+    size by :meth:`initial_counts`:
+
+    ``seeds``
+        Exact agent counts assigned first (``{"I": 1}`` seeds one infected
+        agent regardless of ``n``).
+    ``fractions``
+        Relative weights for the remaining ``n - sum(seeds)`` agents,
+        apportioned deterministically by largest remainder (``{"A": 0.52,
+        "B": 0.48}``).
+
+    Instances are frozen, hashable and picklable, so a CRN can travel inside
+    a :class:`~repro.harness.parallel.TrialSpec` to worker processes and
+    participate (via :meth:`canonical`) in sweep cache keys.  Prefer
+    :meth:`from_spec`, which accepts plain strings and mappings.
+    """
+
+    name: str
+    reactions: tuple[Reaction, ...]
+    seeds: tuple[tuple[str, int], ...] = ()
+    fractions: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_spec(
+        cls,
+        reactions: "str | Reaction | Iterable[str | Reaction]",
+        name: str = "crn",
+        seeds: Mapping[str, int] | None = None,
+        fractions: Mapping[str, float] | None = None,
+    ) -> "CRN":
+        """Build a CRN from reaction spec strings and initial-condition maps."""
+        return cls(
+            name=name,
+            reactions=_normalise_reactions(reactions),
+            seeds=tuple(sorted((seeds or {}).items())),
+            fractions=tuple(sorted((fractions or {}).items())),
+        )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SimulationError(f"CRN name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "reactions", _normalise_reactions(self.reactions))
+        seen_shapes: set[tuple] = set()
+        for reaction in self.reactions:
+            shape = (reaction.reactants, reaction.products)
+            if shape in seen_shapes:
+                raise SimulationError(
+                    f"CRN {self.name!r} declares reaction {reaction.text()} twice; "
+                    f"merge the rate constants into one reaction"
+                )
+            seen_shapes.add(shape)
+        seeds = tuple(sorted(self.seeds))
+        for species, count in seeds:
+            _check_species_name(species)
+            if not isinstance(count, int) or count < 0:
+                raise SimulationError(
+                    f"seed count of species {species!r} must be a non-negative "
+                    f"int, got {count!r}"
+                )
+        object.__setattr__(self, "seeds", tuple((s, c) for s, c in seeds if c > 0))
+        fractions = tuple(sorted(self.fractions))
+        cleaned: list[tuple[str, float]] = []
+        for species, weight in fractions:
+            _check_species_name(species)
+            try:
+                weight = float(weight)
+            except (TypeError, ValueError):
+                raise SimulationError(
+                    f"initial fraction of species {species!r} must be a number, "
+                    f"got {weight!r}"
+                ) from None
+            if not weight > 0 or weight == float("inf") or weight != weight:
+                raise SimulationError(
+                    f"initial fraction of species {species!r} must be positive "
+                    f"and finite, got {weight}"
+                )
+            cleaned.append((species, weight))
+        object.__setattr__(self, "fractions", tuple(cleaned))
+        if not self.fractions:
+            raise SimulationError(
+                f"CRN {self.name!r} needs at least one species with a positive "
+                f"initial fraction (seeds alone cannot cover every population size)"
+            )
+
+    # -- structure -----------------------------------------------------------
+
+    def species(self) -> tuple[str, ...]:
+        """All species, in first-appearance order (reactions, then init)."""
+        seen: dict[str, None] = {}
+        for reaction in self.reactions:
+            for name in reaction.species():
+                seen.setdefault(name)
+        for name, _ in (*self.seeds, *self.fractions):
+            seen.setdefault(name)
+        return tuple(seen)
+
+    def is_conserved(self, weights: Mapping[str, float]) -> bool:
+        """Whether ``sum(weights[s] * c(s))`` is invariant under every reaction.
+
+        Species absent from ``weights`` count with weight 0.  With all
+        weights 1 this is the agent-count conservation that every valid
+        reaction satisfies by construction; other weightings express
+        problem-specific invariants (e.g. ``S + I + R`` in the SIR model).
+        """
+        for reaction in self.reactions:
+            before = sum(weights.get(s, 0.0) for s in reaction.reactants)
+            after = sum(weights.get(s, 0.0) for s in reaction.products)
+            if abs(before - after) > 1e-12 * max(1.0, abs(before)):
+                return False
+        return True
+
+    # -- initial condition ----------------------------------------------------
+
+    def initial_counts(self, population_size: int) -> dict[str, int]:
+        """Resolve the initial condition at a concrete population size.
+
+        Seeds are assigned exactly; the remaining agents are apportioned to
+        the fraction species by largest remainder (deterministic, ties broken
+        by species order), so the counts always sum to ``population_size``.
+        """
+        if population_size < 2:
+            raise SimulationError(
+                f"population must contain at least 2 agents, got {population_size}"
+            )
+        counts: dict[str, int] = {species: 0 for species in self.species()}
+        seeded = 0
+        for species, count in self.seeds:
+            counts[species] += count
+            seeded += count
+        remaining = population_size - seeded
+        if remaining < 0:
+            raise SimulationError(
+                f"CRN {self.name!r} seeds {seeded} agents but the population "
+                f"only has {population_size}"
+            )
+        if remaining:
+            total_weight = sum(weight for _, weight in self.fractions)
+            quotas = [
+                (species, remaining * weight / total_weight)
+                for species, weight in self.fractions
+            ]
+            assigned = 0
+            floors: list[tuple[str, int, float]] = []
+            for species, quota in quotas:
+                base = int(quota)
+                floors.append((species, base, quota - base))
+                assigned += base
+            floors.sort(key=lambda item: -item[2])
+            leftover = remaining - assigned
+            for position, (species, base, _) in enumerate(floors):
+                counts[species] += base + (1 if position < leftover else 0)
+        return {species: count for species, count in counts.items() if count > 0}
+
+    # -- identity -------------------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """Hash- and JSON-stable description (drives sweep cache keys).
+
+        Every rate constant, product orientation, seed and fraction appears,
+        so two CRNs differing in any of them — notably a single rate
+        constant — never share a cache key.
+        """
+        return (
+            self.name,
+            tuple(reaction.canonical() for reaction in self.reactions),
+            self.seeds,
+            self.fractions,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"CRN {self.name!r}: {len(self.species())} species, "
+            f"{len(self.reactions)} reactions"
+        )

@@ -1,0 +1,149 @@
+"""Exact stochastic simulation (Gillespie direct method) of a CRN.
+
+The engines simulate a lowered CRN through interaction sampling; this module
+simulates the *same* continuous-time Markov chain directly on species
+counts, one exponential holding time and one reaction per step.  It is
+``O(reactions)`` Python work per event — only viable at small populations —
+and exists as the ground truth the engine lowerings are validated against
+(``tests/crn/test_cross_engine_crn.py``,
+``benchmarks/bench_crn_kinetics.py``).
+
+Propensities follow the convention of :mod:`repro.crn.model` (interaction
+volume ``v = (n - 1) / 2``), which is exactly the chain the uniform lowering
+realises after its ``Gamma`` time rescale: sampling the SSA at chemical time
+``t`` corresponds to sampling an engine at parallel time ``Gamma * t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crn.model import CRN
+from repro.exceptions import SimulationError
+
+__all__ = ["SSAResult", "simulate_ssa"]
+
+
+@dataclass(frozen=True)
+class SSAResult:
+    """One exact SSA trajectory, sampled at fixed chemical times.
+
+    Attributes
+    ----------
+    sample_times:
+        The requested chemical times, ascending.
+    counts:
+        ``counts[species][i]`` is the count of ``species`` at
+        ``sample_times[i]``.
+    final_time:
+        Chemical time reached (the last sample time, or the absorption
+        time if the chain died earlier — counts are constant from there on).
+    reactions_fired:
+        Total reaction events executed.
+    absorbed:
+        Whether the chain reached a configuration with zero total
+        propensity before the last sample time.
+    """
+
+    sample_times: tuple[float, ...]
+    counts: dict[str, tuple[int, ...]]
+    final_time: float
+    reactions_fired: int
+    absorbed: bool
+
+    def at(self, index: int) -> dict[str, int]:
+        """The sampled configuration at ``sample_times[index]``."""
+        return {species: values[index] for species, values in self.counts.items()}
+
+
+def simulate_ssa(
+    crn: CRN,
+    population_size: int,
+    sample_times: Sequence[float],
+    seed: int | None = None,
+) -> SSAResult:
+    """Run one exact Gillespie trajectory of ``crn`` at ``population_size``.
+
+    The chain starts from ``crn.initial_counts(population_size)`` and is
+    sampled at the given ascending chemical times.
+    """
+    times = [float(t) for t in sample_times]
+    if not times or any(t < 0 for t in times) or sorted(times) != times:
+        raise SimulationError(
+            f"sample_times must be non-empty, non-negative and ascending, "
+            f"got {sample_times!r}"
+        )
+    rng = np.random.default_rng(seed)
+    species = crn.species()
+    index = {name: position for position, name in enumerate(species)}
+    counts = [0] * len(species)
+    for name, count in crn.initial_counts(population_size).items():
+        counts[index[name]] = count
+    volume = (population_size - 1) / 2.0
+
+    reactions = []
+    for reaction in crn.reactions:
+        reactant_idx = tuple(index[name] for name in reaction.reactants)
+        product_idx = tuple(index[name] for name in reaction.products)
+        reactions.append((reaction, reactant_idx, product_idx))
+
+    def propensity(entry) -> float:
+        reaction, reactant_idx, _ = entry
+        if reaction.is_unimolecular:
+            return reaction.rate * counts[reactant_idx[0]]
+        a, b = reactant_idx
+        if a == b:
+            return reaction.rate * counts[a] * (counts[a] - 1) / (2.0 * volume)
+        return reaction.rate * counts[a] * counts[b] / volume
+
+    samples: list[list[int]] = []
+    now = 0.0
+    fired = 0
+    absorbed = False
+    cursor = 0
+    while cursor < len(times):
+        propensities = [propensity(entry) for entry in reactions]
+        total = sum(propensities)
+        if total <= 0.0:
+            absorbed = True
+            break
+        step = rng.exponential(1.0 / total)
+        while cursor < len(times) and now + step > times[cursor]:
+            samples.append(list(counts))
+            cursor += 1
+        now += step
+        if cursor >= len(times):
+            now = times[-1]
+            break
+        draw = rng.random() * total
+        cumulative = 0.0
+        chosen = reactions[-1]
+        for entry, value in zip(reactions, propensities):
+            cumulative += value
+            if draw < cumulative:
+                chosen = entry
+                break
+        _, reactant_idx, product_idx = chosen
+        for position in reactant_idx:
+            counts[position] -= 1
+        for position in product_idx:
+            counts[position] += 1
+        fired += 1
+    while cursor < len(times):
+        # Absorbed (or exactly exhausted): the configuration is frozen.
+        samples.append(list(counts))
+        cursor += 1
+
+    return SSAResult(
+        sample_times=tuple(times),
+        counts={
+            name: tuple(sample[position] for sample in samples)
+            for name, position in index.items()
+        },
+        final_time=min(now, times[-1]) if not absorbed else now,
+        reactions_fired=fired,
+        absorbed=absorbed,
+    )

@@ -94,6 +94,7 @@ __all__ = [
     "TwoBlockRoundScheduler",
     "WeightedMatchingRoundScheduler",
     "WeightedPairScheduler",
+    "coerce_policy_options",
     "draw_matching_arrays",
     "get_scheduler_policy",
     "scheduler_names",
@@ -576,6 +577,14 @@ class SchedulerPolicy(ABC):
     paper_fidelity: ClassVar[str] = ""
     #: Option names accepted by the constructor.
     option_names: ClassVar[tuple[str, ...]] = ()
+    #: Option name -> coercion callable (e.g. ``float``).  Options absent
+    #: from the mapping are passed through untouched (e.g. the structured
+    #: ``rates`` of ``state-weighted``, which does its own parsing).
+    #: :func:`coerce_policy_options` applies these — with a clear
+    #: :class:`SimulationError` instead of a raw ``ValueError`` — before any
+    #: option reaches a constructor, so CLI strings like
+    #: ``--scheduler-opt lazy_rate=abc`` fail at spec-resolution time.
+    option_types: ClassVar[Mapping[str, Callable[[object], object]]] = {}
 
     def __init__(self, **options) -> None:
         unknown = set(options) - set(self.option_names)
@@ -619,6 +628,38 @@ class SchedulerPolicy(ABC):
         if rate_of is None:
             return None
         return np.array([rate_of(state) for state in states], dtype=np.float64)
+
+
+def coerce_policy_options(
+    policy_cls: type["SchedulerPolicy"], options: Mapping[str, object]
+) -> dict[str, object]:
+    """Validate option names and coerce option values for one policy class.
+
+    Unknown keys and values the declared coercer rejects raise a
+    :class:`SimulationError` naming the scheduler, the option and the
+    expected type — rather than reaching the policy constructor as raw
+    strings and surfacing as a bare ``ValueError`` (or, worse, being
+    accepted).  Values already of the right type pass through unchanged.
+    """
+    coerced: dict[str, object] = {}
+    for key, value in options.items():
+        if key not in policy_cls.option_names:
+            raise SimulationError(
+                f"scheduler {policy_cls.name!r} does not accept option {key!r}; "
+                f"allowed: {sorted(policy_cls.option_names) or 'none'}"
+            )
+        converter = policy_cls.option_types.get(key)
+        if converter is not None:
+            try:
+                value = converter(value)
+            except (TypeError, ValueError):
+                expected = getattr(converter, "__name__", str(converter))
+                raise SimulationError(
+                    f"option {key!r} of scheduler {policy_cls.name!r} must be "
+                    f"a {expected}, got {value!r}"
+                ) from None
+        coerced[key] = value
+    return coerced
 
 
 SCHEDULER_REGISTRY: dict[str, type[SchedulerPolicy]] = {}
@@ -695,6 +736,7 @@ class WeightedPolicy(SchedulerPolicy):
     time_semantics = "per-pair: 1 interaction per step; rounds: rate-thinned matchings"
     paper_fidelity = "non-uniform scenario (outside the paper's model)"
     option_names = ("lazy_fraction", "lazy_rate")
+    option_types = {"lazy_fraction": float, "lazy_rate": float}
 
     def __init__(self, **options) -> None:
         super().__init__(**options)
@@ -731,6 +773,7 @@ class TwoBlockPolicy(SchedulerPolicy):
     time_semantics = "per-pair: 1 interaction per step; rounds: block-wise matchings"
     paper_fidelity = "non-uniform scenario; intra -> 1 approaches a partitioned population"
     option_names = ("intra", "split")
+    option_types = {"intra": float, "split": float}
 
     def __init__(self, **options) -> None:
         super().__init__(**options)
@@ -761,6 +804,7 @@ class QuiescingPolicy(SchedulerPolicy):
     time_semantics = "uniform outside the window; starved agents frozen inside it"
     paper_fidelity = "adversarial scenario (stresses phase clocks / termination)"
     option_names = ("fraction", "start", "duration")
+    option_types = {"fraction": float, "start": float, "duration": float}
 
     def __init__(self, **options) -> None:
         super().__init__(**options)
@@ -810,6 +854,9 @@ class StateWeightedPolicy(SchedulerPolicy):
     time_semantics = "1 interaction per step; pair probability ~ (r_i c_i)(r_j c_j)"
     paper_fidelity = "non-uniform scenario (CRN-style rate constants)"
     option_names = ("rates", "default_rate")
+    # ``rates`` is structured (mapping / pair tuple / "STATE:RATE,..."
+    # string) and parsed by the constructor itself, so it has no coercer.
+    option_types = {"default_rate": float}
 
     def __init__(self, **options) -> None:
         super().__init__(**options)
@@ -934,9 +981,31 @@ class SchedulerSpec:
         """The options as a plain dictionary."""
         return dict(self.options)
 
+    def coerced(self) -> "SchedulerSpec":
+        """This spec with option names validated and values type-coerced.
+
+        Raises a clear :class:`SimulationError` for unknown options or
+        values the policy's declared :attr:`SchedulerPolicy.option_types`
+        cannot convert (``"abc"`` for a float option).  The result is the
+        canonical spec the engines — and the sweep cache keys — should see,
+        so ``intra="0.95"`` and ``intra=0.95`` name the same trial.
+        """
+        policy_cls = get_scheduler_policy(self.name)
+        original = self.options_dict()
+        coerced = coerce_policy_options(policy_cls, original)
+        # Type-sensitive comparison: 1 == 1.0 but repr-based cache payloads
+        # distinguish them, so an int coerced to float must rebuild the spec.
+        if all(
+            type(coerced[key]) is type(value) and coerced[key] == value
+            for key, value in original.items()
+        ):
+            return self
+        return SchedulerSpec(name=self.name, options=tuple(sorted(coerced.items())))
+
     def build_policy(self) -> SchedulerPolicy:
-        """Instantiate the named policy with this spec's options."""
-        return get_scheduler_policy(self.name)(**self.options_dict())
+        """Instantiate the named policy with this spec's (coerced) options."""
+        policy_cls = get_scheduler_policy(self.name)
+        return policy_cls(**coerce_policy_options(policy_cls, self.options_dict()))
 
     def cache_payload(self) -> dict:
         """JSON-friendly canonical form for sweep cache keys."""

@@ -123,7 +123,15 @@ def resolve_scheduler_spec(
     scheduler: SchedulerSpec | str | None,
     scheduler_options: Mapping[str, object] | None = None,
 ) -> SchedulerSpec:
-    """Coerce a scheduler choice for ``engine``, validating compatibility."""
+    """Coerce a scheduler choice for ``engine``, validating compatibility.
+
+    Besides the engine × scheduler compatibility check, option names are
+    validated and option values type-coerced against the policy's declared
+    :attr:`~repro.engine.scheduler.SchedulerPolicy.option_types` — an
+    unknown ``--scheduler-opt`` key or an uncoercible value (``intra=abc``)
+    raises a :class:`SimulationError` here, before any policy constructor
+    sees a raw string.
+    """
     spec = SchedulerSpec.coerce(
         scheduler, default=DEFAULT_SCHEDULERS[engine], options=scheduler_options
     )
@@ -133,7 +141,7 @@ def resolve_scheduler_spec(
             f"scheduler {spec.name!r} is not compatible with the {engine} engine; "
             f"supported: {', '.join(supported)} (see `repro engines`)"
         )
-    return spec
+    return spec.coerced()
 
 
 #: The engines whose default scheduler is the exact sequential uniform-pair

@@ -27,7 +27,10 @@ through :data:`WORKLOADS` (finite-state protocols, runnable on any engine of
 (bespoke vector-engine kernels for the non-finite-state paper protocols:
 ``figure2``, ``leader-terminating``); worker processes re-import this
 module, so both registries are always available on the far side of the
-pickle boundary.
+pickle boundary.  CRN trials (``kind="crn"``,
+:func:`build_crn_trials`) reference :data:`repro.crn.library.CRN_WORKLOADS`
+for their predicate but embed the *network itself* in the spec, so the full
+reaction system — every rate constant — participates in the cache key.
 Library callers may instead embed ``protocol_factory``/``predicate``
 callables in the spec; with ``workers > 1`` those callables must be
 picklable (module-level functions or classes, not lambdas or closures).
@@ -51,6 +54,7 @@ from repro.rng import spawn_seed
 
 __all__ = [
     "KIND_ARRAY",
+    "KIND_CRN",
     "KIND_FINITE_STATE",
     "KIND_SEQUENTIAL",
     "KIND_VECTOR",
@@ -60,6 +64,7 @@ __all__ = [
     "SweepOutcome",
     "TrialSpec",
     "VectorWorkload",
+    "build_crn_trials",
     "build_finite_state_trials",
     "build_vector_trials",
     "get_vector_workload",
@@ -75,7 +80,8 @@ KIND_FINITE_STATE = "finite-state"
 KIND_ARRAY = "array"
 KIND_SEQUENTIAL = "sequential"
 KIND_VECTOR = "vector"
-_KINDS = (KIND_FINITE_STATE, KIND_ARRAY, KIND_SEQUENTIAL, KIND_VECTOR)
+KIND_CRN = "crn"
+_KINDS = (KIND_FINITE_STATE, KIND_ARRAY, KIND_SEQUENTIAL, KIND_VECTOR, KIND_CRN)
 
 
 # ---------------------------------------------------------------------------
@@ -371,6 +377,13 @@ class TrialSpec:
         :class:`ProtocolParameters` for the estimation kinds.
     track_states:
         Sequential kind only: enable per-agent state tracking.
+    crn / crn_mode:
+        CRN kind only: the embedded :class:`~repro.crn.model.CRN` (the full
+        network travels in the spec, so its canonical form — every rate
+        constant, product orientation and initial condition — participates
+        in the cache key; a cached trial is never replayed for a modified
+        network) and the lowering mode (``"uniform"`` or ``"thinned"``; the
+        thinned lowering runs only on the count and batched engines).
     """
 
     kind: str
@@ -389,6 +402,8 @@ class TrialSpec:
     scheduler_options: tuple[tuple[str, object], ...] = ()
     params: ProtocolParameters | None = None
     track_states: bool = False
+    crn: "object | None" = None
+    crn_mode: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -433,9 +448,15 @@ class TrialSpec:
                 raise SimulationError(
                     f"{self.kind} trials need ProtocolParameters (params=...)"
                 )
+        elif self.kind == KIND_CRN:
+            self._validate_crn()
         elif self.params is None:
             raise SimulationError(
                 f"{self.kind} trials need ProtocolParameters (params=...)"
+            )
+        if self.kind != KIND_CRN and self.crn is not None:
+            raise SimulationError(
+                f"{self.kind} trials do not take a CRN (crn=...); use kind='crn'"
             )
         if self.scheduler is not None:
             self._validate_scheduler()
@@ -443,6 +464,44 @@ class TrialSpec:
             raise SimulationError(
                 "scheduler_options were given without a scheduler; they would "
                 "be silently ignored (set scheduler=... as well)"
+            )
+
+    def _validate_crn(self) -> None:
+        """Fail fast on malformed CRN trials (build time, not mid-sweep)."""
+        from repro.crn.compile import CRN_MODES
+        from repro.crn.model import CRN
+        from repro.engine.selection import ENGINE_NAMES
+
+        if not isinstance(self.crn, CRN):
+            raise SimulationError(
+                "a crn trial needs the network itself (crn=CRN(...)); the full "
+                "spec travels in the trial so it can key the result cache"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{', '.join(ENGINE_NAMES)}"
+            )
+        if self.crn_mode not in CRN_MODES:
+            raise SimulationError(
+                f"unknown CRN lowering mode {self.crn_mode!r}; expected one of "
+                f"{', '.join(CRN_MODES)}"
+            )
+        if self.crn_mode == "thinned" and self.engine not in ("count", "batched"):
+            raise SimulationError(
+                f"the thinned CRN lowering targets the state-weighted scheduler, "
+                f"which the {self.engine} engine cannot run; use the count or "
+                f"batched engine (or mode='uniform')"
+            )
+        if self.scheduler is not None:
+            raise SimulationError(
+                "crn trials derive their scheduler from the lowering mode; "
+                "pass crn_mode='thinned' instead of scheduler=..."
+            )
+        if self.protocol is None and self.predicate is None:
+            raise SimulationError(
+                "a crn trial needs a convergence predicate: either a registered "
+                "CRN workload name (protocol=...) or an explicit predicate"
             )
 
     #: Scheduler capability each trial kind consumes (finite-state trials
@@ -477,13 +536,17 @@ class TrialSpec:
         """The trial's scheduler as a :class:`SchedulerSpec` (or ``None``).
 
         ``None`` means "the engine's default policy" and keeps the engines'
-        historical draw-for-draw RNG streams.
+        historical draw-for-draw RNG streams.  The spec is returned in its
+        coerced (canonical) form, so ``intra="0.95"`` and ``intra=0.95``
+        build the same policy *and* hash to the same sweep cache key.
         """
         if self.scheduler is None:
             return None
         from repro.engine.scheduler import SchedulerSpec
 
-        return SchedulerSpec(name=self.scheduler, options=self.scheduler_options)
+        return SchedulerSpec(
+            name=self.scheduler, options=self.scheduler_options
+        ).coerced()
 
     @property
     def seed(self) -> int:
@@ -521,6 +584,16 @@ class TrialSpec:
         scheduler_spec = self.scheduler_spec()
         if scheduler_spec is not None:
             payload["scheduler"] = scheduler_spec.cache_payload()
+        # Same join-only-when-present rule for the CRN kind: the canonical
+        # network form (reactions, rate constants, product orientations,
+        # initial condition) plus the lowering mode key the cache, so a
+        # cached trial is never replayed for a CRN differing in any of them
+        # — notably a single rate constant.
+        if self.crn is not None:
+            payload["crn"] = {
+                "network": self.crn.canonical(),
+                "mode": self.crn_mode,
+            }
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -660,6 +733,92 @@ def build_vector_trials(
             engine_options=tuple(sorted(engine_options.items())),
             scheduler=scheduler,
             scheduler_options=tuple(sorted((scheduler_options or {}).items())),
+        )
+        for size_index, population_size in enumerate(population_sizes)
+        for run_index in range(runs_per_size)
+    ]
+
+
+def build_crn_trials(
+    population_sizes: Sequence[int],
+    runs_per_size: int,
+    crn: "str | object",
+    base_seed: int = 0,
+    engine: str = "batched",
+    mode: str = "uniform",
+    max_chemical_time: float | Callable[[int], float] | None = None,
+    predicate: Callable[..., bool] | None = None,
+    check_interval: int | None = None,
+    **engine_options,
+) -> list[TrialSpec]:
+    """Expand a CRN sweep into one :class:`TrialSpec` per trial.
+
+    ``crn`` is a registered :data:`~repro.crn.library.CRN_WORKLOADS` name or
+    a :class:`~repro.crn.model.CRN` object (an ad-hoc network then needs an
+    explicit ``predicate``).  Budgets are stated in *chemical* time
+    (``max_chemical_time``, a constant or a callable ``n -> budget``;
+    default: the workload's budget) and converted to the engines'
+    parallel-time budgets through the compiled rate scale; for the thinned
+    lowering the same scale is a generous event-clock heuristic (see
+    ``DESIGN.md``, CRN front-end).
+    """
+    from repro.crn.compile import compile_crn
+    from repro.crn.library import get_crn_workload
+    from repro.crn.model import CRN
+
+    if not population_sizes:
+        raise SimulationError("population_sizes must be non-empty")
+    if runs_per_size < 1:
+        raise SimulationError(f"runs_per_size must be >= 1, got {runs_per_size}")
+    protocol_name = None
+    if isinstance(crn, str):
+        workload = get_crn_workload(crn)
+        protocol_name = workload.name
+        network = workload.crn
+        chemical_budget = (
+            max_chemical_time
+            if max_chemical_time is not None
+            else workload.default_chemical_budget
+        )
+    elif isinstance(crn, CRN):
+        network = crn
+        if predicate is None:
+            raise SimulationError(
+                "an ad-hoc CRN sweep needs an explicit convergence predicate "
+                "(predicate=...); registered workloads carry their own"
+            )
+        if max_chemical_time is None:
+            raise SimulationError(
+                "an ad-hoc CRN sweep needs an explicit chemical-time budget "
+                "(max_chemical_time=...); registered workloads carry their own"
+            )
+        chemical_budget = max_chemical_time
+    else:
+        raise SimulationError(
+            f"crn must be a registered workload name or a CRN, got {crn!r}"
+        )
+    if not callable(chemical_budget):
+        constant = float(chemical_budget)
+        chemical_budget = lambda n: constant
+    # Compiling here fails fast on a bad mode/network before any worker;
+    # rate_scale is the uniform Gamma in either mode (in thinned mode it is
+    # the budget heuristic — see DESIGN.md, CRN front-end).
+    rate_scale = compile_crn(network, mode=mode).rate_scale
+    return [
+        TrialSpec(
+            kind=KIND_CRN,
+            population_size=population_size,
+            size_index=size_index,
+            run_index=run_index,
+            base_seed=base_seed,
+            engine=engine,
+            max_parallel_time=rate_scale * chemical_budget(population_size),
+            check_interval=check_interval,
+            protocol=protocol_name,
+            predicate=predicate,
+            engine_options=tuple(sorted(engine_options.items())),
+            crn=network,
+            crn_mode=mode,
         )
         for size_index, population_size in enumerate(population_sizes)
         for run_index in range(runs_per_size)
@@ -807,11 +966,58 @@ def _run_vector_trial(spec: TrialSpec) -> RunRecord:
     )
 
 
+def _run_crn_trial(spec: TrialSpec) -> RunRecord:
+    from repro.crn.compile import compile_crn
+    from repro.crn.library import get_crn_workload
+
+    predicate = spec.predicate
+    if predicate is None:
+        predicate = get_crn_workload(spec.protocol).predicate
+    compiled = compile_crn(spec.crn, mode=spec.crn_mode)
+    simulator = compiled.build(
+        spec.engine,
+        spec.population_size,
+        seed=spec.seed,
+        **dict(spec.engine_options),
+    )
+    converged = True
+    convergence_time: float | None = None
+    try:
+        convergence_time = simulator.run_until(
+            predicate,
+            max_parallel_time=spec.max_parallel_time,
+            check_interval=spec.check_interval,
+        )
+    except ConvergenceError:
+        converged = False
+    extra = {
+        "engine": spec.engine,
+        "crn": spec.crn.name,
+        "crn_mode": spec.crn_mode,
+        "rate_scale": compiled.rate_scale,
+        "interactions": int(simulator.interactions),
+        "counts": {
+            str(state): int(count)
+            for state, count in sorted(simulator.configuration().items())
+        },
+    }
+    if compiled.time_exact and convergence_time is not None:
+        extra["chemical_time"] = compiled.to_chemical_time(convergence_time)
+    return RunRecord(
+        population_size=spec.population_size,
+        seed=spec.seed,
+        converged=converged,
+        convergence_time=convergence_time,
+        extra=extra,
+    )
+
+
 _TRIAL_RUNNERS = {
     KIND_FINITE_STATE: _run_finite_state_trial,
     KIND_ARRAY: _run_array_trial,
     KIND_SEQUENTIAL: _run_sequential_trial,
     KIND_VECTOR: _run_vector_trial,
+    KIND_CRN: _run_crn_trial,
 }
 
 

@@ -1,0 +1,166 @@
+"""Tests for the CRN compiler: probabilities, rate scale, modes, lowering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crn import CRN, compile_crn
+from repro.exceptions import SimulationError
+
+
+def sir() -> CRN:
+    return CRN.from_spec(
+        ["S + I -> I + I @ 2.0", "I -> R @ 1.0"],
+        name="sir",
+        seeds={"I": 1},
+        fractions={"S": 1.0},
+    )
+
+
+class TestUniformLowering:
+    def test_rate_scale_is_max_ordered_pair_total(self):
+        # T(I, S) = 2 (bimolecular, one orientation) + 1 (uni of receiver I).
+        compiled = compile_crn(sir())
+        assert compiled.rate_scale == 3.0
+        assert compiled.time_exact
+        assert compiled.scheduler_spec() is None
+
+    def test_bimolecular_fires_in_both_orientations(self):
+        compiled = compile_crn(sir())
+        protocol = compiled.protocol
+        # Receiver S, sender I: only the infection, probability 2/Gamma.
+        (infection,) = protocol.transitions("S", "I")
+        assert (infection.receiver_out, infection.sender_out) == ("I", "I")
+        assert infection.probability == pytest.approx(2.0 / 3.0)
+        # Receiver I, sender S: the reversed infection plus I's recovery.
+        outcomes = {
+            (t.receiver_out, t.sender_out): t.probability
+            for t in protocol.transitions("I", "S")
+        }
+        assert outcomes[("I", "I")] == pytest.approx(2.0 / 3.0)
+        assert outcomes[("R", "S")] == pytest.approx(1.0 / 3.0)
+
+    def test_unimolecular_fires_for_every_sender(self):
+        compiled = compile_crn(sir())
+        protocol = compiled.protocol
+        for sender in ("S", "I", "R"):
+            outcomes = {
+                (t.receiver_out, t.sender_out): t.probability
+                for t in protocol.transitions("I", sender)
+            }
+            assert outcomes[("R", sender)] == pytest.approx(1.0 / 3.0)
+        # The recovered state is inert as a receiver.
+        assert protocol.transitions("R", "S") == ()
+
+    def test_diagonal_pair_single_entry(self):
+        crn = CRN.from_spec(["L + L -> L + F"], fractions={"L": 1.0})
+        compiled = compile_crn(crn)
+        assert compiled.rate_scale == 1.0
+        (duel,) = compiled.protocol.transitions("L", "L")
+        assert (duel.receiver_out, duel.sender_out) == ("L", "F")
+        assert duel.probability == 1.0
+
+    def test_generated_protocol_compiles_to_tables(self):
+        table = compile_crn(sir()).protocol.compiled()
+        assert table.num_states == 3
+        assert table.reactive_pair_count() == 4  # (S,I), (I,S), (I,I), (I,R)
+
+    def test_time_conversion_round_trip(self):
+        compiled = compile_crn(sir())
+        assert compiled.to_parallel_time(5.0) == pytest.approx(15.0)
+        assert compiled.to_chemical_time(15.0) == pytest.approx(5.0)
+
+    def test_rate_scale_override(self):
+        compiled = compile_crn(sir(), rate_scale=6.0)
+        assert compiled.rate_scale == 6.0
+        (infection,) = compiled.protocol.transitions("S", "I")
+        assert infection.probability == pytest.approx(2.0 / 6.0)
+        with pytest.raises(SimulationError, match="below"):
+            compile_crn(sir(), rate_scale=1.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="mode"):
+            compile_crn(sir(), mode="warp")
+
+
+class TestThinnedLowering:
+    def test_activity_rates_are_sqrt_of_peak_pair_totals(self):
+        compiled = compile_crn(sir(), mode="thinned")
+        rates = dict(compiled.state_rates)
+        assert rates["S"] == pytest.approx(math.sqrt(3.0))
+        assert rates["I"] == pytest.approx(math.sqrt(3.0))
+        assert rates["R"] == pytest.approx(1.0)  # touched only by I's recovery
+        spec = compiled.scheduler_spec()
+        assert spec is not None and spec.name == "state-weighted"
+        assert not compiled.time_exact
+
+    def test_probabilities_scaled_by_rate_product(self):
+        compiled = compile_crn(sir(), mode="thinned")
+        protocol = compiled.protocol
+        (infection,) = protocol.transitions("S", "I")
+        assert infection.probability == pytest.approx(2.0 / 3.0)  # 2 / (r_S r_I)
+        outcomes = {
+            (t.receiver_out, t.sender_out): t.probability
+            for t in protocol.transitions("I", "R")
+        }
+        # Recovery against an R sender: 1 / (r_I * r_R) = 1 / sqrt(3).
+        assert outcomes[("R", "R")] == pytest.approx(1.0 / math.sqrt(3.0))
+
+    def test_inert_species_keep_a_floor_rate(self):
+        crn = CRN.from_spec(["L + L -> L + F"], fractions={"L": 1.0})
+        compiled = compile_crn(crn, mode="thinned")
+        rates = dict(compiled.state_rates)
+        assert rates["L"] == pytest.approx(1.0)
+        assert 0.0 < rates["F"] < rates["L"]
+
+    def test_time_conversion_refused(self):
+        compiled = compile_crn(sir(), mode="thinned")
+        with pytest.raises(SimulationError, match="thinned"):
+            compiled.to_chemical_time(1.0)
+
+    def test_rate_scale_override_refused(self):
+        with pytest.raises(SimulationError, match="uniform"):
+            compile_crn(sir(), mode="thinned", rate_scale=10.0)
+
+    def test_builds_only_on_count_level_engines(self):
+        compiled = compile_crn(sir(), mode="thinned")
+        compiled.build("count", 50, seed=0)
+        compiled.build("batched", 50, seed=0)
+        for engine in ("agent", "vector"):
+            with pytest.raises(SimulationError, match="state-weighted"):
+                compiled.build(engine, 50, seed=0)
+
+
+class TestInitialConditions:
+    def test_initial_configuration_matches_counts(self):
+        compiled = compile_crn(sir())
+        configuration = compiled.initial_configuration(100)
+        assert configuration.count("I") == 1
+        assert configuration.count("S") == 99
+        assert configuration.size == 100
+
+    def test_seed_style_initial_state_expressible(self):
+        protocol = compile_crn(sir()).protocol
+        assert protocol.initial_state(0) == "I"
+        assert protocol.initial_state(1) == "S"
+        assert protocol.initial_state(99) == "S"
+
+    def test_multi_fraction_initial_state_needs_configuration(self):
+        crn = CRN.from_spec(
+            ["A + B -> A + A"], fractions={"A": 0.5, "B": 0.5}
+        )
+        protocol = compile_crn(crn).protocol
+        with pytest.raises(SimulationError, match="initial_configuration"):
+            protocol.initial_state(0)
+        # The build path supplies the configuration, so engines still work.
+        simulator = compile_crn(crn).build("count", 40, seed=1)
+        assert simulator.count("A") == 20
+        assert simulator.count("B") == 20
+
+    def test_build_forwards_engine_options(self):
+        simulator = compile_crn(sir()).build("batched", 64, seed=0, batch_size=4)
+        assert simulator.batch_size == 4
+        with pytest.raises(SimulationError):
+            compile_crn(sir()).build("count", 64, seed=0, batch_size=4)

@@ -1,0 +1,139 @@
+"""Cross-validation: engine lowerings vs the exact SSA, in distribution.
+
+The acceptance test of the CRN front-end: at small ``n``, trajectory
+statistics of the count/batched engines running a lowered 3-species CRN
+must match the exact Gillespie reference — the uniform lowering in *time*
+(sampling an engine at parallel time ``Gamma * t`` is sampling the chain at
+chemical time ``t``) and the thinned lowering in its *jump chain*
+(absorption statistics such as the SIR final size are clock-independent).
+
+Everything is deterministic per seed, so the z-score comparisons are exact
+regression tests, not flaky statistical ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crn import CRN, compile_crn, simulate_ssa
+from repro.crn.library import epidemic_extinct_predicate
+
+#: The 3-species network under test: SIR with unimolecular recovery.
+SIR = CRN.from_spec(
+    ["S + I -> I + I @ 2.0", "I -> R @ 1.0"],
+    name="sir",
+    seeds={"I": 2},
+    fractions={"S": 1.0},
+)
+POPULATION = 60
+SAMPLE_TIMES = (2.0, 6.0, 12.0)
+ENGINE_RUNS = 64
+SSA_RUNS = 128
+
+
+def _mean_std(values):
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / max(1, len(values) - 1)
+    return mean, math.sqrt(variance)
+
+
+def _z_score(sample_a, sample_b):
+    mean_a, std_a = _mean_std(sample_a)
+    mean_b, std_b = _mean_std(sample_b)
+    spread = math.sqrt(
+        std_a**2 / len(sample_a) + std_b**2 / len(sample_b)
+    )
+    return (mean_a - mean_b) / max(spread, 1e-9)
+
+
+def _engine_recovered_trajectories(engine: str, runs: int) -> list[list[int]]:
+    """Counts of R at each sample time, one list per run (uniform lowering)."""
+    compiled = compile_crn(SIR)
+    trajectories = []
+    for run in range(runs):
+        simulator = compiled.build(engine, POPULATION, seed=1000 + run)
+        previous = 0.0
+        row = []
+        for chemical_time in SAMPLE_TIMES:
+            target = compiled.to_parallel_time(chemical_time)
+            simulator.run_parallel_time(target - previous)
+            previous = target
+            row.append(simulator.count("R"))
+        trajectories.append(row)
+    return trajectories
+
+
+@pytest.fixture(scope="module")
+def ssa_recovered() -> list[list[int]]:
+    return [
+        list(simulate_ssa(SIR, POPULATION, SAMPLE_TIMES, seed=5000 + run).counts["R"])
+        for run in range(SSA_RUNS)
+    ]
+
+
+class TestUniformLoweringMatchesSSAInTime:
+    @pytest.mark.parametrize("engine", ["count", "batched", "agent"])
+    def test_recovered_count_moments_match(self, engine, ssa_recovered):
+        trajectories = _engine_recovered_trajectories(engine, ENGINE_RUNS)
+        for position, chemical_time in enumerate(SAMPLE_TIMES):
+            engine_sample = [row[position] for row in trajectories]
+            ssa_sample = [row[position] for row in ssa_recovered]
+            z = _z_score(engine_sample, ssa_sample)
+            assert abs(z) < 4.0, (
+                f"{engine} engine R-count at chemical time {chemical_time} "
+                f"deviates from SSA: z = {z:.2f} "
+                f"(engine mean {_mean_std(engine_sample)[0]:.2f}, "
+                f"SSA mean {_mean_std(ssa_sample)[0]:.2f})"
+            )
+
+    def test_population_is_conserved_along_the_way(self):
+        compiled = compile_crn(SIR)
+        simulator = compiled.build("batched", POPULATION, seed=2)
+        simulator.run_parallel_time(compiled.to_parallel_time(SAMPLE_TIMES[-1]))
+        assert simulator.configuration().size == POPULATION
+
+
+class TestThinnedLoweringMatchesSSAJumpChain:
+    @pytest.mark.parametrize("engine", ["count", "batched"])
+    def test_final_epidemic_size_distribution_matches(self, engine):
+        # The SIR final size (everyone the infection ever reached) is a
+        # jump-chain statistic: it does not depend on the clock, so the
+        # thinned lowering must reproduce it even though its event-clock
+        # times differ from chemical time.
+        compiled = compile_crn(SIR, mode="thinned")
+        finals = []
+        for run in range(ENGINE_RUNS):
+            simulator = compiled.build(engine, POPULATION, seed=3000 + run)
+            simulator.run_until(
+                epidemic_extinct_predicate,
+                max_parallel_time=10_000.0,
+                check_interval=POPULATION,
+            )
+            finals.append(simulator.count("R"))
+        ssa_finals = [
+            simulate_ssa(SIR, POPULATION, [10_000.0], seed=7000 + run).at(0)["R"]
+            for run in range(SSA_RUNS)
+        ]
+        z = _z_score(finals, ssa_finals)
+        assert abs(z) < 4.0, (
+            f"thinned {engine} final size deviates from SSA: z = {z:.2f}"
+        )
+
+
+class TestVectorEngineRunsTheSameNetwork:
+    def test_leader_election_on_every_engine(self):
+        # The vector engine's matching rounds agree with the sequential
+        # schedulers only up to constant factors in time, so it is checked
+        # for correctness (the absorbing configuration), not for the time
+        # law.
+        crn = CRN.from_spec(["L + L -> L + F"], name="leader", fractions={"L": 1.0})
+        compiled = compile_crn(crn)
+        for engine in ("agent", "count", "batched", "vector"):
+            simulator = compiled.build(engine, 120, seed=9)
+            simulator.run_until(
+                lambda sim: sim.count("L") == 1, max_parallel_time=10_000.0
+            )
+            assert simulator.count("L") == 1
+            assert simulator.count("F") == 119

@@ -1,0 +1,155 @@
+"""Tests for the CRN model: reactions, parsing, validation, initial counts."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.crn import CRN, Reaction, parse_reaction, parse_reactions
+from repro.exceptions import SimulationError
+
+
+class TestReaction:
+    def test_parse_bimolecular_with_rate(self):
+        reaction = parse_reaction("L + F -> L + L @ 2.0")
+        assert reaction.reactants == ("L", "F")
+        assert reaction.products == ("L", "L")
+        assert reaction.rate == 2.0
+        assert not reaction.is_unimolecular
+
+    def test_parse_unimolecular_default_rate(self):
+        reaction = parse_reaction("I -> R")
+        assert reaction.reactants == ("I",)
+        assert reaction.products == ("R",)
+        assert reaction.rate == 1.0
+        assert reaction.is_unimolecular
+
+    def test_text_round_trips(self):
+        reaction = parse_reaction("A + B -> B + U @ 0.5")
+        assert parse_reaction(reaction.text()) == reaction
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A + B",  # no arrow
+            "A + -> B + C",  # empty species
+            "A + B -> C",  # arity mismatch (not conserving)
+            "A + B + C -> A + B + C",  # trimolecular
+            "A -> A",  # no-op
+            "A + B -> A + B",  # no-op
+            "A + B -> B + A",  # no-op: the swap changes no species count
+            "A + B -> A + C @ nope",  # malformed rate
+            "A + B -> A + C @ -1",  # non-positive rate
+            "A + B -> A + C @ 0",  # zero rate
+            "A B -> A C",  # species with whitespace
+        ],
+    )
+    def test_malformed_reactions_rejected(self, text):
+        with pytest.raises(SimulationError):
+            parse_reaction(text)
+
+    def test_non_numeric_rate_raises_simulation_error_not_value_error(self):
+        # Regression: the arity/no-op error messages format the rate, so a
+        # bad rate type must be rejected (as SimulationError) before any of
+        # them renders — not crash with a ValueError from ':g' formatting.
+        with pytest.raises(SimulationError, match="must be a number"):
+            Reaction(("A",), ("B",), rate="abc")
+        with pytest.raises(SimulationError, match="conserve"):
+            Reaction(("A", "B"), ("A",), rate="1.0")
+
+    def test_parse_block_skips_comments_and_blanks(self):
+        reactions = parse_reactions(
+            """
+            S + I -> I + I @ 2.0   # infection
+            ;
+            I -> R                 # recovery
+            """
+        )
+        assert [r.text() for r in reactions] == [
+            "S + I -> I + I @ 2",
+            "I -> R @ 1",
+        ]
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(SimulationError):
+            parse_reactions("# nothing but a comment")
+
+
+class TestCRN:
+    def test_from_spec_and_species_order(self):
+        crn = CRN.from_spec(
+            ["S + I -> I + I", "I -> R"],
+            name="sir",
+            seeds={"I": 1},
+            fractions={"S": 1.0},
+        )
+        assert crn.species() == ("S", "I", "R")
+        assert crn.seeds == (("I", 1),)
+
+    def test_duplicate_reaction_rejected(self):
+        with pytest.raises(SimulationError, match="twice"):
+            CRN.from_spec(
+                ["A + B -> A + U @ 1", "A + B -> A + U @ 2"],
+                fractions={"A": 1.0},
+            )
+
+    def test_needs_a_fraction_species(self):
+        with pytest.raises(SimulationError, match="initial fraction"):
+            CRN.from_spec(["A + B -> B + B"], seeds={"A": 3})
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            CRN.from_spec(["A + B -> B + B"], fractions={"A": -0.5})
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SimulationError):
+            CRN.from_spec(
+                ["A + B -> B + B"], seeds={"A": 1.5}, fractions={"B": 1.0}
+            )
+
+    def test_initial_counts_sum_to_population(self):
+        crn = CRN.from_spec(
+            ["A + B -> A + U", "A + U -> A + A", "B + U -> B + B"],
+            fractions={"A": 0.52, "B": 0.48},
+        )
+        for n in (2, 7, 100, 12345):
+            counts = crn.initial_counts(n)
+            assert sum(counts.values()) == n
+        counts = crn.initial_counts(10_000)
+        assert counts == {"A": 5200, "B": 4800}
+
+    def test_initial_counts_seeds_first(self):
+        crn = CRN.from_spec(
+            ["I + S -> I + I"], seeds={"I": 3}, fractions={"S": 1.0}
+        )
+        assert crn.initial_counts(100) == {"I": 3, "S": 97}
+        with pytest.raises(SimulationError, match="seeds"):
+            crn.initial_counts(2)
+
+    def test_is_conserved(self):
+        sir = CRN.from_spec(
+            ["S + I -> I + I @ 2", "I -> R"],
+            seeds={"I": 1},
+            fractions={"S": 1.0},
+        )
+        assert sir.is_conserved({"S": 1, "I": 1, "R": 1})
+        assert not sir.is_conserved({"S": 1, "I": 1})  # R breaks the invariant
+
+    def test_canonical_is_sensitive_to_rates_and_init(self):
+        base = CRN.from_spec(["L + L -> L + F @ 1"], fractions={"L": 1.0})
+        faster = CRN.from_spec(["L + L -> L + F @ 2"], fractions={"L": 1.0})
+        seeded = CRN.from_spec(
+            ["L + L -> L + F @ 1"], seeds={"F": 1}, fractions={"L": 1.0}
+        )
+        assert base.canonical() != faster.canonical()
+        assert base.canonical() != seeded.canonical()
+        same = CRN.from_spec(["L + L -> L + F @ 1"], fractions={"L": 1.0})
+        assert base.canonical() == same.canonical()
+
+    def test_picklable_and_hashable(self):
+        crn = CRN.from_spec(
+            ["S + I -> I + I @ 2", "I -> R"], seeds={"I": 1}, fractions={"S": 1}
+        )
+        assert pickle.loads(pickle.dumps(crn)) == crn
+        assert isinstance(hash(crn), int)

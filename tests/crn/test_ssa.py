@@ -1,0 +1,50 @@
+"""Tests for the exact Gillespie SSA reference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crn import CRN, simulate_ssa
+from repro.exceptions import SimulationError
+
+
+def leader() -> CRN:
+    return CRN.from_spec(["L + L -> L + F"], name="leader", fractions={"L": 1.0})
+
+
+class TestSimulateSSA:
+    def test_leader_absorbs_at_one_leader(self):
+        result = simulate_ssa(leader(), 60, sample_times=[1e6], seed=0)
+        assert result.absorbed
+        assert result.at(0) == {"L": 1, "F": 59}
+        # Exactly n - 1 duels absorb the all-leader configuration.
+        assert result.reactions_fired == 59
+
+    def test_counts_conserve_population(self):
+        crn = CRN.from_spec(
+            ["S + I -> I + I @ 2", "I -> R"], seeds={"I": 2}, fractions={"S": 1}
+        )
+        result = simulate_ssa(crn, 80, sample_times=[0.5, 2.0, 8.0, 64.0], seed=3)
+        for position in range(4):
+            assert sum(result.at(position).values()) == 80
+
+    def test_sampling_is_monotone_for_one_way_epidemic(self):
+        crn = CRN.from_spec(["I + S -> I + I"], seeds={"I": 1}, fractions={"S": 1})
+        result = simulate_ssa(crn, 100, sample_times=[1, 2, 4, 8, 32], seed=7)
+        infected = result.counts["I"]
+        assert list(infected) == sorted(infected)
+        assert infected[-1] == 100  # epidemic complete well before t = 32
+
+    def test_reproducible_per_seed(self):
+        crn = CRN.from_spec(
+            ["S + I -> I + I @ 2", "I -> R"], seeds={"I": 1}, fractions={"S": 1}
+        )
+        first = simulate_ssa(crn, 50, sample_times=[1.0, 5.0], seed=11)
+        second = simulate_ssa(crn, 50, sample_times=[1.0, 5.0], seed=11)
+        assert first.counts == second.counts
+        assert first.reactions_fired == second.reactions_fired
+
+    def test_invalid_sample_times_rejected(self):
+        for times in ([], [2.0, 1.0], [-1.0]):
+            with pytest.raises(SimulationError):
+                simulate_ssa(leader(), 10, sample_times=times, seed=0)

@@ -323,3 +323,89 @@ class TestSchedulerSpecAndRegistry:
         assert rate_of("S") == 1.0
         rates = policy.state_rates(["I", "S"])
         assert rates.tolist() == [0.5, 1.0]
+
+
+class TestOptionCoercion:
+    """Typed option validation at resolve time (no raw strings reach the
+    policy constructors, no bare ValueError escapes)."""
+
+    def test_resolve_coerces_string_values_to_floats(self):
+        from repro.engine.selection import resolve_scheduler_spec
+
+        spec = resolve_scheduler_spec("agent", "two-block", {"intra": "0.95"})
+        assert spec.options == (("intra", 0.95),)
+        assert isinstance(spec.options[0][1], float)
+
+    def test_resolve_rejects_uncoercible_values_with_clear_error(self):
+        from repro.engine.selection import resolve_scheduler_spec
+
+        with pytest.raises(SimulationError, match="'lazy_rate'.*must be a float"):
+            resolve_scheduler_spec("agent", "weighted", {"lazy_rate": "abc"})
+
+    def test_resolve_rejects_unknown_option_keys(self):
+        from repro.engine.selection import resolve_scheduler_spec
+
+        with pytest.raises(SimulationError, match="does not accept option 'bogus'"):
+            resolve_scheduler_spec("agent", "weighted", {"bogus": 1})
+        with pytest.raises(SimulationError, match="allowed: none"):
+            resolve_scheduler_spec("count", "sequential", {"bogus": 1})
+
+    def test_coerced_spec_is_canonical_for_cache_identity(self):
+        string_spec = SchedulerSpec("two-block", (("intra", "0.95"),)).coerced()
+        float_spec = SchedulerSpec("two-block", (("intra", 0.95),)).coerced()
+        assert string_spec == float_spec
+        assert string_spec.cache_payload() == float_spec.cache_payload()
+
+    def test_coerced_is_identity_for_already_typed_options(self):
+        spec = SchedulerSpec("two-block", (("intra", 0.95),))
+        assert spec.coerced() is spec
+
+    def test_build_policy_applies_coercion(self):
+        policy = SchedulerSpec("weighted", (("lazy_rate", "0.25"),)).build_policy()
+        assert policy.lazy_rate == 0.25
+        with pytest.raises(SimulationError, match="must be a float"):
+            SchedulerSpec("weighted", (("lazy_rate", "abc"),)).build_policy()
+
+    def test_state_weighted_structured_rates_pass_through(self):
+        from repro.engine.selection import resolve_scheduler_spec
+
+        spec = resolve_scheduler_spec(
+            "count", "state-weighted", {"rates": "I:0.5", "default_rate": "2"}
+        )
+        options = spec.options_dict()
+        assert options["rates"] == "I:0.5"  # parsed by the policy itself
+        assert options["default_rate"] == 2.0
+
+    def test_trial_spec_surfaces_bad_option_values_at_build_time(self):
+        from repro.harness.parallel import build_finite_state_trials
+
+        with pytest.raises(SimulationError, match="must be a float"):
+            build_finite_state_trials(
+                [64],
+                1,
+                protocol="epidemic",
+                engine="agent",
+                scheduler="two-block",
+                scheduler_options={"intra": "wide"},
+            )
+
+    def test_trial_cache_key_is_canonical_across_option_types(self):
+        # Regression: a string "0.95" and the float 0.95 (or the int 1 the
+        # CLI parses vs a library caller's 1.0) must name the same trial —
+        # otherwise a resumed sweep re-executes every cached trial.
+        from repro.harness.parallel import build_finite_state_trials
+
+        def key(value):
+            (spec,) = build_finite_state_trials(
+                [64],
+                1,
+                protocol="epidemic",
+                engine="agent",
+                scheduler="two-block",
+                scheduler_options={"intra": value},
+            )
+            return spec.cache_key()
+
+        assert key("0.95") == key(0.95)
+        assert key(1) == key(1.0)
+        assert key(0.95) != key(0.9)

@@ -703,3 +703,118 @@ class TestCacheKeyBackwardCompatibility:
             json.dumps(legacy_payload, sort_keys=True).encode("utf-8")
         ).hexdigest()
         assert spec.cache_key() == legacy_key
+
+
+class TestCRNCacheKeys:
+    """Key sensitivity of the ``kind="crn"`` spec fields (the CRN travels in
+    the spec precisely so that a cached trial is never replayed for a
+    modified network — in particular a different rate constant)."""
+
+    @staticmethod
+    def _leader_spec(rate=1.0, mode="uniform", engine="count", **overrides):
+        from repro.crn import CRN
+        from repro.crn.library import single_leader_predicate
+        from repro.harness.parallel import KIND_CRN
+
+        options = dict(
+            kind=KIND_CRN,
+            population_size=60,
+            size_index=0,
+            run_index=0,
+            base_seed=7,
+            engine=engine,
+            max_parallel_time=500.0,
+            crn=CRN.from_spec(
+                [f"L + L -> L + F @ {rate}"], name="leader", fractions={"L": 1.0}
+            ),
+            crn_mode=mode,
+            predicate=single_leader_predicate,
+        )
+        options.update(overrides)
+        return TrialSpec(**options)
+
+    def test_key_is_stable_across_identical_specs(self):
+        assert self._leader_spec().cache_key() == self._leader_spec().cache_key()
+
+    def test_rate_constant_changes_the_key(self):
+        assert (
+            self._leader_spec(rate=1.0).cache_key()
+            != self._leader_spec(rate=2.0).cache_key()
+        )
+
+    def test_lowering_mode_changes_the_key(self):
+        assert (
+            self._leader_spec(mode="uniform").cache_key()
+            != self._leader_spec(mode="thinned").cache_key()
+        )
+
+    def test_initial_condition_changes_the_key(self):
+        from repro.crn import CRN
+
+        seeded = CRN.from_spec(
+            ["L + L -> L + F @ 1.0"],
+            name="leader",
+            seeds={"F": 1},
+            fractions={"L": 1.0},
+        )
+        assert (
+            self._leader_spec().cache_key()
+            != self._leader_spec(crn=seeded).cache_key()
+        )
+
+    def test_network_structure_changes_the_key(self):
+        from repro.crn import CRN
+
+        reversed_products = CRN.from_spec(
+            ["L + L -> F + L @ 1.0"], name="leader", fractions={"L": 1.0}
+        )
+        assert (
+            self._leader_spec().cache_key()
+            != self._leader_spec(crn=reversed_products).cache_key()
+        )
+
+    def test_cached_crn_trial_not_served_for_different_rate(self, tmp_path):
+        """End to end through the ResultCache: a cached slow-network trial
+        must be re-executed, not replayed, when the rate constant changes."""
+        from repro.harness.parallel import build_crn_trials
+        from repro.crn import CRN
+        from repro.crn.library import single_leader_predicate
+
+        def trials(rate):
+            crn = CRN.from_spec(
+                [f"L + L -> L + F @ {rate}"], name="leader", fractions={"L": 1.0}
+            )
+            return build_crn_trials(
+                [60],
+                2,
+                crn,
+                engine="count",
+                predicate=single_leader_predicate,
+                max_chemical_time=500.0,
+            )
+
+        cache = ResultCache(tmp_path, name="crn-rates")
+        first = run_trials(trials(1.0), cache=cache)
+        assert (first.executed, first.from_cache) == (2, 0)
+        replay = run_trials(trials(1.0), cache=cache)
+        assert (replay.executed, replay.from_cache) == (0, 2)
+        changed = run_trials(trials(2.0), cache=cache)
+        assert (changed.executed, changed.from_cache) == (2, 0)
+        # The single duel reaction normalises to per-interaction probability
+        # 1 under either rate constant, so the parallel-time trajectory is
+        # seed-identical — but the rate scale doubles, so chemical time
+        # halves.  A replayed stale record would report the old value.
+        for slow, fast in zip(replay.records, changed.records):
+            assert fast.extra["chemical_time"] == pytest.approx(
+                slow.extra["chemical_time"] / 2.0
+            )
+
+    def test_crn_records_round_trip_through_the_cache_file(self, tmp_path):
+        cache = ResultCache(tmp_path, name="crn-roundtrip")
+        spec = self._leader_spec()
+        record = run_trial(spec)
+        cache.put(spec.cache_key(), record)
+        reloaded = ResultCache(tmp_path, name="crn-roundtrip")
+        cached = reloaded.get(spec.cache_key())
+        assert records_equal(cached, record)
+        assert cached.extra["counts"] == {"F": 59, "L": 1}

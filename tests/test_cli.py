@@ -30,6 +30,8 @@ class TestParser:
             "bounds",
             "simulate",
             "sweep",
+            "engines",
+            "protocols",
         ):
             args = parser.parse_args([command] if command != "bounds" else ["bounds"])
             assert args.command == command
@@ -482,3 +484,243 @@ class TestSchedulerCli:
         )
         assert code == 2
         assert "outside the protocol's state set" in capsys.readouterr().err
+
+
+class TestProtocolsCommand:
+    def test_lists_all_three_registries(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "finite-state" in output
+        assert "figure2" in output and "vector" in output
+        assert "approximate-majority" in output and "crn" in output
+        assert "agent,count,batched,vector" in output
+
+
+class TestSchedulerOptionValidation:
+    def test_uncoercible_option_value_exits_cleanly(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "100",
+                "--engine",
+                "agent",
+                "--scheduler",
+                "weighted",
+                "--scheduler-opt",
+                "lazy_rate=abc",
+            ]
+        )
+        assert code == 2
+        error = capsys.readouterr().err
+        assert "lazy_rate" in error and "float" in error
+
+    def test_unknown_option_key_exits_cleanly(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "100",
+                "--engine",
+                "agent",
+                "--scheduler",
+                "weighted",
+                "--scheduler-opt",
+                "bogus=1",
+            ]
+        )
+        assert code == 2
+        assert "does not accept option 'bogus'" in capsys.readouterr().err
+
+
+class TestCRNCommands:
+    def test_crn_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crn"])
+
+    def test_info_lists_the_library(self, capsys):
+        assert main(["crn", "info"]) == 0
+        output = capsys.readouterr().out
+        assert "approximate-majority" in output
+        assert "sir" in output
+
+    def test_info_shows_one_network(self, capsys):
+        assert main(["crn", "info", "--crn", "sir"]) == 0
+        output = capsys.readouterr().out
+        assert "S + I -> I + I @ 2" in output
+        assert "rate_scale" in output
+        assert "thinned activity rates" in output
+
+    def test_info_adhoc_network(self, capsys):
+        code = main(
+            ["crn", "info", "--reaction", "A + B -> B + B @ 0.5", "--init", "A:1,B:1"]
+        )
+        assert code == 0
+        assert "A + B -> B + B @ 0.5" in capsys.readouterr().out
+
+    def test_info_rejects_mixing_registry_and_adhoc(self, capsys):
+        code = main(
+            ["crn", "info", "--crn", "sir", "--reaction", "A + B -> B + B"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["agent", "count", "batched", "vector"])
+    def test_simulate_workload_on_every_engine(self, capsys, engine):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--crn",
+                "epidemic",
+                "--n",
+                "200",
+                "--engine",
+                engine,
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "converged       : True" in output
+        assert "count[I]        : 200" in output
+
+    def test_simulate_thinned_mode(self, capsys):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--crn",
+                "leader",
+                "--n",
+                "200",
+                "--engine",
+                "count",
+                "--mode",
+                "thinned",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mode            : thinned" in output
+        assert "count[L]        : 1" in output
+
+    def test_simulate_thinned_rejects_agent_engine(self, capsys):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--crn",
+                "leader",
+                "--engine",
+                "agent",
+                "--mode",
+                "thinned",
+            ]
+        )
+        assert code == 2
+        assert "thinned" in capsys.readouterr().err
+
+    def test_simulate_adhoc_runs_fixed_chemical_duration(self, capsys):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--reaction",
+                "L + L -> L + F",
+                "--init",
+                "L:1",
+                "--n",
+                "300",
+                "--chem-time",
+                "2000",
+                "--engine",
+                "count",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "count[L]        : 1" in output
+        assert "count[F]        : 299" in output
+        # No predicate was evaluated, so no convergence claim is reported.
+        assert "converged" not in output
+
+    def test_simulate_adhoc_thinned_rejected(self, capsys):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--reaction",
+                "L + L -> L + F",
+                "--init",
+                "L:1",
+                "--chem-time",
+                "5",
+                "--engine",
+                "count",
+                "--mode",
+                "thinned",
+            ]
+        )
+        assert code == 2
+        assert "chemical time" in capsys.readouterr().err
+
+    def test_simulate_adhoc_needs_chem_time(self, capsys):
+        code = main(
+            ["crn", "simulate", "--reaction", "L + L -> L + F", "--init", "L:1"]
+        )
+        assert code == 2
+        assert "--chem-time" in capsys.readouterr().err
+
+    def test_simulate_malformed_reaction_exits_cleanly(self, capsys):
+        code = main(
+            ["crn", "simulate", "--reaction", "L + L => L + F", "--init", "L:1"]
+        )
+        assert code == 2
+        assert "malformed" in capsys.readouterr().err.lower()
+
+    def test_sweep_with_cache_and_resume(self, capsys, tmp_path):
+        argv = [
+            "crn",
+            "sweep",
+            "--crn",
+            "epidemic",
+            "--sizes",
+            "100,200",
+            "--runs",
+            "2",
+            "--engine",
+            "count",
+            "--cache-dir",
+            str(tmp_path),
+            "--resume",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "4 executed, 0 from cache" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 4 from cache" in second
+
+    def test_sweep_thinned_rejects_vector_engine(self, capsys):
+        code = main(
+            [
+                "crn",
+                "sweep",
+                "--crn",
+                "leader",
+                "--engine",
+                "vector",
+                "--mode",
+                "thinned",
+                "--sizes",
+                "100",
+            ]
+        )
+        assert code == 2
+        assert "thinned" in capsys.readouterr().err
