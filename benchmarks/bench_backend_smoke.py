@@ -1,0 +1,155 @@
+"""T-BACKEND-SMOKE — fast regression gate for the array-backend seam.
+
+A tiny-``n`` throughput check designed to run on every CI push (seconds, not
+minutes): it times the batched epidemic on the numpy reference backend and on
+every *available* JIT backend, then fails if any available backend falls more
+than 30% below the throughput the seam guarantees for it:
+
+* every JIT backend must stay at or above ``(1 - 0.3) x`` the numpy
+  reference — a JIT backend slower than interpreted numpy means its kernels
+  silently stopped being used (a broken compile cache, an accidental
+  fallback) or regressed outright;
+* the numpy backend itself must stay at or above ``(1 - 0.3) x`` a recorded
+  per-interaction floor, scaled by a calibration loop so the gate tracks
+  machine speed instead of hard-coding wall-clock numbers.
+
+Also a script::
+
+    PYTHONPATH=src python benchmarks/bench_backend_smoke.py
+
+which prints the same measurements and exits non-zero on a gate failure —
+this is what the CI optional-deps job runs.  ``REPRO_SMOKE_N`` /
+``REPRO_SMOKE_INTERACTIONS`` scale the workload.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+import numpy as np
+
+from repro.backend import backend_availability
+from repro.engine.selection import build_engine
+from repro.protocols.epidemic import EpidemicProtocol
+
+SMOKE_N = int(os.environ.get("REPRO_SMOKE_N", "50000"))
+SMOKE_INTERACTIONS = int(os.environ.get("REPRO_SMOKE_INTERACTIONS", "2000000"))
+#: Maximum tolerated throughput shortfall before the gate fails.
+REGRESSION_TOLERANCE = 0.30
+#: numpy-backend floor as a fraction of the calibration rate (see
+#: ``_calibration_rate``).  The optimized reference kernel measures at
+#: ~0.027x calibration at the default smoke scale; 0.008 leaves >3x slack
+#: for runner noise while still catching an order-of-magnitude regression.
+NUMPY_FLOOR_PER_CALIBRATION = 0.008
+
+
+def _calibration_rate() -> float:
+    """Machine-speed proxy: elementwise-multiply throughput (ops/second).
+
+    Scaling the numpy floor by this keeps the gate meaningful across CI
+    runners of very different speeds without hard-coding seconds.
+    """
+    block = np.random.default_rng(0).random(1_000_000)
+    started = time.perf_counter()
+    for _ in range(20):
+        block = block * 1.0000001
+    elapsed = time.perf_counter() - started
+    return 20 * block.size / max(elapsed, 1e-9)
+
+
+def measure_backend(backend: str, seed: int = 1) -> dict:
+    """Throughput of the batched epidemic on one backend at smoke scale."""
+    simulator = build_engine(
+        "batched", EpidemicProtocol(), SMOKE_N, seed=seed, backend=backend
+    )
+    # Warm up outside the timed region: JIT compilation (numba) and the
+    # cffi module load (native) happen on the first batch.
+    simulator.run_interactions(10_000)
+    started = time.perf_counter()
+    simulator.run_interactions(SMOKE_INTERACTIONS)
+    elapsed = time.perf_counter() - started
+    return {
+        "backend": backend,
+        "population_size": SMOKE_N,
+        "interactions": SMOKE_INTERACTIONS,
+        "seconds": elapsed,
+        "interactions_per_second": SMOKE_INTERACTIONS / max(elapsed, 1e-9),
+    }
+
+
+def run_smoke() -> tuple[list[dict], list[str]]:
+    """Measure every available backend; return (records, gate failures)."""
+    failures: list[str] = []
+    available = [
+        name for name, reason in backend_availability().items() if reason is None
+    ]
+    records = [measure_backend(name) for name in available]
+    by_name = {record["backend"]: record for record in records}
+
+    numpy_rate = by_name["numpy"]["interactions_per_second"]
+    floor = NUMPY_FLOOR_PER_CALIBRATION * _calibration_rate() * (
+        1.0 - REGRESSION_TOLERANCE
+    )
+    # The calibration proxy is itself noisy; the floor sits far below any
+    # healthy numpy-backend rate, so tripping it means a real regression
+    # (e.g. the hoisted pair-weight rebuild got un-hoisted).
+    if numpy_rate < floor:
+        failures.append(
+            f"numpy backend throughput {numpy_rate:,.0f}/s fell below the "
+            f"machine-scaled floor {floor:,.0f}/s (>30% regression)"
+        )
+    for record in records:
+        if record["backend"] == "numpy":
+            continue
+        ratio = record["interactions_per_second"] / numpy_rate
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            failures.append(
+                f"{record['backend']} backend runs at {ratio:.2f}x the numpy "
+                f"reference (allowed: >= {1.0 - REGRESSION_TOLERANCE:.2f}x); "
+                f"its kernels regressed or silently stopped being used"
+            )
+    return records, failures
+
+
+# -- pytest entries (collected by the benchmark job's bench_* matcher) ----------
+
+
+def bench_backend_smoke_gate():
+    """The CI gate as a test: fail on any >30% backend throughput regression."""
+    records, failures = run_smoke()
+    assert records, "no backend measured"
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    print(
+        f"backend smoke: batched epidemic, n={SMOKE_N:,}, "
+        f"{SMOKE_INTERACTIONS:,} interactions per backend"
+    )
+    records, failures = run_smoke()
+    for record in records:
+        print(
+            f"  {record['backend']:>7}: {record['seconds']:7.3f}s "
+            f"({record['interactions_per_second']:,.0f} interactions/s)"
+        )
+    for name, reason in backend_availability().items():
+        if reason is not None:
+            print(f"  {name:>7}: unavailable ({reason})")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("gate: ok (no backend regressed by more than 30%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

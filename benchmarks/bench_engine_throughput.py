@@ -7,9 +7,12 @@ be pushed: interactions per second of
 (b) the count-based engine on a two-state epidemic,
 (c) the batched count engine on the same epidemic,
 (d) the vector engine on the same epidemic (generic finite-state kernel over
-    matching rounds), and
+    matching rounds),
 (e) the vector engine running the main protocol's bespoke kernel
-    (``ArrayLogSizeSimulator``).
+    (``ArrayLogSizeSimulator``), and
+(f) the batched engine through every *available* JIT array backend (numba,
+    native) — the array-backend seam of ``repro.backend`` — recorded as a
+    separate dimension of the artifact.
 
 Besides the pytest-benchmark entries, this module doubles as a script::
 
@@ -20,8 +23,11 @@ which sweeps the four finite-state engines over ``n = 10^3 .. 10^6``
 ``REPRO_ENGINE_BENCH_TIME`` (default 20) units of parallel time each, and
 writes a ``BENCH_engines.json`` trajectory artifact so future changes can be
 checked for throughput regressions.  The artifact records the
-batched-vs-count speedup at the largest size (the tentpole target is >= 20x
-at ``n = 10^6``).
+batched-vs-count speedup at the largest size (the PR-2 tentpole target is
+>= 20x at ``n = 10^6``) and, per JIT backend, the batched throughput and its
+ratio to the numpy reference backend (the array-backend tentpole target is
+>= 10^8 interactions/s and >= 10x the pre-seam batched rate at
+``n = 10^6``).
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
 
 from benchmarks.conftest import PAPER_PARAMS
 from repro._version import __version__
+from repro.backend import backend_availability
 from repro.core.array_simulator import ArrayLogSizeSimulator
 from repro.core.log_size_estimation import LogSizeEstimationProtocol
 from repro.core.parameters import ProtocolParameters
@@ -61,14 +68,37 @@ AGENT_ENGINE_SIZE_CAP = 10_000
 PARALLEL_TIME_UNITS = float(os.environ.get("REPRO_ENGINE_BENCH_TIME", "20"))
 ARTIFACT_NAME = "BENCH_engines.json"
 
+#: The batched rate this artifact recorded at ``n = 10^6`` immediately before
+#: the array-backend seam landed (inline hot loops, v1.0.0) — the fixed
+#: reference point of the ">= 10x with a JIT backend" target.
+PRE_SEAM_BATCHED_RATE = 12_241_902.0
 
-def time_epidemic_run(engine: str, population_size: int, parallel_time: float, seed: int = 1) -> dict:
+
+def jit_backend_names() -> list[str]:
+    """The non-numpy array backends available in this environment."""
+    return [
+        name
+        for name, reason in backend_availability().items()
+        if name != "numpy" and reason is None
+    ]
+
+
+def time_epidemic_run(
+    engine: str,
+    population_size: int,
+    parallel_time: float,
+    seed: int = 1,
+    backend: str | None = None,
+) -> dict:
     """Run the epidemic for ``parallel_time`` units on ``engine``; time it.
 
     Returns a JSON-friendly record with the wall-clock seconds, the executed
-    interaction count and the implied throughput.
+    interaction count and the implied throughput.  ``backend`` selects an
+    array backend on the engines that have a backend seam (batched, vector).
     """
-    simulator = build_engine(engine, EpidemicProtocol(), population_size, seed=seed)
+    simulator = build_engine(
+        engine, EpidemicProtocol(), population_size, seed=seed, backend=backend
+    )
     started = time.perf_counter()
     simulator.run_parallel_time(parallel_time)
     elapsed = time.perf_counter() - started
@@ -81,6 +111,8 @@ def time_epidemic_run(engine: str, population_size: int, parallel_time: float, s
         "interactions": interactions,
         "interactions_per_second": interactions / elapsed if elapsed > 0 else None,
     }
+    if engine in ("batched", "vector"):
+        record["backend"] = simulator.backend.name
     if engine == "batched":
         record["batched_batches"] = simulator.batched_batches
         record["fallback_batches"] = simulator.fallback_batches
@@ -92,6 +124,7 @@ def run_engine_sweep(
 ) -> dict:
     """Time all four finite-state engines across ``sizes``; build the artifact."""
     results = []
+    jit_backends = jit_backend_names()
     for population_size in sizes:
         for engine in ENGINE_NAMES:
             if engine == "agent" and population_size > AGENT_ENGINE_SIZE_CAP:
@@ -104,25 +137,82 @@ def run_engine_sweep(
                 f"  {engine:>7} n={population_size:>9,} : {record['seconds']:8.3f}s "
                 f"({rate_text})"
             )
-    by_key = {(r["engine"], r["population_size"]): r for r in results}
+        # The backend dimension: the batched engine through each JIT backend.
+        for backend in jit_backends:
+            record = time_epidemic_run(
+                "batched", population_size, parallel_time, backend=backend
+            )
+            results.append(record)
+            rate = record["interactions_per_second"]
+            rate_text = f"{rate:,.0f} interactions/s" if rate is not None else "n/a"
+            label = f"batched[{backend}]"
+            print(
+                f"  {label:>15} n={population_size:>9,} : "
+                f"{record['seconds']:8.3f}s ({rate_text})"
+            )
+    by_key = {
+        (r["engine"], r["population_size"], r.get("backend", "numpy")): r
+        for r in results
+    }
 
-    def _speedups(engine: str) -> dict:
+    def _speedups(engine: str, backend: str = "numpy", versus=("count", "numpy")) -> dict:
         ratios = {}
         for population_size in sizes:
-            count = by_key.get(("count", population_size))
-            other = by_key.get((engine, population_size))
-            if count and other and other["seconds"] > 0:
-                ratios[str(population_size)] = count["seconds"] / other["seconds"]
+            reference = by_key.get((versus[0], population_size, versus[1]))
+            other = by_key.get((engine, population_size, backend))
+            if reference and other and other["seconds"] > 0:
+                ratios[str(population_size)] = (
+                    reference["seconds"] / other["seconds"]
+                )
         return ratios
+
+    largest = max(sizes)
+    jit_target: dict = {
+        "population_size": largest,
+        "pre_seam_batched_interactions_per_second": PRE_SEAM_BATCHED_RATE,
+    }
+    numpy_record = by_key.get(("batched", largest, "numpy"))
+    if numpy_record:
+        jit_target["numpy_interactions_per_second"] = numpy_record[
+            "interactions_per_second"
+        ]
+    best_backend, best_rate = None, 0.0
+    for backend in jit_backends:
+        record = by_key.get(("batched", largest, backend))
+        if record and (record["interactions_per_second"] or 0.0) > best_rate:
+            best_backend = backend
+            best_rate = record["interactions_per_second"]
+    if best_backend is not None:
+        jit_target.update(
+            {
+                "best_backend": best_backend,
+                "interactions_per_second": best_rate,
+                "speedup_vs_numpy_backend": (
+                    best_rate / numpy_record["interactions_per_second"]
+                    if numpy_record
+                    else None
+                ),
+                "speedup_vs_pre_seam": best_rate / PRE_SEAM_BATCHED_RATE,
+                "meets_1e8_per_second": best_rate >= 1e8,
+                "meets_10x_pre_seam": best_rate
+                >= 10.0 * PRE_SEAM_BATCHED_RATE,
+            }
+        )
 
     return {
         "benchmark": "T-ENGINE epidemic engine sweep",
         "version": __version__,
         "protocol": EpidemicProtocol().describe(),
         "parallel_time_units": parallel_time,
+        "backend_availability": backend_availability(),
         "results": results,
         "batched_vs_count_speedup": _speedups("batched"),
         "vector_vs_count_speedup": _speedups("vector"),
+        "batched_backend_speedup_vs_numpy": {
+            backend: _speedups("batched", backend, versus=("batched", "numpy"))
+            for backend in jit_backends
+        },
+        "jit_backend_target": jit_target,
     }
 
 
@@ -209,6 +299,60 @@ def bench_batched_vs_count_speedup(benchmark):
         )
 
 
+def bench_batched_jit_backend_speedup(benchmark):
+    """The array-backend tentpole: batched + best JIT backend vs numpy.
+
+    At ``n = 10^6`` the fastest available JIT backend must sustain at least
+    ``10^8`` interactions/s — >= 10x the batched rate recorded before the
+    seam existed.  On numpy-only environments (no numba, no C toolchain)
+    there is nothing to measure and the benchmark skips.
+    """
+    backends = jit_backend_names()
+    if not backends:
+        pytest.skip("no JIT array backend available (numpy-only environment)")
+    population_size = max(ENGINE_SWEEP_SIZES)
+    holder = {}
+
+    def run_pair():
+        numpy_record = time_epidemic_run(
+            "batched", population_size, PARALLEL_TIME_UNITS, backend="numpy"
+        )
+        best = None
+        for backend in backends:
+            record = time_epidemic_run(
+                "batched", population_size, PARALLEL_TIME_UNITS, backend=backend
+            )
+            if best is None or (
+                record["interactions_per_second"]
+                > best["interactions_per_second"]
+            ):
+                best = record
+        holder["numpy"] = numpy_record
+        holder["jit"] = best
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    jit_rate = holder["jit"]["interactions_per_second"]
+    benchmark.extra_info["population_size"] = population_size
+    benchmark.extra_info["jit_backend"] = holder["jit"]["backend"]
+    benchmark.extra_info["jit_interactions_per_second"] = jit_rate
+    benchmark.extra_info["numpy_interactions_per_second"] = holder["numpy"][
+        "interactions_per_second"
+    ]
+    benchmark.extra_info["speedup_vs_pre_seam"] = jit_rate / PRE_SEAM_BATCHED_RATE
+    # The 10^8/s and 10x-pre-seam bars are stated at n = 10^6; scaled-down
+    # grids via REPRO_ENGINE_BENCH_SIZES only record the numbers.
+    if population_size >= 1_000_000:
+        assert jit_rate >= 1e8, (
+            f"{holder['jit']['backend']} backend sustains only {jit_rate:,.0f} "
+            f"interactions/s at n={population_size}; the target is 10^8"
+        )
+        assert jit_rate >= 10.0 * PRE_SEAM_BATCHED_RATE, (
+            f"{holder['jit']['backend']} backend is only "
+            f"{jit_rate / PRE_SEAM_BATCHED_RATE:.1f}x the pre-seam batched "
+            f"rate; the target is 10x"
+        )
+
+
 @pytest.mark.parametrize("population_size", [1_024, 8_192])
 def bench_array_engine_throughput(benchmark, population_size):
     """Vectorised engine: matching rounds per second at two population sizes."""
@@ -238,6 +382,17 @@ def main() -> int:
     speedup = payload["batched_vs_count_speedup"].get(largest)
     if speedup is not None:
         print(f"batched vs count speedup at n={largest}: {speedup:.1f}x")
+    target = payload["jit_backend_target"]
+    if "best_backend" in target:
+        print(
+            f"best JIT backend at n={largest}: {target['best_backend']} at "
+            f"{target['interactions_per_second']:,.0f} interactions/s "
+            f"({target['speedup_vs_numpy_backend']:.1f}x the numpy backend, "
+            f"{target['speedup_vs_pre_seam']:.1f}x the pre-seam rate; "
+            f">=10^8/s: {target['meets_1e8_per_second']})"
+        )
+    else:
+        print("no JIT array backend available; backend dimension not recorded")
     return 0
 
 

@@ -1,0 +1,543 @@
+"""Numba JIT backend: the hot loops compiled to native code (optional dep).
+
+The kernels here are plain nopython-compatible functions decorated with
+:func:`_maybe_jit`.  With `numba <https://numba.pydata.org>`_ installed
+(``pip install -e .[jit]``) they compile to fused native loops — one call
+executes an entire ``run_interactions`` worth of batches with zero per-batch
+Python dispatch.  Without numba the same functions run interpreted: slow,
+but byte-for-byte the same logic, which is how the test suite exercises this
+backend's correctness on numpy-only installs.
+
+RNG-stream contract
+-------------------
+The kernels draw from numba's internal per-thread PRNG via the
+``np.random.*`` module functions (the only RNG reachable from nopython
+code; interpreted runs hit numpy's legacy global ``RandomState``).  Each
+kernel seeds that stream once at construction from the *engine's* generator,
+so seeded runs remain reproducible per seed — but the draws are **not** the
+engine generator's, so trajectories match the numpy backend in distribution,
+not bitwise.  Two kernels constructed in one process share the underlying
+global stream; per-seed reproducibility holds for one engine driven at a
+time (the sweep harness runs one engine per process/task).
+
+The batched kernel replaces the reference backend's vectorised
+draw-tally-apply with a single loop: frozen cumulative pair weights, one
+inverse-CDF binary search per interaction, the consumption guard over the
+tally, per-pair outcome draws, and the exact sequential fallback — all
+inside one njit function.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backend import ArrayBackend, register_backend
+from repro.backend.numpy_backend import NumpyFiniteRoundKernel
+from repro.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.compiled import CompiledTransitionTable
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaBackend", "NumbaBatchedKernel"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    _numba = None
+    NUMBA_AVAILABLE = False
+
+
+def _maybe_jit(function):
+    """``numba.njit`` when numba is importable, the bare function otherwise.
+
+    Keeping the fallback an identity decorator means the kernels below are
+    always importable and runnable — interpreted execution is the numba-less
+    test path, compilation is the production path.
+    """
+    if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+        return _numba.njit(cache=True)(function)
+    return function
+
+
+@_maybe_jit
+def _seed_stream(seed: int) -> None:
+    np.random.seed(seed)
+
+
+@_maybe_jit
+def _counts_small(counts, outcome_count, small_threshold):
+    """Small-count fallback test: some reactive pair exists among present
+    states, and no state touching one has count >= the threshold."""
+    size = counts.shape[0]
+    any_reactive = False
+    for i in range(size):
+        if counts[i] <= 0:
+            continue
+        for j in range(size):
+            if counts[j] <= 0 or outcome_count[i, j] == 0:
+                continue
+            any_reactive = True
+            if counts[i] >= small_threshold or counts[j] >= small_threshold:
+                return False
+    return any_reactive
+
+
+@_maybe_jit
+def _draw_rate_weighted(counts, rates, total):
+    """One rate-weighted state draw by linear inverse CDF."""
+    u = np.random.random() * total
+    size = counts.shape[0]
+    mass = 0.0
+    for i in range(size):
+        mass += rates[i] * counts[i]
+        if u < mass:
+            return i
+    return size - 1
+
+
+@_maybe_jit
+def _exact_interactions(
+    counts,
+    receiver_out,
+    sender_out,
+    probability,
+    outcome_count,
+    null_probability,
+    rates,
+    uniform,
+    population,
+    batch,
+    seen,
+):
+    """Exact per-interaction stepping: the fallback path, in kernel space.
+
+    Distribution-identical to the reference backend's exact fallback:
+    uniform ordered pairs via receiver threshold + shifted co-threshold, or
+    two rate-weighted draws with same-agent rejection under a state-weighted
+    policy.  Returns 0, or 2 for the degenerate weighted configuration.
+    """
+    size = counts.shape[0]
+    for _ in range(batch):
+        if uniform:
+            threshold = int(np.random.random() * population)
+            if threshold >= population:
+                threshold = population - 1
+            co_threshold = int(np.random.random() * (population - 1))
+            if co_threshold >= population - 1:
+                co_threshold = population - 2
+            receiver = size - 1
+            receiver_cum = population
+            cum = 0
+            for i in range(size):
+                cum += counts[i]
+                if threshold < cum:
+                    receiver = i
+                    receiver_cum = cum
+                    break
+            if co_threshold >= receiver_cum - 1:
+                co_threshold += 1
+            sender = size - 1
+            cum = 0
+            for j in range(size):
+                cum += counts[j]
+                if co_threshold < cum:
+                    sender = j
+                    break
+        else:
+            total = 0.0
+            positive_agents = 0
+            for i in range(size):
+                total += rates[i] * counts[i]
+                if rates[i] > 0.0:
+                    positive_agents += counts[i]
+            if total <= 0.0 or positive_agents < 2:
+                return 2
+            receiver = 0
+            sender = 0
+            while True:
+                receiver = _draw_rate_weighted(counts, rates, total)
+                sender = _draw_rate_weighted(counts, rates, total)
+                if receiver != sender:
+                    break
+                if counts[receiver] >= 2 and (
+                    np.random.random() * counts[receiver] >= 1.0
+                ):
+                    break
+        pair_outcomes = outcome_count[receiver, sender]
+        if pair_outcomes == 0:
+            continue
+        randomized = pair_outcomes > 1 or null_probability[receiver, sender] > 0.0
+        chosen = 0
+        fired = True
+        if randomized:
+            u = np.random.random()
+            mass = 0.0
+            fired = False
+            for k in range(pair_outcomes):
+                mass += probability[receiver, sender, k]
+                if u < mass:
+                    chosen = k
+                    fired = True
+                    break
+        if not fired:
+            continue  # residual mass = null transition
+        r_out = receiver_out[receiver, sender, chosen]
+        s_out = sender_out[receiver, sender, chosen]
+        counts[receiver] -= 1
+        counts[sender] -= 1
+        counts[r_out] += 1
+        counts[s_out] += 1
+        seen[r_out] = True
+        seen[s_out] = True
+    return 0
+
+
+@_maybe_jit
+def _batched_advance(
+    counts,
+    receiver_out,
+    sender_out,
+    probability,
+    outcome_count,
+    null_probability,
+    rates,
+    uniform,
+    population,
+    total_interactions,
+    batch_size,
+    small_threshold,
+    seen,
+    stats,
+):
+    """Run ``total_interactions`` interactions of the batched process.
+
+    The whole engine loop is fused: per batch, frozen cumulative pair
+    weights over the S^2 ordered pairs, one inverse-CDF binary search per
+    interaction tallied into pair counts, the consumption guard, per-pair
+    outcome splitting, and the delta application — with the exact
+    sequential fallback for small-count or guard-tripped batches.  Returns
+    0 on success, 1 for a zero-total-weight configuration, 2 for the
+    degenerate weighted-exact configuration; ``stats`` accumulates
+    ``[batched_batches, fallback_batches]``.
+    """
+    size = counts.shape[0]
+    pairs = size * size
+    cumulative = np.zeros(pairs, dtype=np.float64)
+    pair_counts = np.zeros(pairs, dtype=np.int64)
+    consumed = np.zeros(size, dtype=np.int64)
+    delta = np.zeros(size, dtype=np.int64)
+    done = 0
+    while done < total_interactions:
+        batch = total_interactions - done
+        if batch > batch_size:
+            batch = batch_size
+        if small_threshold > 0 and _counts_small(
+            counts, outcome_count, small_threshold
+        ):
+            code = _exact_interactions(
+                counts, receiver_out, sender_out, probability, outcome_count,
+                null_probability, rates, uniform, population, batch, seen,
+            )
+            if code != 0:
+                return code
+            stats[1] += 1
+            done += batch
+            continue
+        # Frozen pair weights at the batch's starting counts, cumulated for
+        # inverse-CDF sampling.
+        mass = 0.0
+        for i in range(size):
+            scaled_i = counts[i] if uniform else rates[i] * counts[i]
+            for j in range(size):
+                if i == j:
+                    if uniform:
+                        weight = counts[i] * (counts[i] - 1.0)
+                    else:
+                        weight = scaled_i * rates[i] * (counts[i] - 1.0)
+                else:
+                    scaled_j = counts[j] if uniform else rates[j] * counts[j]
+                    weight = scaled_i * scaled_j
+                mass += weight
+                cumulative[i * size + j] = mass
+        if mass <= 0.0:
+            return 1
+        # Tally the batch: iid categorical pair draws by binary search.
+        for p in range(pairs):
+            pair_counts[p] = 0
+        for _ in range(batch):
+            u = np.random.random() * mass
+            lo = 0
+            hi = pairs - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if u < cumulative[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            pair_counts[lo] += 1
+        # Consumption guard over reactive pairs only.
+        for i in range(size):
+            consumed[i] = 0
+        for i in range(size):
+            for j in range(size):
+                if outcome_count[i, j] == 0:
+                    continue
+                occurrences = pair_counts[i * size + j]
+                consumed[i] += occurrences
+                consumed[j] += occurrences
+        guard_tripped = False
+        for i in range(size):
+            if consumed[i] > counts[i]:
+                guard_tripped = True
+                break
+        if guard_tripped:
+            code = _exact_interactions(
+                counts, receiver_out, sender_out, probability, outcome_count,
+                null_probability, rates, uniform, population, batch, seen,
+            )
+            if code != 0:
+                return code
+            stats[1] += 1
+            done += batch
+            continue
+        # Split each reactive pair's occurrences among its outcomes and
+        # apply all deltas at once.
+        for i in range(size):
+            delta[i] = 0
+        for i in range(size):
+            for j in range(size):
+                pair_outcomes = outcome_count[i, j]
+                if pair_outcomes == 0:
+                    continue
+                occurrences = pair_counts[i * size + j]
+                if occurrences == 0:
+                    continue
+                if pair_outcomes == 1 and null_probability[i, j] <= 0.0:
+                    # Certain single outcome: no draws, apply in bulk.
+                    r_out = receiver_out[i, j, 0]
+                    s_out = sender_out[i, j, 0]
+                    delta[i] -= occurrences
+                    delta[j] -= occurrences
+                    delta[r_out] += occurrences
+                    delta[s_out] += occurrences
+                    seen[r_out] = True
+                    seen[s_out] = True
+                    continue
+                for _ in range(occurrences):
+                    chosen = 0
+                    fired = False
+                    u = np.random.random()
+                    outcome_mass = 0.0
+                    for k in range(pair_outcomes):
+                        outcome_mass += probability[i, j, k]
+                        if u < outcome_mass:
+                            chosen = k
+                            fired = True
+                            break
+                    if not fired:
+                        continue
+                    r_out = receiver_out[i, j, chosen]
+                    s_out = sender_out[i, j, chosen]
+                    delta[i] -= 1
+                    delta[j] -= 1
+                    delta[r_out] += 1
+                    delta[s_out] += 1
+                    seen[r_out] = True
+                    seen[s_out] = True
+        for i in range(size):
+            counts[i] += delta[i]
+        stats[0] += 1
+        done += batch
+    return 0
+
+
+@_maybe_jit
+def _apply_round(
+    state, rec, sen, receiver_out, sender_out, probability, outcome_count,
+    null_probability,
+):
+    """One fused matching round: per-pair gather, outcome draw, scatter."""
+    for position in range(rec.shape[0]):
+        receiver = rec[position]
+        sender = sen[position]
+        i = state[receiver]
+        j = state[sender]
+        pair_outcomes = outcome_count[i, j]
+        if pair_outcomes == 0:
+            continue
+        chosen = 0
+        fired = True
+        if pair_outcomes > 1 or null_probability[i, j] > 0.0:
+            u = np.random.random()
+            mass = 0.0
+            fired = False
+            for k in range(pair_outcomes):
+                mass += probability[i, j, k]
+                if u < mass:
+                    chosen = k
+                    fired = True
+                    break
+        if not fired:
+            continue
+        state[receiver] = receiver_out[i, j, chosen]
+        state[sender] = sender_out[i, j, chosen]
+
+
+def _fresh_seed(rng: np.random.Generator) -> int:
+    """A seed for the kernel stream drawn from the engine's generator."""
+    return int(rng.integers(0, 2**31 - 1))
+
+
+class NumbaBatchedKernel:
+    """Batched-engine kernel backed by :func:`_batched_advance`.
+
+    One :meth:`advance` call runs *all* requested interactions — the
+    per-batch loop lives inside the (compiled) kernel, which is where the
+    10x over the reference backend comes from.
+    """
+
+    def __init__(
+        self,
+        table: "CompiledTransitionTable",
+        state_rates: np.ndarray | None,
+        population_size: int,
+        small_count_threshold: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.table = table
+        self.population_size = population_size
+        self.small_count_threshold = small_count_threshold
+        self.seen = np.zeros(table.num_states, dtype=bool)
+        self._stats = np.zeros(2, dtype=np.int64)
+        self._uniform = state_rates is None
+        self._rates = (
+            np.ones(table.num_states, dtype=np.float64)
+            if state_rates is None
+            else np.ascontiguousarray(state_rates, dtype=np.float64)
+        )
+        _seed_stream(_fresh_seed(rng))
+
+    @property
+    def jit(self) -> bool:
+        return NUMBA_AVAILABLE
+
+    def advance(
+        self,
+        counts: np.ndarray,
+        max_interactions: int,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, int, int]:
+        table = self.table
+        before_batched = int(self._stats[0])
+        before_fallback = int(self._stats[1])
+        code = _batched_advance(
+            counts,
+            table.outcome_receiver,
+            table.outcome_sender,
+            table.outcome_probability,
+            table.outcome_count,
+            table.null_probability,
+            self._rates,
+            self._uniform,
+            self.population_size,
+            max_interactions,
+            batch_size,
+            self.small_count_threshold,
+            self.seen,
+            self._stats,
+        )
+        if code == 1:
+            raise SimulationError(
+                "scheduler assigns zero total weight to the current configuration"
+            )
+        if code == 2:
+            raise SimulationError(
+                "state-weighted scheduler: fewer than two agents have a "
+                "positive rate; no ordered pair can be selected"
+            )
+        return (
+            max_interactions,
+            int(self._stats[0]) - before_batched,
+            int(self._stats[1]) - before_fallback,
+        )
+
+
+class NumbaFiniteRoundKernel:
+    """Matching-round kernel backed by :func:`_apply_round`.
+
+    Seeds the kernel stream lazily from the first round's engine generator,
+    so seeded vector runs stay reproducible per seed.
+    """
+
+    def __init__(self, table: "CompiledTransitionTable") -> None:
+        self.table = table
+        self._seeded = False
+
+    @property
+    def jit(self) -> bool:
+        return NUMBA_AVAILABLE
+
+    def apply(
+        self,
+        state: np.ndarray,
+        rec: np.ndarray,
+        sen: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if not self._seeded:
+            _seed_stream(_fresh_seed(rng))
+            self._seeded = True
+        table = self.table
+        _apply_round(
+            state, rec, sen,
+            table.outcome_receiver,
+            table.outcome_sender,
+            table.outcome_probability,
+            table.outcome_count,
+            table.null_probability,
+        )
+
+
+@register_backend
+class NumbaBackend(ArrayBackend):
+    """JIT backend: available only when numba is importable."""
+
+    name = "numba"
+    jit = True
+
+    @classmethod
+    def available(cls) -> bool:
+        return NUMBA_AVAILABLE
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+            return None
+        return "numba is not installed (pip install -e .[jit])"
+
+    def batched_kernel(
+        self,
+        table: "CompiledTransitionTable",
+        state_rates: np.ndarray | None,
+        population_size: int,
+        small_count_threshold: int,
+        rng: np.random.Generator,
+    ) -> NumbaBatchedKernel:
+        return NumbaBatchedKernel(
+            table, state_rates, population_size, small_count_threshold, rng
+        )
+
+    def finite_round_kernel(
+        self, table: "CompiledTransitionTable"
+    ) -> "NumbaFiniteRoundKernel | NumpyFiniteRoundKernel":
+        return NumbaFiniteRoundKernel(table)
+
+    def describe(self) -> str:
+        if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+            return "numba JIT-fused kernels (distribution-identical to numpy)"
+        return "numba JIT-fused kernels (unavailable: numba not installed)"

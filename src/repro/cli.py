@@ -35,9 +35,17 @@ Subcommands
     Run under a non-uniform interaction scheduler (see ``repro engines`` for
     the engine × scheduler compatibility matrix and ``DESIGN.md``,
     Schedulers, for the scenario semantics).
+``repro simulate/sweep/crn ... --backend native``
+    Run the hot loops through a pluggable array backend (numpy reference,
+    numba JIT, cffi-compiled C); unavailable backends warn and fall back
+    to numpy (see ``DESIGN.md``, Array backends).
+``repro profile --protocol epidemic --engine batched --backend native --interactions 2000000``
+    cProfile one workload run on any engine × backend combination and
+    print throughput plus a per-kernel timing breakdown.
 ``repro engines``
-    Print the engine × scheduler compatibility matrix and one-line
-    descriptions of every registered scheduler.
+    Print the engine × scheduler compatibility matrix, one-line
+    descriptions of every registered scheduler, and the array-backend
+    availability report.
 ``repro protocols``
     List every registered workload — finite-state, vector and CRN — with
     its engine compatibility.
@@ -62,6 +70,12 @@ from typing import Sequence
 
 from repro._version import __version__
 from repro.analysis.error_bounds import theorem_3_1_summary
+from repro.backend import (
+    BACKEND_NAMES,
+    ENV_BACKEND,
+    backend_availability,
+    get_backend,
+)
 from repro.core.array_simulator import ArrayLogSizeSimulator, expected_convergence_time
 from repro.core.leader_terminating import LeaderTerminatingSizeEstimation
 from repro.core.parameters import ProtocolParameters
@@ -286,6 +300,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     engine_options = {}
     if args.batch_size is not None:
         engine_options["batch_size"] = args.batch_size
+    if args.backend is not None:
+        engine_options["backend"] = args.backend
     try:
         scheduler, scheduler_options = _scheduler_from_args(args)
         if scheduler is None and workload.scheduler is not None:
@@ -328,6 +344,135 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ):
         summary[f"output[{output!r}]"] = count
     print(format_key_values(summary))
+    return 0 if converged else 1
+
+
+def _profile_location(filename: str, lineno: int) -> str:
+    """Shorten a profile frame location to a repo-relative path."""
+    if filename.startswith("~") or filename.startswith("<"):
+        return "(builtin)"
+    filename = filename.replace("\\", "/")
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        filename = "repro/" + filename[index + len(marker):]
+    return f"{filename}:{lineno}"
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one workload run: cProfile totals plus a kernel breakdown."""
+    import cProfile
+    import pstats
+    import time
+
+    workload = get_workload(args.protocol)
+    protocol = workload.factory()
+    population_size = (
+        args.n if args.n is not None else workload.default_population
+    )
+    max_time = (
+        args.max_time
+        if args.max_time is not None
+        else workload.default_budget(population_size)
+    )
+    engine_options = {}
+    if args.batch_size is not None:
+        engine_options["batch_size"] = args.batch_size
+    if args.backend is not None:
+        engine_options["backend"] = args.backend
+    try:
+        scheduler, scheduler_options = _scheduler_from_args(args)
+        simulator = build_engine(
+            args.engine, protocol, population_size, seed=args.seed,
+            scheduler=scheduler, scheduler_options=scheduler_options,
+            **engine_options,
+        )
+    except SimulationError as error:
+        print(f"repro profile: error: {error}", file=sys.stderr)
+        return 2
+    backend_name = getattr(getattr(simulator, "backend", None), "name", "numpy")
+    print(
+        f"profiling {protocol.describe()} on the {args.engine} engine "
+        f"({backend_name} backend), n={population_size}"
+    )
+
+    profiler = cProfile.Profile()
+    converged = True
+    started = time.perf_counter()
+    profiler.enable()
+    try:
+        if args.interactions is not None:
+            simulator.run_interactions(args.interactions)
+        else:
+            try:
+                simulator.run_until(
+                    workload.predicate, max_parallel_time=max_time
+                )
+            except ConvergenceError:
+                converged = False
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - started
+
+    summary = {
+        "engine": args.engine,
+        "backend": backend_name,
+        "population_size": population_size,
+        "interactions": simulator.interactions,
+        "wall_seconds": round(elapsed, 4),
+        "interactions_per_second": (
+            round(simulator.interactions / elapsed) if elapsed > 0 else None
+        ),
+    }
+    for counter in ("batched_batches", "fallback_batches", "rounds"):
+        value = getattr(simulator, counter, None)
+        if value is not None:
+            summary[counter] = value
+    if args.interactions is None:
+        summary["converged"] = converged
+    print(format_key_values(summary))
+
+    stats = pstats.Stats(profiler)
+    total_self = sum(entry[2] for entry in stats.stats.values())
+
+    def _rows(entries: list, limit: int) -> list:
+        entries.sort(key=lambda item: item[1][3], reverse=True)
+        rows = []
+        for (filename, lineno, name), (_, ncalls, tt, ct, _) in entries[:limit]:
+            rows.append(
+                [
+                    name,
+                    _profile_location(filename, lineno),
+                    ncalls,
+                    round(tt, 4),
+                    round(ct, 4),
+                    f"{100.0 * tt / total_self:.1f}%" if total_self else "-",
+                ]
+            )
+        return rows
+
+    headers = ["function", "where", "calls", "tottime", "cumtime", "self%"]
+    print()
+    print(f"top {args.top} functions by cumulative time:")
+    print(format_table(headers, _rows(list(stats.stats.items()), args.top)))
+
+    kernel_entries = [
+        (func, data)
+        for func, data in stats.stats.items()
+        if "/repro/backend/" in func[0].replace("\\", "/")
+        or "/repro/engine/" in func[0].replace("\\", "/")
+    ]
+    print()
+    print("kernel breakdown (repro.backend and repro.engine frames):")
+    if kernel_entries:
+        print(format_table(headers, _rows(kernel_entries, args.top)))
+    else:
+        # A fully fused run (JIT/native backend) spends its time inside
+        # compiled code, which cProfile cannot attribute to Python frames.
+        print(
+            "  (none recorded - the run stayed inside compiled kernels; "
+            "see the builtin rows above)"
+        )
     return 0 if converged else 1
 
 
@@ -393,6 +538,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         "workload"
                     )
                 engine_options["phase_count"] = args.phase_count
+            if args.backend is not None:
+                engine_options["backend"] = args.backend
             specs = build_vector_trials(
                 population_sizes=sizes,
                 runs_per_size=args.runs,
@@ -424,6 +571,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             engine_options = {}
             if args.batch_size is not None:
                 engine_options["batch_size"] = args.batch_size
+            if args.backend is not None:
+                engine_options["backend"] = args.backend
             specs = build_finite_state_trials(
                 population_sizes=sizes,
                 runs_per_size=args.runs,
@@ -502,10 +651,19 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         if policy_cls.option_names:
             print(f"      options: {', '.join(policy_cls.option_names)}")
     print()
+    print("array backends (--backend NAME; env default: " + ENV_BACKEND + "):")
+    availability = backend_availability()
+    for name in BACKEND_NAMES:
+        reason = availability[name]
+        status = "available" if reason is None else f"unavailable: {reason}"
+        print(f"  {name}: {get_backend(name).describe()} [{status}]")
+    print()
     print(
         "Pick one with --scheduler NAME [--scheduler-opt key=value ...] on "
         "`repro simulate` and `repro sweep`; see DESIGN.md (Schedulers) for "
-        "time semantics and paper fidelity."
+        "time semantics and paper fidelity.  Backends swap the hot-loop "
+        "kernels without changing engine semantics (DESIGN.md, Array "
+        "backends); unavailable backends fall back to numpy with a warning."
     )
     return 0
 
@@ -684,6 +842,8 @@ def _cmd_crn_simulate(args: argparse.Namespace) -> int:
         engine_options = {}
         if args.batch_size is not None:
             engine_options["batch_size"] = args.batch_size
+        if args.backend is not None:
+            engine_options["backend"] = args.backend
         simulator = compiled.build(
             args.engine, population_size, seed=args.seed, **engine_options
         )
@@ -739,6 +899,8 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
         engine_options = {}
         if args.batch_size is not None:
             engine_options["batch_size"] = args.batch_size
+        if args.backend is not None:
+            engine_options["backend"] = args.backend
         specs = build_crn_trials(
             population_sizes=sizes,
             runs_per_size=args.runs,
@@ -941,6 +1103,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None,
         help="batched engine only: interactions per batch (default ~sqrt(n))",
     )
+    crn_simulate.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="array backend for the hot-loop kernels (default: "
+        "$REPRO_BACKEND or numpy; see `repro engines`)",
+    )
     crn_simulate.set_defaults(handler=_cmd_crn_simulate)
 
     crn_sweep = crn_sub.add_parser(
@@ -995,6 +1162,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None,
         help="batched engine only: interactions per batch (default ~sqrt(n))",
     )
+    crn_sweep.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="array backend for every trial (default: $REPRO_BACKEND or "
+        "numpy; participates in the trial cache keys)",
+    )
     crn_sweep.set_defaults(handler=_cmd_crn_sweep)
 
     simulate = subparsers.add_parser(
@@ -1030,6 +1202,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched engine only: interactions per batch (default ~sqrt(n))",
     )
     simulate.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="array backend for the hot-loop kernels (default: "
+        "$REPRO_BACKEND or numpy; unavailable backends fall back to numpy "
+        "with a warning — see `repro engines`)",
+    )
+    simulate.add_argument(
         "--scheduler",
         choices=list(SCHEDULER_NAMES),
         default=None,
@@ -1043,6 +1221,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler-opt intra=0.95)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile a workload run with a per-kernel timing breakdown",
+        description=(
+            "Run one finite-state workload under cProfile on any engine x "
+            "backend combination and print the run counters (throughput in "
+            "interactions/s), the top functions by cumulative time, and a "
+            "breakdown restricted to the repro.backend / repro.engine kernel "
+            "frames — the profile-guided view behind the array-backend seam "
+            "(DESIGN.md, Array backends)."
+        ),
+    )
+    profile.add_argument(
+        "--protocol",
+        choices=sorted(WORKLOADS),
+        default="epidemic",
+        help="which finite-state workload to profile",
+    )
+    profile.add_argument(
+        "--n", type=int, default=None,
+        help="population size (default: the workload's)",
+    )
+    profile.add_argument(
+        "--engine", choices=list(ENGINE_NAMES), default="batched",
+        help="simulation engine to profile",
+    )
+    profile.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="array backend for the hot-loop kernels (default: "
+        "$REPRO_BACKEND or numpy)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--interactions", type=int, default=None,
+        help="profile exactly this many interactions instead of a "
+        "run-to-convergence (recommended for stable timings)",
+    )
+    profile.add_argument(
+        "--max-time", type=float, default=None,
+        help="parallel-time budget of a run-to-convergence profile "
+        "(default: the workload's budget; ignored with --interactions)",
+    )
+    profile.add_argument(
+        "--batch-size", type=int, default=None,
+        help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    profile.add_argument(
+        "--scheduler", choices=list(SCHEDULER_NAMES), default=None,
+        help="interaction scheduler (default: the engine's own)",
+    )
+    profile.add_argument(
+        "--scheduler-opt", action="append", default=None, metavar="KEY=VALUE",
+        help="scheduler option, repeatable",
+    )
+    profile.add_argument(
+        "--top", type=int, default=12,
+        help="rows per profile table (default: 12)",
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -1101,6 +1339,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--batch-size", type=int, default=None,
         help="batched engine only: interactions per batch (default ~sqrt(n))",
+    )
+    sweep.add_argument(
+        "--backend", choices=list(BACKEND_NAMES), default=None,
+        help="array backend for every trial (default: $REPRO_BACKEND or "
+        "numpy; participates in the trial cache keys)",
     )
     sweep.add_argument(
         "--fast", action="store_true",

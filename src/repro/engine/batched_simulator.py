@@ -24,6 +24,20 @@ This replaces ``Theta(n)`` Python work per unit of parallel time with
 ``Theta(S^2 polylog)`` numpy work per batch — 10–100x faster for classic
 protocols (epidemic, majority, leader election) at ``n >= 10^5``.
 
+Array backends
+--------------
+
+The draw→apply loop itself lives behind the array-backend seam
+(:mod:`repro.backend`): the engine owns the counts, the accounting and the
+run interface, while a *fused kernel* built by the selected backend executes
+the interactions.  The default numpy backend reproduces the historical RNG
+stream bitwise; the numba and native backends run the whole loop in compiled
+code, an order of magnitude faster again (select with
+``BatchedCountSimulator(..., backend="native")``, ``build_engine(...,
+backend=...)``, ``--backend`` on the CLI or ``REPRO_BACKEND``).  See
+``DESIGN.md`` (Array backends) for the kernel contract and per-backend RNG
+guarantees.
+
 Approximation and exact fallback
 --------------------------------
 
@@ -33,7 +47,8 @@ interaction.  With ``Delta = Theta(sqrt(n))`` the expected number of
 *reactive collisions* (an agent whose state changed being selected again in
 the same batch) is ``O(Delta^2 / n) = O(1)`` per batch, so the per-batch
 distortion vanishes as ``n`` grows — the standard argument behind batched
-population-protocol simulators.  Two exact safeguards are applied on top:
+population-protocol simulators.  Two exact safeguards are applied on top
+(by every backend's kernel):
 
 * if a batch draw would consume more agents of some state than are present
   (``sum_j m[i, j] + m[j, i] > c_i`` over reactive pairs), the draw is
@@ -57,12 +72,12 @@ engines agree in distribution, not draw-for-draw).
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
 from collections import Counter
 from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.engine.configuration import Configuration
 from repro.engine.running import (
     CountTracePoint,
@@ -110,6 +125,12 @@ class BatchedCountSimulator:
         the default) or ``"state-weighted"`` (pair probabilities
         proportional to ``(r_i c_i)(r_j c_j)``); the batch multinomial and
         the exact fallback both honour the rates.
+    backend:
+        Array backend executing the hot loop: a registered name
+        (``"numpy"``, ``"numba"``, ``"native"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` for the
+        process default (``REPRO_BACKEND`` or numpy).  An unavailable
+        backend warns and falls back to numpy.
     """
 
     def __init__(
@@ -121,6 +142,7 @@ class BatchedCountSimulator:
         batch_size: int | None = None,
         small_count_threshold: int = 8,
         scheduler: "SchedulerSpec | str | None" = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if population_size < 2:
             raise SimulationError(
@@ -180,42 +202,14 @@ class BatchedCountSimulator:
         self._states_seen: set[Hashable] = {
             self.table.states[position] for position in np.nonzero(self._counts)[0]
         }
-        self._exact_table = self._build_exact_table()
-
-    def _build_exact_table(self) -> list[list[tuple | None]]:
-        """Pure-Python view of the compiled tables for the exact fallback.
-
-        ``[i][j]`` is ``None`` for null pairs, else ``(outcomes, randomized)``
-        where ``outcomes`` is a list of ``(cumulative_probability,
-        receiver_out, sender_out)`` and ``randomized`` says whether an
-        outcome draw is needed at all.  Numpy scalar indexing per interaction
-        is an order of magnitude slower than list access, which matters in
-        the fallback regimes where every interaction goes through this path.
-        """
-        table = self.table
-        size = table.num_states
-        exact: list[list[tuple | None]] = []
-        for i in range(size):
-            row: list[tuple | None] = []
-            for j in range(size):
-                if table.is_null[i, j]:
-                    row.append(None)
-                    continue
-                outcomes = []
-                mass = 0.0
-                for k in range(int(table.outcome_count[i, j])):
-                    mass += float(table.outcome_probability[i, j, k])
-                    outcomes.append(
-                        (
-                            mass,
-                            int(table.outcome_receiver[i, j, k]),
-                            int(table.outcome_sender[i, j, k]),
-                        )
-                    )
-                randomized = len(outcomes) > 1 or table.null_probability[i, j] > 0.0
-                row.append((outcomes, randomized))
-            exact.append(row)
-        return exact
+        self.backend = resolve_backend(backend)
+        self._kernel = self.backend.batched_kernel(
+            self.table,
+            self._state_rates,
+            population_size,
+            small_count_threshold,
+            self._rng,
+        )
 
     # -- inspection -----------------------------------------------------------
 
@@ -243,7 +237,12 @@ class BatchedCountSimulator:
 
     def states_seen(self) -> frozenset[Hashable]:
         """All states that have had positive count at any point of the run."""
-        return frozenset(self._states_seen)
+        seen = set(self._states_seen)
+        seen.update(
+            self.table.states[position]
+            for position in np.nonzero(self._kernel.seen)[0]
+        )
+        return frozenset(seen)
 
     def outputs(self) -> Counter:
         """Histogram of outputs over the population."""
@@ -253,246 +252,27 @@ class BatchedCountSimulator:
                 histogram[self.protocol.output(self.table.states[position])] += int(count)
         return histogram
 
-    # -- batched stepping -----------------------------------------------------
-
-    def _pair_probabilities(self) -> np.ndarray:
-        """Ordered state-pair selection probabilities at the current counts.
-
-        Uniform policy: ``c_i c_j`` (diagonal ``c_i (c_i - 1)``).  A
-        state-weighted policy scales every agent of state ``s`` by its rate
-        ``r_s``: off-diagonal ``(r_i c_i)(r_j c_j)``, diagonal
-        ``(r_i c_i) r_i (c_i - 1)``.
-        """
-        counts = self._counts.astype(np.float64)
-        if self._state_rates is None:
-            weights = np.outer(counts, counts)
-            np.fill_diagonal(weights, counts * (counts - 1.0))
-        else:
-            scaled = self._state_rates * counts
-            weights = np.outer(scaled, scaled)
-            np.fill_diagonal(weights, scaled * self._state_rates * (counts - 1.0))
-        total = weights.sum()
-        if total <= 0.0:
-            raise SimulationError(
-                "scheduler assigns zero total weight to the current configuration"
-            )
-        # Normalising by the actual float sum (exactly n(n-1) in exact
-        # arithmetic for the uniform policy) keeps the vector a valid
-        # multinomial pvals argument despite rounding.
-        return weights / total
-
-    def _reactive_counts_small(self) -> bool:
-        """Whether every reactive state currently has a dangerously small count.
-
-        A state is *reactive* here if it is present and participates in some
-        non-null ordered pair with another *present* state.  When all such
-        counts are below the threshold, frozen-rate batching distorts the
-        most (each reaction changes the rates by a constant factor), so the
-        engine steps exactly instead.
-        """
-        if self.small_count_threshold == 0:
-            return False
-        present = self._counts > 0
-        reactive = ~self.table.is_null & present[:, None] & present[None, :]
-        if not reactive.any():
-            return False
-        involved = reactive.any(axis=1) | reactive.any(axis=0)
-        return bool(np.all(self._counts[involved] < self.small_count_threshold))
-
-    def _advance_batch(self, batch: int) -> None:
-        """Advance exactly ``batch`` interactions (batched or exact)."""
-        if self._reactive_counts_small():
-            self.fallback_batches += 1
-            self._run_exact(batch)
-            return
-        pair_counts = self._rng.multinomial(
-            batch, self._pair_probabilities().ravel()
-        ).reshape(self.table.outcome_count.shape)
-        reactive = np.where(self.table.is_null, 0, pair_counts)
-        if not reactive.any():
-            self.interactions += batch
-            self.batched_batches += 1
-            return
-        consumed = reactive.sum(axis=1) + reactive.sum(axis=0)
-        if np.any(consumed > self._counts):
-            # The frozen-rate draw used more agents of some state than exist;
-            # the batch cannot be applied consistently, so execute it exactly.
-            self.fallback_batches += 1
-            self._run_exact(batch)
-            return
-        delta = np.zeros_like(self._counts)
-        rows, cols = np.nonzero(reactive)
-        for i, j in zip(rows.tolist(), cols.tolist()):
-            self._apply_pair_events(i, j, int(reactive[i, j]), delta)
-        self._counts += delta
-        self.interactions += batch
-        self.batched_batches += 1
-
-    def _apply_pair_events(self, i: int, j: int, occurrences: int, delta: np.ndarray) -> None:
-        """Split ``occurrences`` interactions of pair ``(i, j)`` among outcomes."""
-        table = self.table
-        outcome_count = int(table.outcome_count[i, j])
-        probabilities = table.outcome_probability[i, j, :outcome_count]
-        null_mass = float(table.null_probability[i, j])
-        if null_mass > 0.0 or outcome_count > 1:
-            pvals = np.append(probabilities, null_mass)
-            split = self._rng.multinomial(occurrences, pvals / pvals.sum())[:outcome_count]
-        else:
-            split = (occurrences,)
-        for k, events in enumerate(split):
-            events = int(events)
-            if events == 0:
-                continue
-            receiver_out = int(table.outcome_receiver[i, j, k])
-            sender_out = int(table.outcome_sender[i, j, k])
-            delta[i] -= events
-            delta[j] -= events
-            delta[receiver_out] += events
-            delta[sender_out] += events
-            self._states_seen.add(table.states[receiver_out])
-            self._states_seen.add(table.states[sender_out])
-
-    # -- exact sequential fallback --------------------------------------------
-
-    def _run_exact(self, count: int) -> None:
-        """Execute ``count`` interactions one at a time, exactly.
-
-        Works on plain Python lists with thresholds pre-drawn in one block,
-        so the exact path costs the same as the count engine's per-step loop
-        rather than paying numpy scalar/RNG overhead every interaction.  The
-        receiver is sampled by count weight, the sender among the remaining
-        ``n - 1`` agents (the threshold shift is the same construction as
-        :meth:`CountSimulator._sample_state_weighted`).  Under a
-        state-weighted policy the same loop runs on rate-scaled float
-        weights (:meth:`_run_exact_weighted`).
-        """
-        if self._state_rates is not None:
-            self._run_exact_weighted(count)
-            return
-        n = self.population_size
-        counts = self._counts.tolist()
-        cumulative = []
-        total = 0
-        for value in counts:
-            total += value
-            cumulative.append(total)
-        receiver_draws = self._rng.integers(0, n, size=count).tolist()
-        sender_draws = self._rng.integers(0, n - 1, size=count).tolist()
-        exact = self._exact_table
-        for threshold, co_threshold in zip(receiver_draws, sender_draws):
-            receiver = bisect_right(cumulative, threshold)
-            if co_threshold >= cumulative[receiver] - 1:
-                co_threshold += 1
-            sender = bisect_right(cumulative, co_threshold)
-            entry = exact[receiver][sender]
-            if entry is None:
-                continue
-            outcomes, randomized = entry
-            if randomized:
-                draw = self._rng.random()
-                for mass, receiver_out, sender_out in outcomes:
-                    if draw < mass:
-                        break
-                else:
-                    continue  # residual mass = null transition
-            else:
-                _, receiver_out, sender_out = outcomes[0]
-            counts[receiver] -= 1
-            counts[sender] -= 1
-            counts[receiver_out] += 1
-            counts[sender_out] += 1
-            self._states_seen.add(self.table.states[receiver_out])
-            self._states_seen.add(self.table.states[sender_out])
-            total = 0
-            cumulative = []
-            for value in counts:
-                total += value
-                cumulative.append(total)
-        self._counts[:] = counts
-        self.interactions += count
-
-    def _run_exact_weighted(self, count: int) -> None:
-        """Exact per-interaction stepping under per-state activity rates.
-
-        Samples the ordered pair of distinct agents ``(a, b)`` with
-        probability proportional to ``r_a r_b`` — the *same* joint
-        distribution the batch multinomial of :meth:`_pair_probabilities`
-        draws from, so the two paths stay interchangeable within one run.
-        Implemented as two independent rate-weighted state draws with
-        same-agent rejection: a same-state draw ``(i, i)`` is the same agent
-        with probability ``1 / c_i`` and is then redrawn.
-        """
-        rates = self._state_rates.tolist()
-        counts = self._counts.tolist()
-
-        def _cumulative() -> tuple[list[float], float, int]:
-            cumulative: list[float] = []
-            total = 0.0
-            positive_agents = 0
-            for rate, value in zip(rates, counts):
-                total += rate * value
-                cumulative.append(total)
-                if rate > 0:
-                    positive_agents += value
-            return cumulative, total, positive_agents
-
-        def _draw_state() -> int:
-            return min(
-                bisect_right(cumulative, self._rng.random() * total),
-                len(counts) - 1,
-            )
-
-        cumulative, total, positive_agents = _cumulative()
-        exact = self._exact_table
-        for _ in range(count):
-            if total <= 0.0 or positive_agents < 2:
-                raise SimulationError(
-                    "state-weighted scheduler: fewer than two agents have a "
-                    "positive rate; no ordered pair can be selected"
-                )
-            while True:
-                receiver = _draw_state()
-                sender = _draw_state()
-                if receiver != sender:
-                    break
-                if counts[receiver] >= 2 and (
-                    self._rng.random() * counts[receiver] >= 1.0
-                ):
-                    break
-            entry = exact[receiver][sender]
-            if entry is None:
-                continue
-            outcomes, randomized = entry
-            if randomized:
-                draw = self._rng.random()
-                for mass, receiver_out, sender_out in outcomes:
-                    if draw < mass:
-                        break
-                else:
-                    continue  # residual mass = null transition
-            else:
-                _, receiver_out, sender_out = outcomes[0]
-            counts[receiver] -= 1
-            counts[sender] -= 1
-            counts[receiver_out] += 1
-            counts[sender_out] += 1
-            self._states_seen.add(self.table.states[receiver_out])
-            self._states_seen.add(self.table.states[sender_out])
-            cumulative, total, positive_agents = _cumulative()
-        self._counts[:] = counts
-        self.interactions += count
-
     # -- public running interface (mirrors CountSimulator) ---------------------
 
     def run_interactions(self, count: int) -> None:
-        """Execute exactly ``count`` additional interactions."""
+        """Execute exactly ``count`` additional interactions.
+
+        The fused draw→apply work happens in the backend kernel; this loop
+        only does the accounting.  The numpy reference kernel advances one
+        batch per call (preserving the historical per-batch RNG stream),
+        the JIT kernels advance everything in a single call.
+        """
         if count < 0:
             raise SimulationError(f"interaction count must be non-negative, got {count}")
         remaining = count
         while remaining > 0:
-            batch = min(self.batch_size, remaining)
-            self._advance_batch(batch)
-            remaining -= batch
+            done, batched, fallback = self._kernel.advance(
+                self._counts, remaining, self.batch_size, self._rng
+            )
+            self.interactions += done
+            self.batched_batches += batched
+            self.fallback_batches += fallback
+            remaining -= done
 
     def run_parallel_time(self, time: float) -> None:
         """Execute (at least) ``time`` additional units of parallel time."""

@@ -428,6 +428,17 @@ class RoundScheduler(ABC):
         if n < 2:
             raise SimulationError(f"population must contain at least 2 agents, got {n}")
         self.n = n
+        # Round-draw kernels, rebindable onto an array backend: the vector
+        # engine calls :meth:`bind_backend` once at construction so the
+        # matching and thinning draws run on the selected backend's
+        # implementations.  The defaults are the reference numpy paths.
+        self._draw_matching = draw_matching_arrays
+        self._thin_members = _thin_members_reference
+
+    def bind_backend(self, backend) -> None:
+        """Route this scheduler's round draws through ``backend``'s kernels."""
+        self._draw_matching = backend.draw_matching_arrays
+        self._thin_members = backend.thin_members
 
     @abstractmethod
     def draw_round(
@@ -436,13 +447,20 @@ class RoundScheduler(ABC):
         """Draw the matched (receiver, sender) pairs of one round."""
 
 
+def _thin_members_reference(
+    rates: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Reference rate-thinning: agent ``i`` joins with probability ``rates[i]``."""
+    return np.nonzero(rng.random(rates.size) < rates)[0]
+
+
 class MatchingRoundScheduler(RoundScheduler):
     """Uniform random matching — the vector engine's default round."""
 
     def draw_round(
         self, rng: np.random.Generator, parallel_time: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        return draw_matching_arrays(self.n, rng)
+        return self._draw_matching(self.n, rng)
 
 
 class WeightedMatchingRoundScheduler(RoundScheduler):
@@ -473,11 +491,11 @@ class WeightedMatchingRoundScheduler(RoundScheduler):
     def draw_round(
         self, rng: np.random.Generator, parallel_time: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        available = np.nonzero(rng.random(self.n) < self.rates)[0]
+        available = self._thin_members(self.rates, rng)
         if available.size < 2:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        return draw_matching_arrays(available, rng)
+        return self._draw_matching(available, rng)
 
 
 class TwoBlockRoundScheduler(RoundScheduler):
@@ -505,8 +523,8 @@ class TwoBlockRoundScheduler(RoundScheduler):
         self, rng: np.random.Generator, parallel_time: float
     ) -> tuple[np.ndarray, np.ndarray]:
         if rng.random() < self.intra:
-            rec_a, sen_a = draw_matching_arrays(self.block_a, rng)
-            rec_b, sen_b = draw_matching_arrays(self.block_b, rng)
+            rec_a, sen_a = self._draw_matching(self.block_a, rng)
+            rec_b, sen_b = self._draw_matching(self.block_b, rng)
             return np.concatenate([rec_a, rec_b]), np.concatenate([sen_a, sen_b])
         pairs = min(self.block_a.size, self.block_b.size)
         from_a = rng.permutation(self.block_a)[:pairs]
@@ -546,8 +564,8 @@ class QuiescingRoundScheduler(RoundScheduler):
         self, rng: np.random.Generator, parallel_time: float
     ) -> tuple[np.ndarray, np.ndarray]:
         if self.start <= parallel_time < self.start + self.duration:
-            return draw_matching_arrays(self.active, rng)
-        return draw_matching_arrays(self.n, rng)
+            return self._draw_matching(self.active, rng)
+        return self._draw_matching(self.n, rng)
 
 
 # ---------------------------------------------------------------------------

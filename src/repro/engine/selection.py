@@ -39,9 +39,11 @@ and scheduler fit which experiment.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from typing import Callable, Hashable, Mapping, Union
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.engine.batched_simulator import BatchedCountSimulator
 from repro.engine.configuration import Configuration
 from repro.engine.count_simulator import CountSimulator
@@ -258,6 +260,7 @@ def build_engine(
     initial_configuration: Configuration | None = None,
     scheduler: SchedulerSpec | str | None = None,
     scheduler_options: Mapping[str, object] | None = None,
+    backend: "ArrayBackend | str | None" = None,
     **engine_options,
 ) -> CountLevelEngine:
     """Construct the requested engine for ``protocol`` at ``population_size``.
@@ -275,6 +278,14 @@ def build_engine(
         (:func:`engine_scheduler_matrix`) before the engine is built.
     scheduler_options:
         Options for a scheduler given by name (e.g. ``{"intra": 0.95}``).
+    backend:
+        Array backend for the hot kernels (:mod:`repro.backend`): a
+        registered name (``"numpy"``, ``"numba"``, ``"native"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` for the
+        process default (``REPRO_BACKEND`` or numpy).  Consumed by the
+        batched and vector engines; the per-interaction reference engines
+        (agent, count) always run plain Python/numpy and warn if a
+        non-default backend is requested for them.
     engine_options:
         Extra keyword arguments forwarded to the engine constructor (only the
         batched engine takes any: ``batch_size``, ``small_count_threshold``).
@@ -290,6 +301,16 @@ def build_engine(
             f"unknown engine {engine!r}; expected one of {', '.join(ENGINE_NAMES)}"
         )
     spec = resolve_scheduler_spec(engine, scheduler, scheduler_options)
+    if engine in ("agent", "count") and backend is not None:
+        resolved = resolve_backend(backend)
+        if resolved.name != "numpy":
+            warnings.warn(
+                f"the {engine} engine is a per-interaction reference "
+                f"implementation and always runs the numpy code path; "
+                f"ignoring backend {resolved.name!r}",
+                UserWarning,
+                stacklevel=2,
+            )
     if engine == "agent":
         if engine_options:
             raise SimulationError(
@@ -322,6 +343,7 @@ def build_engine(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
             scheduler=spec,
+            backend=backend,
             **engine_options,
         )
     if engine == "vector":
@@ -333,6 +355,7 @@ def build_engine(
             protocol, population_size, seed=seed,
             initial_configuration=initial_configuration,
             scheduler=spec,
+            backend=backend,
         )
     # Unreachable while ENGINE_NAMES and the branches above stay in sync;
     # a name added to ENGINE_NAMES without a branch must fail loudly rather

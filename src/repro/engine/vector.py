@@ -52,6 +52,7 @@ from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.engine.configuration import Configuration
 from repro.engine.scheduler import RoundScheduler, SchedulerSpec
 from repro.exceptions import ConvergenceError, SimulationError
@@ -230,6 +231,13 @@ class VectorSimulator:
         carrying options, or a pre-built
         :class:`~repro.engine.scheduler.RoundScheduler`.  Defaults to the
         uniform matching round.
+    backend:
+        Array backend for the round draws (a registered name, an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` for the
+        process default).  The scheduler's matching/thinning draws are bound
+        to the backend's kernels; protocols that accept a backend receive it
+        separately at construction (see
+        :class:`VectorFiniteStateSimulator`).
     """
 
     #: Consecutive empty rounds tolerated before the engine concludes the
@@ -247,10 +255,12 @@ class VectorSimulator:
         population_size: int,
         seed: int | None = None,
         scheduler: "RoundScheduler | SchedulerSpec | str | None" = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.protocol = protocol
         self.n = population_size
         self.rng = np.random.default_rng(seed)
+        self.backend = resolve_backend(backend)
         if isinstance(scheduler, RoundScheduler):
             if scheduler.n != population_size:
                 raise SimulationError(
@@ -260,6 +270,7 @@ class VectorSimulator:
         else:
             spec = SchedulerSpec.coerce(scheduler, default="matching")
             self.scheduler = spec.build_policy().make_round_scheduler(population_size)
+        self.scheduler.bind_backend(self.backend)
         self.rounds = 0
         self._interactions = 0
         self._empty_rounds = 0
@@ -381,17 +392,24 @@ class FiniteStateVectorProtocol(VectorProtocol):
     reactive pair from the compiled distributions, and scatters the new
     states back.  Both participants of a pair are distinct agents of a
     perfect matching, so the scatter is collision-free.
+
+    The gather→sample→scatter body is a backend kernel
+    (:meth:`repro.backend.ArrayBackend.finite_round_kernel`): the default
+    numpy backend preserves the historical RNG stream, the numba backend
+    fuses the round into one compiled per-pair loop.
     """
 
     def __init__(
         self,
         protocol: FiniteStateProtocol,
         initial_states: Sequence[Hashable] | None = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.protocol = protocol
         self.table: CompiledTransitionTable = compile_transition_table(protocol)
         self._initial_states = initial_states
         self.state: np.ndarray | None = None
+        self._round_kernel = resolve_backend(backend).finite_round_kernel(self.table)
 
     def describe(self) -> str:
         return f"Vector({self.protocol.describe()})"
@@ -422,29 +440,7 @@ class FiniteStateVectorProtocol(VectorProtocol):
         sen: np.ndarray,
         rng: np.random.Generator,
     ) -> None:
-        state = self.state
-        state_r = state[rec]
-        state_s = state[sen]
-        reactive = ~self.table.is_null[state_r, state_s]
-        if not reactive.any():
-            return
-        rec = rec[reactive]
-        sen = sen[reactive]
-        i = state_r[reactive]
-        j = state_s[reactive]
-        # Sample one outcome per reactive pair: u falls either inside the
-        # cumulative explicit-outcome mass (outcome k fires) or beyond it
-        # (the residual null mass; the pair is left unchanged).
-        cumulative = np.cumsum(self.table.outcome_probability[i, j], axis=1)
-        u = rng.random(i.size)
-        fired = u < cumulative[:, -1]
-        if not fired.any():
-            return
-        outcome = (u[:, None] < cumulative).argmax(axis=1)[fired]
-        i = i[fired]
-        j = j[fired]
-        state[rec[fired]] = self.table.outcome_receiver[i, j, outcome]
-        state[sen[fired]] = self.table.outcome_sender[i, j, outcome]
+        self._round_kernel.apply(self.state, rec, sen, rng)
 
     def state_counts(self) -> np.ndarray:
         """Per-state agent counts, indexed like ``table.states``."""
@@ -474,9 +470,11 @@ class VectorFiniteStateSimulator:
         seed: int | None = None,
         initial_configuration: Configuration | None = None,
         scheduler: "RoundScheduler | SchedulerSpec | str | None" = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.protocol = protocol
         self.population_size = population_size
+        self.backend = resolve_backend(backend)
         initial_states = None
         if initial_configuration is not None:
             if initial_configuration.size != population_size:
@@ -491,9 +489,15 @@ class VectorFiniteStateSimulator:
                 )
                 for _ in range(count)
             ]
-        self.kernel = FiniteStateVectorProtocol(protocol, initial_states=initial_states)
+        self.kernel = FiniteStateVectorProtocol(
+            protocol, initial_states=initial_states, backend=self.backend
+        )
         self.simulator = VectorSimulator(
-            self.kernel, population_size, seed=seed, scheduler=scheduler
+            self.kernel,
+            population_size,
+            seed=seed,
+            scheduler=scheduler,
+            backend=self.backend,
         )
 
     # -- accounting ----------------------------------------------------------

@@ -702,19 +702,24 @@ def build_vector_trials(
         scheduler = workload.scheduler
         if scheduler is not None and not scheduler_options:
             scheduler_options = dict(workload.scheduler_options)
+    # "backend" addresses the VectorSimulator, not the protocol kernel: it
+    # must not reach the kernel factory or the budget computation.
+    kernel_options = {
+        key: value for key, value in engine_options.items() if key != "backend"
+    }
     # Probe the kernel factory once so unsupported engine_options fail here,
     # at build time, instead of as a TypeError inside a worker process mid-
     # sweep.  Kernel construction is cheap (arrays are allocated later, in
     # init_fields); parameter-validation errors (ProtocolError) propagate.
     try:
-        workload.kernel_factory(params, **engine_options)
+        workload.kernel_factory(params, **kernel_options)
     except TypeError as error:
         raise SimulationError(
             f"vector workload {protocol!r} does not accept options "
-            f"{sorted(engine_options)}: {error}"
+            f"{sorted(kernel_options)}: {error}"
         ) from None
     if max_parallel_time is None:
-        budget = lambda n: workload.default_budget(n, params, **engine_options)
+        budget = lambda n: workload.default_budget(n, params, **kernel_options)
     elif callable(max_parallel_time):
         budget = max_parallel_time
     else:
@@ -940,9 +945,15 @@ def _run_vector_trial(spec: TrialSpec) -> RunRecord:
     from repro.engine.vector import VectorSimulator
 
     workload = get_vector_workload(spec.protocol)
-    kernel = workload.kernel_factory(spec.params, **dict(spec.engine_options))
+    options = dict(spec.engine_options)
+    backend = options.pop("backend", None)
+    kernel = workload.kernel_factory(spec.params, **options)
     simulator = VectorSimulator(
-        kernel, spec.population_size, seed=spec.seed, scheduler=spec.scheduler_spec()
+        kernel,
+        spec.population_size,
+        seed=spec.seed,
+        scheduler=spec.scheduler_spec(),
+        backend=backend,
     )
     outcome = simulator.run_until_done(max_parallel_time=spec.max_parallel_time)
     extra = {

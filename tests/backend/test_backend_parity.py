@@ -1,0 +1,312 @@
+"""Cross-backend parity: every backend runs the same stochastic process.
+
+The numpy backend is the stream-preserving reference (pinned bitwise by
+``test_numpy_golden``).  The JIT backends draw from their own RNGs, so they
+are held to the *distribution*: trajectory statistics over many seeds must
+agree with the numpy reference within sampling noise, on every hot path the
+seam fuses — the batched multinomial draw→apply (uniform and state-weighted),
+the small-count and consumption-guard exact fallbacks, the vector matching
+round, and the CRN lowerings (checked against the exact Gillespie SSA).
+
+The numba kernels are exercised *interpreted* here when numba is not
+installed — ``NumbaBackend()`` is instantiated directly, bypassing the
+availability gate — so this suite validates the kernel logic on numpy-only
+installs too (slow path, same arithmetic).  The native backend participates
+whenever a C toolchain is present.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.backend import ArrayBackend, get_backend
+from repro.backend.native_backend import NativeBackend
+from repro.backend.numba_backend import NumbaBackend
+from repro.crn import CRN, compile_crn, simulate_ssa
+from repro.crn.library import epidemic_extinct_predicate
+from repro.engine.selection import build_engine
+from repro.protocols.epidemic import (
+    EpidemicProtocol,
+    epidemic_completion_predicate,
+)
+from repro.protocols.leader_election import FiniteStatePairwiseElimination
+from repro.protocols.majority import (
+    ApproximateMajorityProtocol,
+    majority_consensus_predicate,
+)
+
+
+def _parity_backends() -> list:
+    """The non-reference backends runnable in this environment."""
+    backends = [pytest.param(NumbaBackend(), id="numba")]
+    if NativeBackend.available():
+        backends.append(pytest.param(NativeBackend(), id="native"))
+    return backends
+
+
+def _mean_std(values):
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / max(1, len(values) - 1)
+    return mean, math.sqrt(variance)
+
+
+def _z_score(sample_a, sample_b):
+    mean_a, std_a = _mean_std(sample_a)
+    mean_b, std_b = _mean_std(sample_b)
+    spread = math.sqrt(std_a**2 / len(sample_a) + std_b**2 / len(sample_b))
+    return (mean_a - mean_b) / max(spread, 1e-9)
+
+
+EPIDEMIC_N = 256
+RUNS = 24
+
+
+def _epidemic_times(backend: "ArrayBackend | None", **engine_options):
+    times = []
+    for run_index in range(RUNS):
+        simulator = build_engine(
+            "batched",
+            EpidemicProtocol(),
+            EPIDEMIC_N,
+            seed=1_000 + run_index,
+            backend=backend,
+            **engine_options,
+        )
+        times.append(
+            simulator.run_until(
+                epidemic_completion_predicate,
+                max_parallel_time=60 * math.log(EPIDEMIC_N),
+                check_interval=max(EPIDEMIC_N // 8, 16),
+            )
+        )
+    return times
+
+
+class TestBatchedDistributionParity:
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_epidemic_completion_time_matches_numpy(self, backend):
+        reference = _epidemic_times(None)
+        observed = _epidemic_times(backend)
+        z = _z_score(observed, reference)
+        assert abs(z) < 4.0, (backend.name, z)
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_state_weighted_parity_and_slowdown(self, backend):
+        """The rate-scaled pair distribution agrees across backends, and
+        throttling the infected state slows the epidemic on every backend."""
+        options = {
+            "scheduler": "state-weighted",
+            "scheduler_options": {"rates": (("I", 0.3),)},
+        }
+        reference = _epidemic_times(None, **options)
+        observed = _epidemic_times(backend, **options)
+        z = _z_score(observed, reference)
+        assert abs(z) < 4.0, (backend.name, z)
+        uniform = statistics.fmean(_epidemic_times(backend))
+        assert statistics.fmean(observed) > 1.2 * uniform, backend.name
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_population_conserved_and_states_tracked(self, backend):
+        simulator = build_engine(
+            "batched", EpidemicProtocol(), 512, seed=7, backend=backend
+        )
+        simulator.run_interactions(4_096)
+        assert simulator.configuration().size == 512
+        seen = {repr(state) for state in simulator.states_seen()}
+        assert seen == {"'I'", "'S'"}
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_small_count_exact_fallback_still_converges(self, backend):
+        """Leader election drives every count to the fallback threshold; the
+        run must finish with exactly one leader on every backend."""
+        for run_index in range(8):
+            simulator = build_engine(
+                "batched",
+                FiniteStatePairwiseElimination(),
+                48,
+                seed=4_000 + run_index,
+                backend=backend,
+            )
+            simulator.run_until(
+                lambda sim: sim.count(FiniteStatePairwiseElimination.LEADER)
+                == 1,
+                max_parallel_time=10_000.0,
+                check_interval=48,
+            )
+            assert simulator.count(FiniteStatePairwiseElimination.LEADER) == 1
+            assert simulator.fallback_batches > 0, backend.name
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_majority_correctness_is_backend_independent(self, backend):
+        correct = 0
+        for run_index in range(16):
+            simulator = build_engine(
+                "batched",
+                ApproximateMajorityProtocol(x_fraction=0.7),
+                300,
+                seed=6_000 + run_index,
+                backend=backend,
+            )
+            simulator.run_until(
+                majority_consensus_predicate,
+                max_parallel_time=500,
+                check_interval=64,
+            )
+            if simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0:
+                correct += 1
+        assert correct >= 14, (backend.name, correct)
+
+
+class TestVectorDistributionParity:
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_vector_epidemic_round_kernel_matches_numpy(self, backend):
+        def times(chosen):
+            values = []
+            for run_index in range(RUNS):
+                simulator = build_engine(
+                    "vector",
+                    EpidemicProtocol(),
+                    EPIDEMIC_N,
+                    seed=2_000 + run_index,
+                    backend=chosen,
+                )
+                values.append(
+                    simulator.run_until(
+                        epidemic_completion_predicate,
+                        max_parallel_time=60 * math.log(EPIDEMIC_N),
+                    )
+                )
+            return values
+
+        z = _z_score(times(backend), times(None))
+        assert abs(z) < 4.0, (backend.name, z)
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_vector_majority_consensus(self, backend):
+        simulator = build_engine(
+            "vector",
+            ApproximateMajorityProtocol(x_fraction=0.7),
+            300,
+            seed=11,
+            backend=backend,
+        )
+        simulator.run_until(majority_consensus_predicate, max_parallel_time=500)
+        assert simulator.count(ApproximateMajorityProtocol.OPINION_Y) == 0
+
+
+# ---------------------------------------------------------------------------
+# CRN lowerings vs the exact SSA, on the JIT backends
+# ---------------------------------------------------------------------------
+
+SIR = CRN.from_spec(
+    ["S + I -> I + I @ 2.0", "I -> R @ 1.0"],
+    name="sir",
+    seeds={"I": 2},
+    fractions={"S": 1.0},
+)
+CRN_POPULATION = 60
+CRN_RUNS = 48
+SSA_RUNS = 96
+
+
+@pytest.fixture(scope="module")
+def ssa_final_sizes() -> list[int]:
+    return [
+        simulate_ssa(SIR, CRN_POPULATION, [10_000.0], seed=7_000 + run).at(0)["R"]
+        for run in range(SSA_RUNS)
+    ]
+
+
+class TestCRNLoweringsOnJITBackends:
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_uniform_lowering_matches_ssa_in_time(self, backend):
+        """Sampling the backend's batched engine at parallel time Γ·t must
+        sample the chain at chemical time t — the seam may not distort the
+        kinetics."""
+        compiled = compile_crn(SIR)
+        chemical_time = 6.0
+        recovered = []
+        for run in range(CRN_RUNS):
+            simulator = compiled.build(
+                "batched", CRN_POPULATION, seed=1_000 + run, backend=backend
+            )
+            simulator.run_parallel_time(compiled.to_parallel_time(chemical_time))
+            recovered.append(simulator.count("R"))
+        ssa_sample = [
+            simulate_ssa(
+                SIR, CRN_POPULATION, [chemical_time], seed=5_000 + run
+            ).at(0)["R"]
+            for run in range(SSA_RUNS)
+        ]
+        z = _z_score(recovered, ssa_sample)
+        assert abs(z) < 4.0, (backend.name, z)
+
+    @pytest.mark.parametrize("backend", _parity_backends())
+    def test_thinned_lowering_final_size_matches_ssa(
+        self, backend, ssa_final_sizes
+    ):
+        """The thinned (state-weighted) lowering exercises the backends'
+        rate-scaled kernels; the SIR final size is clock-independent, so it
+        must match the exact jump chain."""
+        compiled = compile_crn(SIR, mode="thinned")
+        finals = []
+        for run in range(CRN_RUNS):
+            simulator = compiled.build(
+                "batched", CRN_POPULATION, seed=3_000 + run, backend=backend
+            )
+            simulator.run_until(
+                epidemic_extinct_predicate,
+                max_parallel_time=10_000.0,
+                check_interval=CRN_POPULATION,
+            )
+            finals.append(simulator.count("R"))
+        z = _z_score(finals, ssa_final_sizes)
+        assert abs(z) < 4.0, (backend.name, z)
+
+
+class TestBackendFallbackEquivalence:
+    def test_resolved_fallback_is_bitwise_numpy(self):
+        """When an unavailable backend falls back, the run is not merely
+        similar to numpy — it *is* the numpy backend, stream and all."""
+        from repro.backend import BACKEND_REGISTRY, register_backend
+
+        @register_backend
+        class Ghost(ArrayBackend):
+            name = "ghost-for-test"
+
+            @classmethod
+            def available(cls):
+                return False
+
+            @classmethod
+            def unavailable_reason(cls):
+                return "test ghost"
+
+        try:
+            with pytest.warns(UserWarning, match="ghost"):
+                ghost = build_engine(
+                    "batched",
+                    EpidemicProtocol(),
+                    200,
+                    seed=5,
+                    backend="ghost-for-test",
+                )
+            reference = build_engine(
+                "batched", EpidemicProtocol(), 200, seed=5, backend="numpy"
+            )
+            ghost.run_interactions(2_000)
+            reference.run_interactions(2_000)
+            assert dict(ghost.configuration().items()) == dict(
+                reference.configuration().items()
+            )
+            assert int(ghost._rng.integers(0, 2**32)) == int(
+                reference._rng.integers(0, 2**32)
+            )
+        finally:
+            BACKEND_REGISTRY.pop("ghost-for-test", None)
+
+    def test_numpy_is_the_memoised_reference(self):
+        assert get_backend("numpy") is get_backend("numpy")

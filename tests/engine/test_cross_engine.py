@@ -193,7 +193,9 @@ SCHED_N = 128
 SCHED_RUNS = 12
 
 
-def _epidemic_mean_time(engine: str, scheduler: str | None, options: dict) -> float:
+def _epidemic_mean_time(
+    engine: str, scheduler: str | None, options: dict, backend=None
+) -> float:
     times = []
     for run_index in range(SCHED_RUNS):
         simulator = build_engine(
@@ -203,6 +205,7 @@ def _epidemic_mean_time(engine: str, scheduler: str | None, options: dict) -> fl
             seed=5_000 + run_index,
             scheduler=scheduler,
             scheduler_options=options,
+            backend=backend,
         )
         times.append(
             simulator.run_until(
@@ -269,3 +272,54 @@ class TestEngineSchedulerGrid:
             build_engine("vector", EpidemicProtocol(), 64, scheduler="sequential")
         with pytest.raises(SimulationError):
             build_engine("agent", EpidemicProtocol(), 64, scheduler="state-weighted")
+
+
+# ---------------------------------------------------------------------------
+# Engine x scheduler x backend: the array-backend seam joins the grid
+# ---------------------------------------------------------------------------
+
+
+def _grid_backends() -> list:
+    """Non-reference array backends runnable here (numba runs interpreted
+    without the JIT installed; native needs a C toolchain)."""
+    from repro.backend.native_backend import NativeBackend
+    from repro.backend.numba_backend import NumbaBackend
+
+    backends = [pytest.param(NumbaBackend(), id="numba")]
+    if NativeBackend.available():
+        backends.append(pytest.param(NativeBackend(), id="native"))
+    return backends
+
+
+class TestEngineSchedulerBackendGrid:
+    """Every (engine, scheduler, backend) cell runs the same process.
+
+    The numpy backend is bitwise-pinned by ``tests/backend``; here the JIT
+    backends — which draw from their own RNG streams — are held to the same
+    statistical-agreement bar the engines hold each other to.
+    """
+
+    @pytest.mark.parametrize("backend", _grid_backends())
+    @pytest.mark.parametrize(
+        "engine,scheduler,options",
+        [
+            ("batched", None, {}),
+            ("batched", "state-weighted", {"rates": (("I", 0.3),)}),
+            ("vector", None, {}),
+            ("vector", "weighted", {"lazy_fraction": 0.5, "lazy_rate": 0.2}),
+        ],
+    )
+    def test_backend_agrees_with_numpy_reference(
+        self, backend, engine, scheduler, options
+    ):
+        reference = _epidemic_mean_time(engine, scheduler, dict(options))
+        observed = _epidemic_mean_time(
+            engine, scheduler, dict(options), backend=backend
+        )
+        assert observed == pytest.approx(reference, rel=0.35), (
+            engine,
+            scheduler,
+            backend.name,
+            observed,
+            reference,
+        )

@@ -724,3 +724,182 @@ class TestCRNCommands:
         )
         assert code == 2
         assert "thinned" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    """The array-backend seam surfaces on every engine-running subcommand."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "--backend", "numpy"],
+            ["sweep", "--backend", "numpy"],
+            ["profile", "--backend", "numpy"],
+            ["crn", "simulate", "--backend", "numpy"],
+            ["crn", "sweep", "--crn", "epidemic", "--backend", "numpy"],
+        ],
+    )
+    def test_backend_flag_parses(self, argv):
+        assert build_parser().parse_args(argv).backend == "numpy"
+
+    def test_unknown_backend_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--backend", "warp"])
+
+    def test_engines_reports_backend_availability(self, capsys):
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        assert "array backends" in output
+        for name in ("numpy", "numba", "native"):
+            assert name in output
+        assert "REPRO_BACKEND" in output
+
+    def test_simulate_runs_with_explicit_numpy_backend(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "2000",
+                "--engine",
+                "batched",
+                "--backend",
+                "numpy",
+            ]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_sweep_runs_with_explicit_numpy_backend(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocol",
+                "epidemic",
+                "--sizes",
+                "500,1000",
+                "--runs",
+                "2",
+                "--engine",
+                "batched",
+                "--backend",
+                "numpy",
+            ]
+        )
+        assert code == 0
+        assert "P(converged)" in capsys.readouterr().out
+
+    def test_vector_sweep_accepts_backend(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocol",
+                "figure2",
+                "--engine",
+                "vector",
+                "--sizes",
+                "1000",
+                "--runs",
+                "1",
+                "--fast",
+                "--backend",
+                "numpy",
+            ]
+        )
+        assert code == 0
+        assert "P(converged)" in capsys.readouterr().out
+
+    def test_crn_simulate_accepts_backend(self, capsys):
+        code = main(
+            [
+                "crn",
+                "simulate",
+                "--crn",
+                "leader",
+                "--n",
+                "500",
+                "--engine",
+                "batched",
+                "--backend",
+                "numpy",
+            ]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_fixed_interactions(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "2000",
+                "--engine",
+                "batched",
+                "--interactions",
+                "20000",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "interactions_per_second" in output
+        assert "top" in output and "cumulative time" in output
+        assert "kernel breakdown" in output
+        assert "repro/" in output  # kernel frames resolved to repo paths
+
+    def test_profile_run_to_convergence(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "1000",
+                "--engine",
+                "count",
+                "--max-time",
+                "60",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "converged" in output
+        assert "kernel breakdown" in output
+
+    def test_profile_vector_engine(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--protocol",
+                "epidemic",
+                "--n",
+                "1000",
+                "--engine",
+                "vector",
+                "--interactions",
+                "10000",
+                "--top",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "vector engine" in capsys.readouterr().out
+
+    def test_profile_reports_engine_errors_cleanly(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--protocol",
+                "epidemic",
+                "--engine",
+                "vector",
+                "--batch-size",
+                "32",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
