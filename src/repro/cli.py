@@ -627,6 +627,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_engines(args: argparse.Namespace) -> int:
     """Print the engine × scheduler compatibility matrix."""
+    if getattr(args, "verify", False):
+        return _verify_capability_matrix()
     matrix = engine_scheduler_matrix()
     print("engine x scheduler compatibility (* = engine default):")
     rows = []
@@ -666,6 +668,55 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         "backends); unavailable backends fall back to numpy with a warning."
     )
     return 0
+
+
+def _verify_capability_matrix() -> int:
+    """`repro engines --verify`: every declared cell must be grid-tested."""
+    from repro.staticcheck.contracts import (
+        capability_matrix_diagnostics,
+        declared_backend_cells,
+        declared_scheduler_cells,
+    )
+
+    diagnostics = capability_matrix_diagnostics(".")
+    declared = len(declared_scheduler_cells()) + len(declared_backend_cells())
+    if not diagnostics:
+        print(
+            f"capability matrix verified: all {declared} declared "
+            f"(engine x scheduler) and (engine x backend) cells are "
+            f"exercised by the cross-engine test grid"
+        )
+        return 0
+    print(
+        f"capability matrix verification found {len(diagnostics)} problem(s):",
+        file=sys.stderr,
+    )
+    for diagnostic in diagnostics:
+        print(
+            f"  {diagnostic.rule} {diagnostic.location}: {diagnostic.message}",
+            file=sys.stderr,
+        )
+    return 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """`repro check`: run the static analyzers and report diagnostics."""
+    from repro.staticcheck import render_json, render_text, run_check
+
+    try:
+        diagnostics, code = run_check(
+            root=args.root,
+            only=args.only or None,
+            lint_paths=args.paths or None,
+            waiver_file=args.waivers or None,
+            update_baseline=args.update_baseline,
+        )
+    except (ValueError, OSError) as error:
+        print(f"repro check: error: {error}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(diagnostics))
+    return code
 
 
 def _cmd_protocols(args: argparse.Namespace) -> int:
@@ -1020,7 +1071,57 @@ def build_parser() -> argparse.ArgumentParser:
             "run, the per-engine defaults, and every scheduler's options."
         ),
     )
+    engines.add_argument(
+        "--verify",
+        action="store_true",
+        help="check that every declared (engine x scheduler) and (engine x "
+        "backend) cell is exercised by the cross-engine test grid; exit 1 "
+        "and list untested cells otherwise (requires the repo checkout)",
+    )
     engines.set_defaults(handler=_cmd_engines)
+
+    check = subparsers.add_parser(
+        "check",
+        help="static analysis: protocol/CRN semantics, determinism lint, "
+        "cache-key and capability-matrix contracts, typing ratchet",
+        description=(
+            "Run the static analyzers (see DESIGN.md, 'Static analysis'). "
+            "Exit 0 when every error-severity finding is waived, 1 "
+            "otherwise; warnings and info never fail. Committed waivers "
+            "live in repro.staticcheck.waivers, each with a justification; "
+            "--waivers adds ad-hoc ones from a JSON file."
+        ),
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    check.add_argument(
+        "--only", action="append", default=None, metavar="FAMILY",
+        choices=("semantic", "lint", "contracts", "typing"),
+        help="run only this analyzer family (repeatable; default: all)",
+    )
+    check.add_argument(
+        "--root", default=".",
+        help="repository root (default: current directory); lint locations "
+        "and waiver prefixes are relative to it",
+    )
+    check.add_argument(
+        "--paths", action="append", default=None, metavar="PATH",
+        help="override the determinism lint's target files/directories "
+        "(default: src/repro; repeatable)",
+    )
+    check.add_argument(
+        "--waivers", default=None, metavar="FILE",
+        help="extra waivers as JSON: "
+        '{"waivers": [{"rule": ..., "location": ..., "justification": ...}]}',
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="typing family: rewrite staticcheck_typing_baseline.json with "
+        "the current strict-mypy error counts",
+    )
+    check.set_defaults(handler=_cmd_check)
 
     protocols = subparsers.add_parser(
         "protocols",

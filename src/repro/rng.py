@@ -17,23 +17,39 @@ per interaction with an ``F`` agent, where the flip outcome is whether the
 ``A`` agent was the sender or the receiver.
 
 All randomness in the library flows through :class:`RandomSource`, which wraps
-a single :class:`random.Random` instance so that entire simulations are
-reproducible from one integer seed.
+a single :class:`numpy.random.Generator` so that entire simulations are
+reproducible from one integer seed.  The whole library therefore draws from
+one generator family (PCG64 via :func:`numpy.random.default_rng`), the same
+family the array engines and backends use — there is no stdlib
+``random.Random`` stream left to keep in sync, and the ``repro check``
+determinism lint (rule D301) enforces that no module reintroduces one.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Protocol, Sequence
+
+import numpy as np
 
 __all__ = [
     "RandomSource",
     "SyntheticCoin",
+    "UniformSampler",
     "geometric",
     "max_of_geometrics",
     "spawn_seed",
 ]
+
+
+class UniformSampler(Protocol):
+    """Anything with a ``random() -> float in [0, 1)`` method.
+
+    Satisfied by :class:`numpy.random.Generator`, :class:`RandomSource` and
+    (for callers bridging legacy generators) :class:`random.Random`.
+    """
+
+    def random(self) -> float: ...
 
 
 def spawn_seed(base_seed: int, *spawn_key: int) -> int:
@@ -62,11 +78,8 @@ def spawn_seed(base_seed: int, *spawn_key: int) -> int:
     Returns
     -------
     int
-        A seed in ``[0, 2**64)`` suitable for both :class:`random.Random`
-        and :func:`numpy.random.default_rng`.
+        A seed in ``[0, 2**64)`` suitable for :func:`numpy.random.default_rng`.
     """
-    # numpy is already a hard dependency of the array/batched engines; the
-    # local import keeps ``repro.rng`` cheap for stdlib-only users.
     from numpy.random import SeedSequence
 
     if any(part < 0 for part in spawn_key):
@@ -77,7 +90,7 @@ def spawn_seed(base_seed: int, *spawn_key: int) -> int:
     return int(sequence.generate_state(2, "uint32").view("uint64")[0])
 
 
-def geometric(rng: random.Random, p: float = 0.5) -> int:
+def geometric(rng: UniformSampler, p: float = 0.5) -> int:
     """Sample a ``p``-geometric random variable (support ``{1, 2, ...}``).
 
     Following the paper's definition (Appendix D.2): the number of consecutive
@@ -87,7 +100,7 @@ def geometric(rng: random.Random, p: float = 0.5) -> int:
     Parameters
     ----------
     rng:
-        Source of uniform randomness.
+        Source of uniform randomness (anything with ``random()``).
     p:
         Success probability of each flip, in ``(0, 1]``.
     """
@@ -99,7 +112,7 @@ def geometric(rng: random.Random, p: float = 0.5) -> int:
     return count
 
 
-def max_of_geometrics(rng: random.Random, count: int, p: float = 0.5) -> int:
+def max_of_geometrics(rng: UniformSampler, count: int, p: float = 0.5) -> int:
     """Sample the maximum of ``count`` i.i.d. ``p``-geometric random variables.
 
     This is the quantity ``M = max_i G_i`` whose expectation is approximately
@@ -116,33 +129,34 @@ def max_of_geometrics(rng: random.Random, count: int, p: float = 0.5) -> int:
 class RandomSource:
     """Seeded randomness shared by a simulation.
 
-    A single :class:`random.Random` instance backs every draw so that a run is
-    fully determined by its seed.  Protocols receive the :class:`RandomSource`
-    (not the raw ``random.Random``) so that the draws they are allowed to make
-    are the ones the model grants: fair bits and geometric variables.
+    A single :class:`numpy.random.Generator` instance backs every draw so that
+    a run is fully determined by its seed.  Protocols receive the
+    :class:`RandomSource` (not the raw generator) so that the draws they are
+    allowed to make are the ones the model grants: fair bits and geometric
+    variables.
 
     Attributes
     ----------
     seed:
-        Seed used to initialise the underlying generator.  ``None`` lets the
-        standard library pick entropy (non-reproducible).
+        Seed used to initialise the underlying generator.  ``None`` draws
+        fresh OS entropy (non-reproducible).
     """
 
     seed: int | None = None
-    _rng: random.Random = field(init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.seed)
+        self._rng = np.random.default_rng(self.seed)
 
     # -- draws available to agents (the model's read-only random tape) ------
 
     def fair_bit(self) -> int:
         """Return a uniformly random bit (0 or 1)."""
-        return self._rng.getrandbits(1)
+        return int(self._rng.integers(0, 2))
 
     def fair_coin(self) -> bool:
         """Return ``True`` with probability exactly 1/2."""
-        return bool(self._rng.getrandbits(1))
+        return bool(self._rng.integers(0, 2))
 
     def geometric(self, p: float = 0.5) -> int:
         """Sample a ``p``-geometric random variable (see :func:`geometric`)."""
@@ -162,19 +176,19 @@ class RandomSource:
         """
         if n < 2:
             raise ValueError(f"need at least two agents to interact, got n={n}")
-        receiver = self._rng.randrange(n)
-        sender = self._rng.randrange(n - 1)
+        receiver = int(self._rng.integers(n))
+        sender = int(self._rng.integers(n - 1))
         if sender >= receiver:
             sender += 1
         return receiver, sender
 
     def randrange(self, upper: int) -> int:
         """Return a uniform integer in ``range(upper)``."""
-        return self._rng.randrange(upper)
+        return int(self._rng.integers(upper))
 
     def random(self) -> float:
         """Return a uniform float in ``[0, 1)``."""
-        return self._rng.random()
+        return float(self._rng.random())
 
     def shuffle(self, items: list) -> None:
         """Shuffle ``items`` in place."""
@@ -184,13 +198,13 @@ class RandomSource:
         """Sample ``k`` distinct indices from ``range(n)`` without replacement."""
         if k > n:
             raise ValueError(f"cannot sample {k} distinct indices from range({n})")
-        return self._rng.sample(range(n), k)
+        return [int(index) for index in self._rng.choice(n, size=k, replace=False)]
 
     def spawn(self) -> "RandomSource":
         """Derive an independent child source (useful for parallel sweeps)."""
-        return RandomSource(seed=self._rng.randrange(2**63))
+        return RandomSource(seed=int(self._rng.integers(2**63)))
 
-    def raw(self) -> random.Random:
+    def raw(self) -> np.random.Generator:
         """Expose the underlying generator (escape hatch for numpy bridging)."""
         return self._rng
 
@@ -259,7 +273,7 @@ def stream_of_geometrics(
     that need a reproducible stream without constructing a full
     :class:`RandomSource`.
     """
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     for _ in range(count):
         yield geometric(rng, p)
 
@@ -275,5 +289,5 @@ def empirical_maximum_distribution(
     """
     if population <= 0 or trials <= 0:
         raise ValueError("population and trials must be positive")
-    rng = random.Random(seed)
+    rng = np.random.default_rng(seed)
     return [max_of_geometrics(rng, population, p) for _ in range(trials)]

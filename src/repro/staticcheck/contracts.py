@@ -1,0 +1,383 @@
+"""Cache-key and capability-matrix contract checks (rules ``K4xx``/``M5xx``).
+
+Cache-key completeness (``K401``/``K402``/``K403``)
+    The sweep result cache reuses a stored record whenever a new trial's
+    :meth:`TrialSpec.cache_key` matches — so a spec field *not* hashed into
+    the key silently serves stale results for different experiments.  The
+    checker proves participation by perturbation: for every dataclass field
+    it builds two otherwise-identical specs differing only in that field and
+    requires their keys to differ.  Conditional fields (``scheduler_options``
+    joins the payload only alongside a ``scheduler``; ``crn_mode`` only
+    alongside a ``crn``) get per-field baselines that make them active.  A
+    field with no registered perturbation is itself an error (``K402``), so
+    adding a field to a spec without extending the audit — and therefore
+    without thinking about the key — fails CI.
+
+Capability-matrix coverage (``M501``/``M502``/``M503``)
+    ``ENGINE_SCHEDULER_CAPABILITY`` plus the registered policies' declared
+    capabilities define which (engine × scheduler) cells exist; the backend
+    seam adds (array-engine × backend) cells.  The cross-engine test grid
+    declares what it exercises in two literal constants
+    (``EXERCISED_CELLS`` / ``EXERCISED_BACKEND_CELLS`` in
+    ``tests/engine/test_cross_engine.py``) that a test in the same module
+    actually runs, and this checker cross-references the two sets *without
+    importing the tests*: a declared-but-untested cell is an error (M501),
+    as is a tested-but-undeclared cell (M502, the matrix is out of date).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.staticcheck.diagnostics import ERROR, Diagnostic
+
+__all__ = [
+    "FieldPerturbation",
+    "audit_cache_key",
+    "capability_matrix_diagnostics",
+    "contract_diagnostics",
+    "declared_backend_cells",
+    "declared_scheduler_cells",
+    "exercised_cells",
+    "scheduler_spec_perturbations",
+    "trial_spec_perturbations",
+]
+
+#: Engines that consume the array-backend seam (agent/count are pure Python).
+ARRAY_ENGINE_NAMES = ("batched", "vector")
+
+#: Where the cross-engine grid declares its coverage.
+GRID_TEST_PATH = Path("tests/engine/test_cross_engine.py")
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldPerturbation:
+    """How to prove one spec field participates in the cache key.
+
+    ``base`` overrides the shared baseline kwargs (to activate conditional
+    fields); ``variant`` is the value substituted for ``field`` in the
+    perturbed copy.  The two instances must produce different keys.
+    """
+
+    field: str
+    variant: object
+    base: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+
+def audit_cache_key(
+    cls,
+    baseline: Mapping[str, object],
+    perturbations: Sequence[FieldPerturbation],
+    key: Callable[[object], str],
+    location: str,
+) -> list[Diagnostic]:
+    """Perturb every field of ``cls`` and require the key to change."""
+    diagnostics: list[Diagnostic] = []
+    covered = {perturbation.field for perturbation in perturbations}
+    for field in dataclasses.fields(cls):
+        if not field.init:
+            continue
+        if field.name not in covered:
+            diagnostics.append(
+                Diagnostic(
+                    rule="K402",
+                    severity=ERROR,
+                    location=f"{location}.{field.name}",
+                    message=(
+                        f"field {field.name!r} has no registered cache-key "
+                        f"perturbation: its participation in the key is "
+                        f"unverified"
+                    ),
+                    hint=(
+                        "extend the audit table in repro.staticcheck.contracts "
+                        "(and the key itself, if the field was just added)"
+                    ),
+                )
+            )
+    for perturbation in perturbations:
+        field_location = f"{location}.{perturbation.field}"
+        kwargs = dict(baseline)
+        kwargs.update(perturbation.base)
+        try:
+            base_spec = cls(**kwargs)
+            variant_kwargs = dict(kwargs)
+            variant_kwargs[perturbation.field] = perturbation.variant
+            variant_spec = cls(**variant_kwargs)
+        except Exception as error:
+            diagnostics.append(
+                Diagnostic(
+                    rule="K403",
+                    severity=ERROR,
+                    location=field_location,
+                    message=(
+                        f"cache-key audit could not construct the perturbed "
+                        f"spec: {error}"
+                    ),
+                    hint="fix the audit table's baseline/variant values",
+                )
+            )
+            continue
+        if kwargs[perturbation.field] == perturbation.variant:
+            diagnostics.append(
+                Diagnostic(
+                    rule="K403",
+                    severity=ERROR,
+                    location=field_location,
+                    message="perturbation variant equals the baseline value",
+                    hint="pick a distinct variant in the audit table",
+                )
+            )
+            continue
+        if key(base_spec) == key(variant_spec):
+            diagnostics.append(
+                Diagnostic(
+                    rule="K401",
+                    severity=ERROR,
+                    location=field_location,
+                    message=(
+                        f"changing field {perturbation.field!r} does not "
+                        f"change the cache key: cached results would be "
+                        f"reused across different experiments"
+                    ),
+                    hint="hash the field into the canonical key payload",
+                )
+            )
+    return diagnostics
+
+
+def _epidemic_crn():
+    from repro.crn.library import CRN_WORKLOADS
+
+    return CRN_WORKLOADS["epidemic"].crn
+
+
+def _sir_crn():
+    from repro.crn.library import CRN_WORKLOADS
+
+    return CRN_WORKLOADS["sir"].crn
+
+
+def trial_spec_perturbations() -> tuple[Mapping[str, object], list[FieldPerturbation]]:
+    """Baseline kwargs and per-field perturbations for ``TrialSpec``."""
+    from repro.core.parameters import ProtocolParameters
+    from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
+
+    baseline: Mapping[str, object] = {
+        "kind": "finite-state",
+        "population_size": 64,
+        "size_index": 0,
+        "run_index": 0,
+        "base_seed": 7,
+        "engine": "count",
+        "max_parallel_time": 32.0,
+        "check_interval": None,
+        "protocol": "epidemic",
+        "protocol_factory": None,
+        "predicate": None,
+        "engine_options": (),
+        "scheduler": None,
+        "scheduler_options": (),
+        "params": None,
+        "track_states": False,
+        "crn": None,
+        "crn_mode": "uniform",
+    }
+    crn_base = {
+        "kind": "crn",
+        "protocol": "epidemic",
+        "crn": _epidemic_crn(),
+        "crn_mode": "uniform",
+    }
+    perturbations = [
+        FieldPerturbation("kind", "sequential", base={"params": ProtocolParameters()}),
+        FieldPerturbation("population_size", 65),
+        FieldPerturbation("size_index", 1),
+        FieldPerturbation("run_index", 1),
+        FieldPerturbation("base_seed", 8),
+        FieldPerturbation("engine", "agent"),
+        FieldPerturbation("max_parallel_time", 16.0),
+        FieldPerturbation("check_interval", 16),
+        FieldPerturbation("protocol", "majority"),
+        FieldPerturbation("protocol_factory", EpidemicProtocol),
+        FieldPerturbation("predicate", epidemic_completion_predicate),
+        FieldPerturbation("engine_options", (("batch_size", 32),)),
+        FieldPerturbation("scheduler", "state-weighted"),
+        FieldPerturbation(
+            "scheduler_options",
+            (("default_rate", 0.5),),
+            base={
+                "scheduler": "state-weighted",
+                "scheduler_options": (("default_rate", 1.0),),
+            },
+        ),
+        FieldPerturbation("params", ProtocolParameters(epochs_factor=6)),
+        FieldPerturbation("track_states", True),
+        FieldPerturbation("crn", _sir_crn(), base=crn_base),
+        FieldPerturbation("crn_mode", "thinned", base=crn_base),
+    ]
+    return baseline, perturbations
+
+
+def scheduler_spec_perturbations() -> tuple[Mapping[str, object], list[FieldPerturbation]]:
+    """Baseline kwargs and per-field perturbations for ``SchedulerSpec``."""
+    baseline: Mapping[str, object] = {
+        "name": "state-weighted",
+        "options": (("default_rate", 1.0),),
+    }
+    perturbations = [
+        FieldPerturbation("name", "sequential", base={"options": ()}),
+        FieldPerturbation("options", (("default_rate", 0.5),)),
+    ]
+    return baseline, perturbations
+
+
+def cache_key_diagnostics() -> list[Diagnostic]:
+    """Audit the frozen spec dataclasses that key the sweep result cache."""
+    from repro.engine.scheduler import SchedulerSpec
+    from repro.harness.parallel import TrialSpec
+
+    baseline, perturbations = trial_spec_perturbations()
+    diagnostics = audit_cache_key(
+        TrialSpec,
+        baseline,
+        perturbations,
+        key=lambda spec: spec.cache_key(),
+        location="spec:TrialSpec",
+    )
+    baseline, perturbations = scheduler_spec_perturbations()
+    diagnostics.extend(
+        audit_cache_key(
+            SchedulerSpec,
+            baseline,
+            perturbations,
+            key=lambda spec: json.dumps(spec.cache_payload(), sort_keys=True),
+            location="spec:SchedulerSpec",
+        )
+    )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Capability-matrix coverage
+# ---------------------------------------------------------------------------
+
+
+def declared_scheduler_cells() -> set[tuple[str, str]]:
+    """Every (engine, scheduler) cell the capability matrix declares runnable."""
+    from repro.engine.selection import engine_scheduler_matrix
+
+    return {
+        (engine, scheduler)
+        for engine, schedulers in engine_scheduler_matrix().items()
+        for scheduler in schedulers
+    }
+
+
+def declared_backend_cells() -> set[tuple[str, str]]:
+    """Every (array-engine, backend) cell the backend registry declares."""
+    from repro.backend import BACKEND_NAMES
+
+    return {
+        (engine, backend)
+        for engine in ARRAY_ENGINE_NAMES
+        for backend in BACKEND_NAMES
+    }
+
+
+def exercised_cells(
+    grid_path: str | Path,
+) -> tuple[set[tuple[str, str]] | None, set[tuple[str, str]] | None]:
+    """Parse the grid module's literal coverage constants (no test import)."""
+    tree = ast.parse(Path(grid_path).read_text(encoding="utf-8"))
+    found: dict[str, set[tuple[str, str]]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in (
+                "EXERCISED_CELLS",
+                "EXERCISED_BACKEND_CELLS",
+            ):
+                value = ast.literal_eval(node.value)
+                found[target.id] = {(str(a), str(b)) for a, b in value}
+    return found.get("EXERCISED_CELLS"), found.get("EXERCISED_BACKEND_CELLS")
+
+
+def capability_matrix_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
+    """Cross-check declared capability cells against the test grid's coverage."""
+    grid_path = Path(root) / GRID_TEST_PATH
+    location = str(GRID_TEST_PATH)
+    if not grid_path.exists():
+        return [
+            Diagnostic(
+                rule="M503",
+                severity=ERROR,
+                location=location,
+                message="cross-engine grid test module not found",
+                hint="run repro check from the repository root",
+            )
+        ]
+    try:
+        scheduler_cells, backend_cells = exercised_cells(grid_path)
+    except (SyntaxError, ValueError) as error:
+        return [
+            Diagnostic(
+                rule="M503",
+                severity=ERROR,
+                location=location,
+                message=f"could not parse coverage constants: {error}",
+                hint="EXERCISED_CELLS must be a literal of (engine, scheduler) pairs",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for constant, exercised, declared, kind in (
+        ("EXERCISED_CELLS", scheduler_cells, declared_scheduler_cells(), "scheduler"),
+        ("EXERCISED_BACKEND_CELLS", backend_cells, declared_backend_cells(), "backend"),
+    ):
+        if exercised is None:
+            diagnostics.append(
+                Diagnostic(
+                    rule="M503",
+                    severity=ERROR,
+                    location=location,
+                    message=f"coverage constant {constant} not found",
+                    hint="declare the grid's coverage as a module-level literal",
+                )
+            )
+            continue
+        for engine, other in sorted(declared - exercised):
+            diagnostics.append(
+                Diagnostic(
+                    rule="M501",
+                    severity=ERROR,
+                    location=location,
+                    message=(
+                        f"declared {kind} cell ({engine}, {other}) is not "
+                        f"exercised by the cross-engine test grid"
+                    ),
+                    hint=f"add the cell to the grid tests and to {constant}",
+                )
+            )
+        for engine, other in sorted(exercised - declared):
+            diagnostics.append(
+                Diagnostic(
+                    rule="M502",
+                    severity=ERROR,
+                    location=location,
+                    message=(
+                        f"{constant} lists ({engine}, {other}) but the "
+                        f"capability matrix does not declare that {kind} cell"
+                    ),
+                    hint="the matrix and the grid drifted; update one of them",
+                )
+            )
+    return diagnostics
+
+
+def contract_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
+    """All contract checks: cache keys plus capability-matrix coverage."""
+    return cache_key_diagnostics() + capability_matrix_diagnostics(root)

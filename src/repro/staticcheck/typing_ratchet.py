@@ -1,0 +1,167 @@
+"""Mypy strict-typing ratchet (rules ``T6xx``).
+
+The goal is monotone progress, not a flag day: ``mypy --strict`` runs over
+the core packages and the per-package error counts are compared against a
+committed baseline (``staticcheck_typing_baseline.json``).  A package whose
+count *rises* fails the check (``T601``); a falling count is reported as
+info (``T602``) with a prompt to re-baseline, so legacy debt can only burn
+down.  Packages absent from the baseline are informational (``T603``) — the
+first CI run after adding a package records its debt with
+``repro check --only typing --update-baseline``.
+
+mypy itself is an optional tool: when it is not importable (numpy-only dev
+installs), the ratchet reports ``T600`` (info) and passes — the CI
+static-analysis job installs mypy and runs the real comparison.  The strict
+flags live in ``pyproject.toml`` under ``[tool.mypy]``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Mapping
+
+from repro.staticcheck.diagnostics import ERROR, INFO, Diagnostic
+
+__all__ = [
+    "BASELINE_PATH",
+    "DEFAULT_PACKAGES",
+    "typing_diagnostics",
+]
+
+#: Packages under the strict ratchet (relative to ``src/repro``).
+DEFAULT_PACKAGES = ("engine", "backend", "harness", "crn")
+
+#: Committed per-package error-count baseline, relative to the repo root.
+BASELINE_PATH = Path("staticcheck_typing_baseline.json")
+
+#: mypy output line: ``path:line: error: message  [code]``.
+_ERROR_LINE = re.compile(r"^(?P<path>[^:]+):\d+:\s*error:")
+
+
+def _mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def _run_mypy(root: Path, packages: tuple[str, ...]) -> tuple[int, str]:
+    targets = [str(root / "src" / "repro" / package) for package in packages]
+    process = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", *targets],
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    return process.returncode, process.stdout
+
+
+def _counts_by_package(
+    output: str, packages: tuple[str, ...]
+) -> dict[str, int]:
+    counts = {package: 0 for package in packages}
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line.strip())
+        if not match:
+            continue
+        parts = Path(match.group("path")).parts
+        # .../src/repro/<package>/...
+        for package in packages:
+            if "repro" in parts and package in parts[parts.index("repro") :]:
+                counts[package] += 1
+                break
+    return counts
+
+
+def typing_diagnostics(
+    root: str | Path = ".",
+    packages: tuple[str, ...] = DEFAULT_PACKAGES,
+    update_baseline: bool = False,
+) -> list[Diagnostic]:
+    """Compare strict-mypy error counts against the committed baseline."""
+    root = Path(root)
+    baseline_file = root / BASELINE_PATH
+    if not _mypy_available():
+        return [
+            Diagnostic(
+                rule="T600",
+                severity=INFO,
+                location="typing",
+                message="mypy is not installed; typing ratchet skipped",
+                hint="pip install mypy (the CI static-analysis job runs it)",
+            )
+        ]
+    returncode, output = _run_mypy(root, packages)
+    if returncode not in (0, 1):  # 2 = usage/crash, not type errors
+        return [
+            Diagnostic(
+                rule="T604",
+                severity=ERROR,
+                location="typing",
+                message=f"mypy failed to run (exit {returncode}): {output[:200]}",
+                hint="check [tool.mypy] in pyproject.toml",
+            )
+        ]
+    counts = _counts_by_package(output, packages)
+    baseline: Mapping[str, int] = {}
+    if baseline_file.exists():
+        baseline = json.loads(baseline_file.read_text(encoding="utf-8"))
+    if update_baseline:
+        baseline_file.write_text(
+            json.dumps(counts, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return [
+            Diagnostic(
+                rule="T605",
+                severity=INFO,
+                location="typing",
+                message=f"baseline updated: {counts}",
+                hint=f"commit {BASELINE_PATH}",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for package in packages:
+        count = counts[package]
+        location = f"typing:repro.{package}"
+        if package not in baseline:
+            diagnostics.append(
+                Diagnostic(
+                    rule="T603",
+                    severity=INFO,
+                    location=location,
+                    message=(
+                        f"{count} strict-mypy error(s); package not in the "
+                        f"baseline yet"
+                    ),
+                    hint="record it: repro check --only typing --update-baseline",
+                )
+            )
+        elif count > int(baseline[package]):
+            diagnostics.append(
+                Diagnostic(
+                    rule="T601",
+                    severity=ERROR,
+                    location=location,
+                    message=(
+                        f"strict-mypy errors rose from {baseline[package]} "
+                        f"to {count}: new typing debt"
+                    ),
+                    hint="fix the new violations (the ratchet only goes down)",
+                )
+            )
+        elif count < int(baseline[package]):
+            diagnostics.append(
+                Diagnostic(
+                    rule="T602",
+                    severity=INFO,
+                    location=location,
+                    message=(
+                        f"strict-mypy errors fell from {baseline[package]} "
+                        f"to {count}: debt burned down"
+                    ),
+                    hint="lock it in: repro check --only typing --update-baseline",
+                )
+            )
+    return diagnostics

@@ -17,8 +17,9 @@ the termination experiments.
 from __future__ import annotations
 
 import math
-import random
 from typing import Hashable, Sequence
+
+import numpy as np
 
 from repro.engine.configuration import Configuration
 from repro.exceptions import ConfigurationError
@@ -85,9 +86,10 @@ def alpha_dense_random_configuration(
             f"cannot make {len(states)} states {alpha}-dense with only "
             f"{population_size} agents"
         )
-    rng = random.Random(seed)
-    counts = {state: guaranteed for state in states}
-    remaining = population_size - guaranteed * len(states)
-    for _ in range(remaining):
-        counts[rng.choice(list(states))] += 1
+    rng = np.random.default_rng(seed)
+    ordered = list(states)
+    counts = {state: guaranteed for state in ordered}
+    remaining = population_size - guaranteed * len(ordered)
+    for index in rng.integers(len(ordered), size=remaining):
+        counts[ordered[int(index)]] += 1
     return Configuration(counts)

@@ -323,3 +323,93 @@ class TestEngineSchedulerBackendGrid:
             observed,
             reference,
         )
+
+
+# ---------------------------------------------------------------------------
+# Coverage declaration: the grid's cells, as machine-readable literals
+# ---------------------------------------------------------------------------
+
+# `repro check` (rules M501/M502) and `repro engines --verify` cross-check
+# these constants against the capability matrix without importing this
+# module: every declared (engine, scheduler) and (array-engine, backend)
+# cell must be listed here, and TestDeclaredCellCoverage below actually runs
+# each listed cell.  Keep the literals in sync with any new scheduler policy,
+# backend or engine — a mismatch fails the static-analysis CI job.
+
+EXERCISED_CELLS = (
+    ("agent", "sequential"),
+    ("agent", "matching"),
+    ("agent", "weighted"),
+    ("agent", "two-block"),
+    ("agent", "quiescing"),
+    ("count", "sequential"),
+    ("count", "state-weighted"),
+    ("batched", "sequential"),
+    ("batched", "state-weighted"),
+    ("vector", "matching"),
+    ("vector", "weighted"),
+    ("vector", "two-block"),
+    ("vector", "quiescing"),
+)
+
+EXERCISED_BACKEND_CELLS = (
+    ("batched", "numpy"),
+    ("batched", "numba"),
+    ("batched", "native"),
+    ("vector", "numpy"),
+    ("vector", "numba"),
+    ("vector", "native"),
+)
+
+#: Valid options for the policies that require (or deserve) non-defaults.
+_CELL_OPTIONS = {
+    "weighted": {"lazy_fraction": 0.5, "lazy_rate": 0.2},
+    "two-block": {"intra": 0.9},
+    "quiescing": {"fraction": 0.25, "start": 0.0, "duration": 2.0},
+    "state-weighted": {"rates": (("I", 0.5),)},
+}
+
+
+class TestDeclaredCellCoverage:
+    """Every declared capability cell runs; the literals match the matrix."""
+
+    def test_declaration_matches_capability_matrix(self):
+        from repro.staticcheck.contracts import (
+            declared_backend_cells,
+            declared_scheduler_cells,
+        )
+
+        assert set(EXERCISED_CELLS) == declared_scheduler_cells()
+        assert set(EXERCISED_BACKEND_CELLS) == declared_backend_cells()
+
+    @pytest.mark.parametrize("engine,scheduler", EXERCISED_CELLS)
+    def test_scheduler_cell_runs(self, engine, scheduler):
+        simulator = build_engine(
+            engine,
+            EpidemicProtocol(),
+            32,
+            seed=9,
+            scheduler=scheduler,
+            scheduler_options=dict(_CELL_OPTIONS.get(scheduler, {})),
+        )
+        elapsed = simulator.run_until(
+            epidemic_completion_predicate, max_parallel_time=400, check_interval=8
+        )
+        assert elapsed > 0
+
+    @pytest.mark.parametrize("engine,backend_name", EXERCISED_BACKEND_CELLS)
+    def test_backend_cell_runs(self, engine, backend_name):
+        from repro.backend import get_backend
+
+        backend = get_backend(backend_name)
+        if backend_name == "native" and not backend.available():
+            pytest.skip(backend.unavailable_reason() or "native backend unavailable")
+        # The numba backend runs interpreted when the JIT is not installed,
+        # so it exercises the same kernel code either way.
+        simulator = build_engine(
+            engine, EpidemicProtocol(), 32, seed=9, backend=backend
+        )
+        elapsed = simulator.run_until(
+            epidemic_completion_predicate, max_parallel_time=400, check_interval=8
+        )
+        assert elapsed > 0

@@ -29,6 +29,7 @@ from repro.harness.parallel import (
 from repro.harness.results import RunRecord, records_equal
 from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
 from repro.rng import spawn_seed
+from repro.staticcheck.contracts import trial_spec_perturbations
 
 FAST = ProtocolParameters.fast_test()
 
@@ -818,3 +819,38 @@ class TestCRNCacheKeys:
         cached = reloaded.get(spec.cache_key())
         assert records_equal(cached, record)
         assert cached.extra["counts"] == {"F": 59, "L": 1}
+
+
+class TestCacheKeySensitivity:
+    """Every TrialSpec field must flip the cache key when it changes.
+
+    Parametrized from the staticcheck audit table so the regression test and
+    `repro check --only contracts` can never drift apart: a new field added
+    to TrialSpec without a perturbation fails the contract check, and a
+    perturbation that stops changing the key fails here.
+    """
+
+    @pytest.mark.parametrize(
+        "perturbation",
+        [
+            pytest.param(p, id=p.field)
+            for p in trial_spec_perturbations()[1]
+        ],
+    )
+    def test_field_participates_in_cache_key(self, perturbation):
+        baseline, _ = trial_spec_perturbations()
+        kwargs = dict(baseline)
+        kwargs.update(perturbation.base)
+        base_spec = TrialSpec(**kwargs)
+        variant_kwargs = dict(kwargs)
+        variant_kwargs[perturbation.field] = perturbation.variant
+        variant_spec = TrialSpec(**variant_kwargs)
+        assert base_spec.cache_key() != variant_spec.cache_key(), (
+            f"field {perturbation.field!r} does not affect the cache key"
+        )
+
+    def test_audit_table_covers_every_field(self):
+        _, perturbations = trial_spec_perturbations()
+        audited = {p.field for p in perturbations}
+        declared = {f.name for f in dataclasses.fields(TrialSpec) if f.init}
+        assert audited == declared

@@ -1,0 +1,150 @@
+"""Cache-key and capability-matrix contracts (K4xx/M5xx)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import textwrap
+
+from repro.staticcheck.contracts import (
+    FieldPerturbation,
+    audit_cache_key,
+    cache_key_diagnostics,
+    capability_matrix_diagnostics,
+    declared_backend_cells,
+    declared_scheduler_cells,
+    exercised_cells,
+)
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeSpec:
+    """Deliberately broken: ``extra`` is missing from the key payload."""
+
+    alpha: int = 1
+    extra: int = 0
+
+    def cache_key(self) -> str:
+        return json.dumps({"alpha": self.alpha})
+
+
+class TestCacheKeyAudit:
+    def test_real_specs_are_complete(self):
+        assert cache_key_diagnostics() == []
+
+    def test_k401_detects_omitted_field(self):
+        diagnostics = audit_cache_key(
+            FakeSpec,
+            baseline={"alpha": 1, "extra": 0},
+            perturbations=[
+                FieldPerturbation("alpha", 2),
+                FieldPerturbation("extra", 5),
+            ],
+            key=lambda spec: spec.cache_key(),
+            location="spec:FakeSpec",
+        )
+        assert _rules(diagnostics) == {"K401"}
+        (diag,) = diagnostics
+        assert diag.location == "spec:FakeSpec.extra" and diag.severity == "error"
+
+    def test_k402_unaudited_field(self):
+        diagnostics = audit_cache_key(
+            FakeSpec,
+            baseline={"alpha": 1, "extra": 0},
+            perturbations=[FieldPerturbation("alpha", 2)],
+            key=lambda spec: spec.cache_key(),
+            location="spec:FakeSpec",
+        )
+        assert "K402" in _rules(diagnostics)
+
+    def test_k403_unbuildable_perturbation(self):
+        diagnostics = audit_cache_key(
+            FakeSpec,
+            baseline={"alpha": 1, "extra": 0},
+            perturbations=[
+                FieldPerturbation("alpha", 2),
+                FieldPerturbation("extra", 5, base={"bogus_kwarg": 1}),
+            ],
+            key=lambda spec: spec.cache_key(),
+            location="spec:FakeSpec",
+        )
+        assert "K403" in _rules(diagnostics)
+
+    def test_k403_identical_variant(self):
+        diagnostics = audit_cache_key(
+            FakeSpec,
+            baseline={"alpha": 1, "extra": 0},
+            perturbations=[
+                FieldPerturbation("alpha", 2),
+                FieldPerturbation("extra", 0),  # same as baseline
+            ],
+            key=lambda spec: spec.cache_key(),
+            location="spec:FakeSpec",
+        )
+        assert "K403" in _rules(diagnostics)
+
+
+class TestCapabilityMatrix:
+    def test_real_grid_is_consistent(self):
+        assert capability_matrix_diagnostics(root=".") == []
+
+    def test_declared_cells_are_nonempty(self):
+        assert len(declared_scheduler_cells()) >= 13
+        assert len(declared_backend_cells()) == 6
+
+    def test_m501_on_missing_cell(self, tmp_path):
+        self._write_grid(
+            tmp_path,
+            scheduler_cells=sorted(declared_scheduler_cells())[:-1],
+            backend_cells=sorted(declared_backend_cells()),
+        )
+        diagnostics = capability_matrix_diagnostics(root=tmp_path)
+        assert _rules(diagnostics) == {"M501"}
+
+    def test_m502_on_phantom_cell(self, tmp_path):
+        self._write_grid(
+            tmp_path,
+            scheduler_cells=sorted(declared_scheduler_cells())
+            + [("agent", "imaginary")],
+            backend_cells=sorted(declared_backend_cells()),
+        )
+        diagnostics = capability_matrix_diagnostics(root=tmp_path)
+        assert _rules(diagnostics) == {"M502"}
+
+    def test_m503_on_missing_constants(self, tmp_path):
+        grid = tmp_path / "tests" / "engine" / "test_cross_engine.py"
+        grid.parent.mkdir(parents=True)
+        grid.write_text("x = 1\n")
+        diagnostics = capability_matrix_diagnostics(root=tmp_path)
+        assert _rules(diagnostics) == {"M503"} and len(diagnostics) == 2
+
+    def test_m503_on_missing_module(self, tmp_path):
+        (diag,) = capability_matrix_diagnostics(root=tmp_path)
+        assert diag.rule == "M503"
+
+    def test_exercised_cells_parses_literals(self, tmp_path):
+        path = tmp_path / "grid.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                EXERCISED_CELLS = [("agent", "sequential")]
+                EXERCISED_BACKEND_CELLS = [("vector", "numpy")]
+                """
+            )
+        )
+        scheduler_cells, backend_cells = exercised_cells(path)
+        assert scheduler_cells == {("agent", "sequential")}
+        assert backend_cells == {("vector", "numpy")}
+
+    @staticmethod
+    def _write_grid(root, scheduler_cells, backend_cells):
+        grid = root / "tests" / "engine" / "test_cross_engine.py"
+        grid.parent.mkdir(parents=True)
+        grid.write_text(
+            f"EXERCISED_CELLS = {sorted(scheduler_cells)!r}\n"
+            f"EXERCISED_BACKEND_CELLS = {sorted(backend_cells)!r}\n"
+        )

@@ -1,0 +1,103 @@
+"""Diagnostic plumbing: severities, waivers, rendering, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    Waiver,
+    apply_waivers,
+    exit_code,
+    load_waiver_file,
+    render_json,
+    render_text,
+)
+
+
+def _diag(rule="D301", severity="error", location="src/x.py:3", message="m"):
+    return Diagnostic(rule=rule, severity=severity, location=location, message=message)
+
+
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            _diag(severity="fatal")
+
+    def test_as_dict_omits_waiver_when_absent(self):
+        assert "waived_by" not in _diag().as_dict()
+
+
+class TestWaivers:
+    def test_waiver_matches_by_rule_and_location_prefix(self):
+        waiver = Waiver(rule="D301", location="src/x.py", justification="why")
+        assert waiver.matches(_diag(location="src/x.py:3"))
+        assert not waiver.matches(_diag(location="src/y.py:3"))
+        assert not waiver.matches(_diag(rule="D302", location="src/x.py:3"))
+
+    def test_apply_marks_waived_and_reports_unused(self):
+        waivers = [
+            Waiver(rule="D301", location="src/x.py", justification="ok here"),
+            Waiver(rule="P102", location="protocol:gone", justification="stale"),
+        ]
+        out = apply_waivers([_diag()], waivers)
+        assert out[0].waived and out[0].waived_by == "ok here"
+        unused = [d for d in out if d.rule == "W001"]
+        assert len(unused) == 1 and "P102" in unused[0].message
+
+    def test_unused_reporting_can_be_suppressed_by_prefix(self):
+        waivers = [Waiver(rule="D301", location="src/gone.py", justification="j")]
+        out = apply_waivers([], waivers, suppress_unused_prefixes=("D",))
+        assert out == []
+
+    def test_load_waiver_file(self, tmp_path):
+        path = tmp_path / "waivers.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "waivers": [
+                        {"rule": "D301", "location": "src/x.py", "justification": "j"}
+                    ]
+                }
+            )
+        )
+        (waiver,) = load_waiver_file(path)
+        assert waiver.rule == "D301"
+
+    def test_load_waiver_file_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "waivers.json"
+        path.write_text(json.dumps({"waivers": [{"rule": "D301"}]}))
+        with pytest.raises(ValueError):
+            load_waiver_file(path)
+
+
+class TestExitAndRendering:
+    def test_exit_zero_when_errors_waived(self):
+        waived = apply_waivers(
+            [_diag()], [Waiver(rule="D301", location="src/x.py", justification="j")]
+        )
+        assert exit_code(waived) == 0
+
+    def test_exit_one_on_unwaived_error(self):
+        assert exit_code([_diag()]) == 1
+
+    def test_warnings_never_fail(self):
+        assert exit_code([_diag(severity="warning")]) == 0
+
+    def test_render_text_counts_exclude_waived(self):
+        waived = apply_waivers(
+            [_diag()], [Waiver(rule="D301", location="src/x.py", justification="j")]
+        )
+        text = render_text(waived)
+        assert "0 error(s)" in text and "[waived: j]" in text
+
+    def test_render_json_shape(self):
+        payload = json.loads(render_json([_diag(), _diag(severity="warning")]))
+        assert payload["exit_code"] == 1
+        assert payload["summary"] == {"error": 1, "warning": 1, "info": 0}
+        assert payload["diagnostics"][0]["rule"] == "D301"
+
+    def test_render_text_clean(self):
+        assert "clean" in render_text([])

@@ -1,0 +1,92 @@
+"""Typing ratchet (T6xx): baseline comparison logic, mypy-independent."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.staticcheck import typing_ratchet
+from repro.staticcheck.typing_ratchet import (
+    BASELINE_PATH,
+    _counts_by_package,
+    typing_diagnostics,
+)
+
+PACKAGES = ("engine", "backend")
+
+_SAMPLE_OUTPUT = """\
+src/repro/engine/core.py:10: error: Missing return type  [no-untyped-def]
+src/repro/engine/core.py:22: error: Incompatible types  [assignment]
+src/repro/backend/numpy_backend.py:5: error: Untyped call  [no-untyped-call]
+src/repro/engine/core.py:30: note: See docs
+"""
+
+
+def _rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestCountParsing:
+    def test_counts_by_package(self):
+        counts = _counts_by_package(_SAMPLE_OUTPUT, PACKAGES)
+        assert counts == {"engine": 2, "backend": 1}
+
+    def test_notes_not_counted(self):
+        assert _counts_by_package(
+            "src/repro/engine/x.py:1: note: hi\n", PACKAGES
+        ) == {"engine": 0, "backend": 0}
+
+
+class TestRatchet:
+    @pytest.fixture
+    def fake_mypy(self, monkeypatch):
+        """Pretend mypy is installed and returns _SAMPLE_OUTPUT."""
+        monkeypatch.setattr(typing_ratchet, "_mypy_available", lambda: True)
+        monkeypatch.setattr(
+            typing_ratchet, "_run_mypy", lambda root, packages: (1, _SAMPLE_OUTPUT)
+        )
+
+    def _write_baseline(self, root, counts):
+        (root / BASELINE_PATH).write_text(json.dumps(counts))
+
+    def test_t600_when_mypy_absent(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(typing_ratchet, "_mypy_available", lambda: False)
+        (diag,) = typing_diagnostics(tmp_path, packages=PACKAGES)
+        assert diag.rule == "T600" and diag.severity == "info"
+
+    def test_t601_when_errors_rise(self, tmp_path, fake_mypy):
+        self._write_baseline(tmp_path, {"engine": 1, "backend": 1})
+        diagnostics = typing_diagnostics(tmp_path, packages=PACKAGES)
+        assert _rules(diagnostics) == {"T601"}
+        assert diagnostics[0].severity == "error"
+
+    def test_t602_when_errors_fall(self, tmp_path, fake_mypy):
+        self._write_baseline(tmp_path, {"engine": 5, "backend": 1})
+        diagnostics = typing_diagnostics(tmp_path, packages=PACKAGES)
+        assert _rules(diagnostics) == {"T602"}
+
+    def test_silent_when_counts_match(self, tmp_path, fake_mypy):
+        self._write_baseline(tmp_path, {"engine": 2, "backend": 1})
+        assert typing_diagnostics(tmp_path, packages=PACKAGES) == []
+
+    def test_t603_for_unbaselined_package(self, tmp_path, fake_mypy):
+        self._write_baseline(tmp_path, {"engine": 2})
+        diagnostics = typing_diagnostics(tmp_path, packages=PACKAGES)
+        assert _rules(diagnostics) == {"T603"}
+
+    def test_t604_on_mypy_crash(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(typing_ratchet, "_mypy_available", lambda: True)
+        monkeypatch.setattr(
+            typing_ratchet, "_run_mypy", lambda root, packages: (2, "boom")
+        )
+        (diag,) = typing_diagnostics(tmp_path, packages=PACKAGES)
+        assert diag.rule == "T604" and diag.severity == "error"
+
+    def test_t605_update_writes_baseline(self, tmp_path, fake_mypy):
+        (diag,) = typing_diagnostics(
+            tmp_path, packages=PACKAGES, update_baseline=True
+        )
+        assert diag.rule == "T605"
+        recorded = json.loads((tmp_path / BASELINE_PATH).read_text())
+        assert recorded == {"engine": 2, "backend": 1}
