@@ -111,6 +111,7 @@ from repro.harness.parallel import (
 )
 from repro.harness.reporting import format_key_values, format_table
 from repro.harness.results import SweepResult
+from repro.store import DEFAULT_LEASE_SECONDS, StoreError, open_store
 from repro.harness.tables import accuracy_table, state_complexity_table
 from repro.protocols.leader_election import NonuniformCounterLeaderElection
 from repro.termination.definitions import TerminationSpec
@@ -122,6 +123,44 @@ def _parameters_from_args(args: argparse.Namespace) -> ProtocolParameters:
     if getattr(args, "fast", False):
         return ProtocolParameters.fast_test()
     return ProtocolParameters.paper()
+
+
+def _sweep_persistence_from_args(args: argparse.Namespace, name: str):
+    """Resolve ``--store`` / ``--cache-dir`` into ``(cache, store)``.
+
+    ``--store`` opens a shared result store (always resuming — shared
+    stores are never cleared, since other drivers may own records in
+    them); ``--cache-dir`` keeps the historical local-JSONL behaviour,
+    including the clear-unless-``--resume`` rule.
+    """
+    if getattr(args, "store", None):
+        if args.cache_dir:
+            raise SimulationError("pass either --store or --cache-dir, not both")
+        lease = getattr(args, "lease", None) or DEFAULT_LEASE_SECONDS
+        return None, open_store(args.store, lease_seconds=lease, name=name)
+    cache = None
+    if args.cache_dir:
+        cache = ResultCache(args.cache_dir, name=name)
+        if not args.resume:
+            cache.clear()
+    return cache, None
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store`` / ``--lease`` flags of the sweep commands."""
+    parser.add_argument(
+        "--store", default="",
+        help="shared result store URL: jsonl:DIR, sqlite:PATH or "
+        "http://HOST:PORT (a `repro store serve` daemon).  Many concurrent "
+        "drivers may point at one sqlite/http store and cooperate on the "
+        "sweep; always resumes, mutually exclusive with --cache-dir",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+        help="store claims only: seconds a claimed trial stays owned before "
+        "a crashed driver's claim is reclaimed (size it above the slowest "
+        f"single trial; default {DEFAULT_LEASE_SECONDS:g})",
+    )
 
 
 def _parse_scheduler_options(pairs: Sequence[str] | None) -> dict:
@@ -589,14 +628,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
 
-    cache = None
-    if args.cache_dir:
-        cache = ResultCache(args.cache_dir, name=f"{args.protocol}-{args.engine}")
-        if not args.resume:
-            cache.clear()
-
     try:
-        outcome = run_trials(specs, workers=args.workers, cache=cache)
+        cache, store = _sweep_persistence_from_args(
+            args, f"{args.protocol}-{args.engine}"
+        )
+        outcome = run_trials(
+            specs, workers=args.workers, cache=cache, store=store,
+            lease_seconds=args.lease,
+        )
     except SimulationError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
@@ -620,6 +659,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         print(f"cache: {cache.path}")
+    if store is not None:
+        print(f"store: {store.describe()}")
     print()
     _print_sweep_summary(result)
     return 0 if all(record.converged for record in outcome.records) else 1
@@ -967,14 +1008,14 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
         print(f"repro crn sweep: error: {error}", file=sys.stderr)
         return 2
 
-    cache = None
-    if args.cache_dir:
-        cache = ResultCache(args.cache_dir, name=f"crn-{args.crn}-{args.engine}")
-        if not args.resume:
-            cache.clear()
-
     try:
-        outcome = run_trials(specs, workers=args.workers, cache=cache)
+        cache, store = _sweep_persistence_from_args(
+            args, f"crn-{args.crn}-{args.engine}"
+        )
+        outcome = run_trials(
+            specs, workers=args.workers, cache=cache, store=store,
+            lease_seconds=args.lease,
+        )
     except SimulationError as error:
         print(f"repro crn sweep: error: {error}", file=sys.stderr)
         return 2
@@ -993,9 +1034,87 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         print(f"cache: {cache.path}")
+    if store is not None:
+        print(f"store: {store.describe()}")
     print()
     _print_sweep_summary(result)
     return 0 if all(record.converged for record in outcome.records) else 1
+
+
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    from repro.store.server import serve_store
+
+    try:
+        server = serve_store(
+            args.db,
+            host=args.host,
+            port=args.port,
+            lease_seconds=args.lease,
+            verbose=args.verbose,
+        )
+    except OSError as error:
+        print(f"repro store serve: error: {error}", file=sys.stderr)
+        return 2
+    print(f"serving {server.store.describe()} at {server.url}")
+    print("point sweep drivers at it with: repro sweep --store " + server.url)
+    server.serve_forever()
+    server.stop()
+    return 0
+
+
+def _cmd_store_status(args: argparse.Namespace) -> int:
+    try:
+        store = open_store(args.store)
+        status = store.status()
+    except SimulationError as error:
+        print(f"repro store status: error: {error}", file=sys.stderr)
+        return 2
+    print(f"store: {store.describe()}")
+    print(
+        format_key_values(
+            {
+                "completed trials": status.completed,
+                "leased (in progress)": status.leased,
+                "stale leases (reclaimable)": status.stale,
+            }
+        )
+    )
+    if status.leases:
+        print()
+        print("leases:")
+        rows = [
+            [
+                entry.key[:16],
+                entry.owner,
+                "-" if entry.expires is None else f"{entry.expires:.0f}",
+                "STALE" if entry.stale else "live",
+            ]
+            for entry in status.leases
+        ]
+        print(format_table(["key", "owner", "expires (unix)", "state"], rows))
+    if status.workloads:
+        print()
+        print("throughput by workload (completed trials):")
+        rows = []
+        for entry in status.workloads:
+            rate = entry.interactions_per_second
+            rows.append(
+                [
+                    entry.workload,
+                    str(entry.trials),
+                    f"{entry.interactions:,}",
+                    f"{entry.wall_seconds:.2f}",
+                    "-" if rate is None else f"{rate:,.0f}",
+                ]
+            )
+        print(
+            format_table(
+                ["workload", "trials", "interactions", "wall s", "inter/s"],
+                rows,
+            )
+        )
+    store.close()
+    return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -1268,7 +1387,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="array backend for every trial (default: $REPRO_BACKEND or "
         "numpy; participates in the trial cache keys)",
     )
+    _add_store_arguments(crn_sweep)
     crn_sweep.set_defaults(handler=_cmd_crn_sweep)
+
+    store = subparsers.add_parser(
+        "store",
+        help="shared result stores: serve one over HTTP, inspect any",
+        description=(
+            "Distributed-sweep result stores.  `serve` fronts a WAL-mode "
+            "SQLite store with a small HTTP daemon so sweep drivers on many "
+            "hosts share one store (--store http://HOST:PORT); `status` "
+            "summarises completion, leases and throughput of any store URL."
+        ),
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_serve = store_sub.add_parser(
+        "serve", help="serve a SQLite-backed result store over HTTP"
+    )
+    store_serve.add_argument(
+        "--db", required=True, help="path of the backing SQLite database"
+    )
+    store_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default loopback; use 0.0.0.0 for other hosts)",
+    )
+    store_serve.add_argument(
+        "--port", type=int, default=8512, help="bind port (0 picks a free one)"
+    )
+    store_serve.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+        help="server-side default lease duration in seconds",
+    )
+    store_serve.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+    store_serve.set_defaults(handler=_cmd_store_serve)
+    store_status = store_sub.add_parser(
+        "status",
+        help="completed/leased/stale counts and per-workload throughput",
+    )
+    store_status.add_argument(
+        "--store", required=True,
+        help="store URL: jsonl:DIR, sqlite:PATH or http://HOST:PORT",
+    )
+    store_status.set_defaults(handler=_cmd_store_status)
 
     simulate = subparsers.add_parser(
         "simulate", help="run a finite-state protocol on a selectable engine"
@@ -1468,6 +1630,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler option, repeatable (e.g. --scheduler weighted "
         "--scheduler-opt lazy_rate=0.25)",
     )
+    _add_store_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     return parser

@@ -29,11 +29,48 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
+
+try:  # advisory file locks: POSIX only, and the writes are atomic anyway
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.harness.results import RunRecord
 
-__all__ = ["ResultCache", "record_to_dict", "record_from_dict"]
+__all__ = ["ResultCache", "append_jsonl_line", "record_to_dict", "record_from_dict"]
+
+
+def append_jsonl_line(path: str | Path, line: str) -> None:
+    """Append one line to a JSONL file safely under concurrent writers.
+
+    Two layers of protection against interleaved appends from multiple
+    processes sharing one shard file:
+
+    * the file is opened with ``O_APPEND`` and the whole line leaves in a
+      *single* ``os.write`` call — POSIX guarantees the seek-to-end and the
+      write are atomic with respect to other ``O_APPEND`` writers, so lines
+      cannot interleave even without a lock;
+    * an advisory ``flock`` around the write (where available) additionally
+      serialises writers, covering filesystems with weaker append semantics
+      (and any future multi-``write`` record format).
+
+    A torn *final* line (the process died mid-write) remains possible and is
+    skipped on load, exactly as before.
+    """
+    data = (line + "\n").encode("utf-8")
+    descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(descriptor, fcntl.LOCK_EX)
+        try:
+            os.write(descriptor, data)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(descriptor, fcntl.LOCK_UN)
+    finally:
+        os.close(descriptor)
 
 
 def _canonicalise(value):
@@ -109,8 +146,11 @@ class ResultCache:
 
     Notes
     -----
-    The cache is written only by the parent (driver) process — workers return
-    records over the pool's result pipe — so no file locking is needed.
+    Appends go through :func:`append_jsonl_line` (``O_APPEND`` single-write
+    plus an advisory lock), so several driver processes may safely share one
+    shard file.  Each in-memory view only sees records loaded at construction
+    plus its own ``put`` calls; cross-process *coordination* (who runs what)
+    is the job of the :mod:`repro.store` layer, not this cache.
     """
 
     def __init__(self, directory: str | Path, name: str = "sweep") -> None:
@@ -160,9 +200,11 @@ class ResultCache:
             sort_keys=True,
             allow_nan=False,
         )
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        append_jsonl_line(self.path, line)
+
+    def items(self) -> list[tuple[str, RunRecord]]:
+        """All (key, record) pairs currently loaded, in insertion order."""
+        return list(self._records.items())
 
     def clear(self) -> None:
         """Forget all cached records and truncate the cache file."""

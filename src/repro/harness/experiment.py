@@ -19,8 +19,11 @@ All three runners expand their sweep into picklable
 :class:`~repro.harness.parallel.TrialSpec` lists and execute them through
 :func:`~repro.harness.parallel.run_trials`, so every sweep can fan out over a
 worker pool (``workers > 1``) and resume from an on-disk result cache
-(``cache=ResultCache(...)``) — results are identical record-for-record to
-the serial ``workers=1`` path.  All runners return
+(``cache=ResultCache(...)``) or any shared result store (``store=`` — a
+:mod:`repro.store` URL such as ``sqlite:PATH`` or ``http://HOST:PORT``, so
+several drivers on several hosts can cooperate on one sweep) — results are
+identical record-for-record to the serial ``workers=1`` path.  All runners
+return
 :class:`~repro.harness.results.RunRecord` lists so downstream figure/table
 builders do not care which engine produced the data.
 """
@@ -124,9 +127,12 @@ def run_array_experiment(
     name: str = "figure2-array",
     workers: int = 1,
     cache: ResultCache | None = None,
+    store=None,
 ) -> SweepResult:
     """Run the sweep on the vectorised engine and collect run records."""
-    outcome = run_trials(spec.trials(KIND_ARRAY, "array"), workers=workers, cache=cache)
+    outcome = run_trials(
+        spec.trials(KIND_ARRAY, "array"), workers=workers, cache=cache, store=store
+    )
     return SweepResult(name=name, records=outcome.records)
 
 
@@ -142,6 +148,7 @@ def run_finite_state_experiment(
     check_interval: int | None = None,
     workers: int = 1,
     cache: ResultCache | None = None,
+    store=None,
     scheduler: str | None = None,
     scheduler_options: dict | None = None,
     **engine_options,
@@ -169,6 +176,10 @@ def run_finite_state_experiment(
         satisfies.
     cache:
         Optional :class:`ResultCache` for resumable, incremental sweeps.
+    store:
+        Alternative to ``cache``: a :class:`~repro.store.base.ResultStore`
+        instance or store URL (``jsonl:DIR`` / ``sqlite:PATH`` /
+        ``http://HOST:PORT``) shared safely by many concurrent drivers.
     scheduler / scheduler_options:
         Scheduling policy for every trial (a registered scheduler name plus
         options); ``None`` keeps the engine's default.  Participates in the
@@ -198,7 +209,7 @@ def run_finite_state_experiment(
         scheduler_options=scheduler_options,
         **engine_options,
     )
-    outcome = run_trials(specs, workers=workers, cache=cache)
+    outcome = run_trials(specs, workers=workers, cache=cache, store=store)
     return SweepResult(
         name=name or f"finite-state-{engine}", records=outcome.records
     )
@@ -210,11 +221,13 @@ def run_sequential_experiment(
     track_states: bool = False,
     workers: int = 1,
     cache: ResultCache | None = None,
+    store=None,
 ) -> SweepResult:
     """Run the sweep on the agent-level engine and collect run records."""
     outcome = run_trials(
         spec.trials(KIND_SEQUENTIAL, "sequential", track_states=track_states),
         workers=workers,
         cache=cache,
+        store=store,
     )
     return SweepResult(name=name, records=outcome.records)

@@ -42,6 +42,8 @@ import hashlib
 import json
 import math
 import multiprocessing
+import time
+from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Callable, Mapping, Sequence
 
@@ -553,8 +555,14 @@ class TrialSpec:
         """Deterministic per-trial seed (collision-free across the sweep)."""
         return spawn_seed(self.base_seed, self.size_index, self.run_index)
 
-    def cache_key(self) -> str:
-        """Stable content hash of the spec, used as the result-cache key."""
+    def cache_payload(self) -> dict:
+        """The canonical key payload hashed by :meth:`cache_key`.
+
+        Public so the staticcheck contract audit (rule ``K405``) can prove
+        that *store-selection* names never leak into the key: the payload
+        describes the trial — what to simulate, with which seed and budget —
+        and deliberately says nothing about where its record is persisted.
+        """
         payload = {
             "kind": self.kind,
             "population_size": self.population_size,
@@ -594,7 +602,11 @@ class TrialSpec:
                 "network": self.crn.canonical(),
                 "mode": self.crn_mode,
             }
-        canonical = json.dumps(payload, sort_keys=True)
+        return payload
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec, used as the result-store key."""
+        canonical = json.dumps(self.cache_payload(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def resolve_workload(self) -> tuple[Callable[[], FiniteStateProtocol], Callable]:
@@ -1050,24 +1062,44 @@ class SweepOutcome:
     ----------
     records:
         One :class:`RunRecord` per input spec, in input order — identical
-        regardless of ``workers``.
+        regardless of ``workers`` or how many drivers share the store.
     executed:
-        Trials actually simulated in this invocation.
+        Trials actually simulated *by this driver* in this invocation.
     from_cache:
-        Trials replayed from the result cache.
+        Trials replayed from the result store/cache (including trials
+        another concurrent driver finished while this one was running).
+    executed_keys:
+        Store keys of the trials this driver simulated itself, in
+        completion order.  Empty when no store/cache is attached.  Lets
+        distributed tests assert exactly-once execution: two drivers
+        sharing a store must report *disjoint* key sets.
     """
 
     records: list[RunRecord] = field(default_factory=list)
     executed: int = 0
     from_cache: int = 0
+    executed_keys: list[str] = field(default_factory=list)
 
 
 def run_trials(
     specs: Sequence[TrialSpec],
     workers: int = 1,
     cache: ResultCache | None = None,
+    store=None,
+    lease_seconds: float | None = None,
+    owner: str | None = None,
+    poll_interval: float = 0.05,
 ) -> SweepOutcome:
-    """Run a sweep of trials, optionally in parallel and through a cache.
+    """Run a sweep of trials through a claim-loop over a result store.
+
+    The driver repeatedly *claims* the next unowned spec from the store,
+    runs it (inline or on a ``multiprocessing`` pool), appends the record,
+    and moves on.  Claims are atomic compare-and-claim with lease expiry,
+    so any number of concurrent drivers — in other processes, on other
+    hosts — can point at the same store and cooperate on one sweep: each
+    trial executes exactly once, a crashed driver's leased trials are
+    reclaimed after the lease expires, and the sweep resumes from any mix
+    of completed/leased/failed trials.
 
     Parameters
     ----------
@@ -1075,50 +1107,164 @@ def run_trials(
         The trials, typically from :func:`build_finite_state_trials` or the
         :mod:`repro.harness.experiment` runners.
     workers:
-        Worker processes.  ``1`` runs serially in-process (no pickling
-        constraints); ``> 1`` maps pending trials over a
-        ``multiprocessing.Pool`` with ``chunksize=1`` (trials are coarse, so
-        dynamic scheduling beats chunking).
+        Worker processes.  ``1`` runs claimed trials serially in-process
+        (no pickling constraints); ``> 1`` runs them on a
+        ``multiprocessing.Pool``, at most ``workers`` in flight.  Claims
+        and appends always happen in the driver process.
     cache:
-        Optional :class:`ResultCache`.  Hits are replayed without
-        simulation; new results are appended (and flushed) as they finish,
-        so a killed sweep resumes from its last completed trial.
+        Legacy keyword: a local :class:`ResultCache`, wrapped into a
+        single-driver :class:`~repro.store.jsonl.JsonlStore`.  Behaviour is
+        unchanged — hits replay without simulation, new records append as
+        they finish.  Mutually exclusive with ``store``.
+    store:
+        A :class:`~repro.store.base.ResultStore`, a parsed
+        :class:`~repro.store.base.StoreSpec`, or a store URL
+        (``jsonl:DIR`` / ``sqlite:PATH`` / ``http://HOST:PORT``).
+    lease_seconds:
+        Lease duration for each claim; ``None`` uses the store's default.
+        Size it to comfortably exceed the slowest single trial.
+    owner:
+        Lease-owner identity; defaults to ``hostname:pid``.
+    poll_interval:
+        Seconds to wait between claim passes when every remaining trial is
+        leased by other drivers (or in flight locally).
 
     Returns
     -------
     SweepOutcome
-        Records in spec order plus executed / from-cache counts.
+        Records in spec order plus executed / from-cache provenance.
+        Records depend only on the specs — identical regardless of
+        ``workers``, driver count, or which store served them.
     """
     specs = list(specs)
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
+    if store is not None and cache is not None:
+        raise SimulationError("pass either store= or cache=, not both")
     records: list[RunRecord | None] = [None] * len(specs)
-    keys: list[str | None] = [None] * len(specs)
-    pending: list[int] = []
-    from_cache = 0
-    for index, spec in enumerate(specs):
-        if cache is not None:
-            keys[index] = spec.cache_key()
-            cached = cache.get(keys[index])
-            if cached is not None:
-                records[index] = cached
-                from_cache += 1
-                continue
-        pending.append(index)
 
-    def _store(index: int, record: RunRecord) -> None:
-        records[index] = record
-        if cache is not None:
-            cache.put(keys[index], record)
+    if store is None and cache is None:
+        # No persistence: plain fan-out, no keys to compute or claim.
+        if workers == 1 or len(specs) <= 1:
+            for index, spec in enumerate(specs):
+                records[index] = run_trial(spec)
+        else:
+            with multiprocessing.get_context().Pool(
+                processes=min(workers, len(specs))
+            ) as pool:
+                for index, record in enumerate(
+                    pool.imap(run_trial, specs, chunksize=1)
+                ):
+                    records[index] = record
+        return SweepOutcome(records=records, executed=len(specs), from_cache=0)
 
-    if workers == 1 or len(pending) <= 1:
-        for index in pending:
-            _store(index, run_trial(specs[index]))
+    if cache is not None:
+        from repro.store.jsonl import JsonlStore
+
+        resolved = JsonlStore(cache=cache)
     else:
-        with multiprocessing.get_context().Pool(
-            processes=min(workers, len(pending))
-        ) as pool:
-            results = pool.imap(run_trial, (specs[i] for i in pending), chunksize=1)
-            for index, record in zip(pending, results):
-                _store(index, record)
-    return SweepOutcome(records=records, executed=len(pending), from_cache=from_cache)
+        from repro.store import open_store
+
+        resolved = open_store(store)
+    if owner is None:
+        from repro.store.base import default_owner
+
+        owner = default_owner()
+
+    # Several specs may share a key (identical trials); the store runs each
+    # unique trial once and every index gets the record.
+    indices_by_key: dict[str, list[int]] = {}
+    for index, spec in enumerate(specs):
+        indices_by_key.setdefault(spec.cache_key(), []).append(index)
+
+    executed_keys: list[str] = []
+    from_cache = 0
+
+    def _replay(key: str, record: RunRecord) -> None:
+        nonlocal from_cache
+        for index in indices_by_key[key]:
+            records[index] = record
+        from_cache += len(indices_by_key[key])
+
+    def _finish(key: str, record: RunRecord) -> None:
+        resolved.append(key, record)
+        for index in indices_by_key[key]:
+            records[index] = record
+        executed_keys.append(key)
+
+    # Replay everything already finished (batch query), then claim-loop
+    # over the remainder.
+    unique_keys = list(indices_by_key)
+    missing = set(resolved.pending(unique_keys))
+    for key in unique_keys:
+        if key in missing:
+            continue
+        record = resolved.get(key)
+        if record is None:  # vanished between the two queries; claim it
+            missing.add(key)
+        else:
+            _replay(key, record)
+
+    queue = deque(key for key in unique_keys if key in missing)
+    deferred: list[str] = []  # leased by another live driver; retry later
+    in_flight: dict[str, object] = {}  # key -> pool AsyncResult
+    pool = None
+    try:
+        if workers > 1 and len(queue) > 1:
+            pool = multiprocessing.get_context().Pool(
+                processes=min(workers, len(queue))
+            )
+        capacity = workers if pool is not None else 1
+        while queue or deferred or in_flight:
+            progress = False
+            # 1. Harvest finished pool trials.
+            for key in list(in_flight):
+                handle = in_flight[key]
+                if not handle.ready():
+                    continue
+                del in_flight[key]
+                try:
+                    record = handle.get()
+                except BaseException:
+                    resolved.release(key, owner=owner)
+                    raise
+                _finish(key, record)
+                progress = True
+            # 2. Claim and dispatch up to capacity.
+            while queue and len(in_flight) < capacity:
+                key = queue.popleft()
+                claim = resolved.claim(key, lease=lease_seconds, owner=owner)
+                if claim.done:
+                    _replay(key, claim.record)
+                    progress = True
+                elif claim.acquired:
+                    spec = specs[indices_by_key[key][0]]
+                    if pool is not None:
+                        in_flight[key] = pool.apply_async(run_trial, (spec,))
+                    else:
+                        try:
+                            record = run_trial(spec)
+                        except BaseException:
+                            resolved.release(key, owner=owner)
+                            raise
+                        _finish(key, record)
+                    progress = True
+                else:
+                    deferred.append(key)
+            # 3. Nothing moved: wait for in-flight trials or foreign leases
+            #    (which either complete -> done, or expire -> acquired).
+            if not progress and (deferred or in_flight):
+                time.sleep(poll_interval)
+                queue.extend(deferred)
+                deferred.clear()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    return SweepOutcome(
+        records=records,
+        executed=len(executed_keys),
+        from_cache=from_cache,
+        executed_keys=executed_keys,
+    )

@@ -13,6 +13,16 @@ Cache-key completeness (``K401``/``K402``/``K403``)
     adding a field to a spec without extending the audit — and therefore
     without thinking about the key — fails CI.
 
+Store-field key exclusion (``K404``/``K405``)
+    The inverse contract of ``K401``: *store selection* must stay **out** of
+    the trial cache key — the same spec has to hit the same record whether a
+    local JSONL shard, a SQLite database or an HTTP store serves it, or
+    moving a sweep between stores would silently re-execute (or worse,
+    fork) its results.  Every ``StoreSpec`` field must be explicitly listed
+    in ``STORE_KEY_EXCLUDED_FIELDS`` (``K404`` — adding a store field
+    without auditing it fails CI), and no excluded name may appear among
+    ``TrialSpec``'s fields or in its canonical key payload (``K405``).
+
 Capability-matrix coverage (``M501``/``M502``/``M503``)
     ``ENGINE_SCHEDULER_CAPABILITY`` plus the registered policies' declared
     capabilities define which (engine × scheduler) cells exist; the backend
@@ -44,6 +54,7 @@ __all__ = [
     "declared_scheduler_cells",
     "exercised_cells",
     "scheduler_spec_perturbations",
+    "store_exclusion_diagnostics",
     "trial_spec_perturbations",
 ]
 
@@ -262,6 +273,90 @@ def cache_key_diagnostics() -> list[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# Store-field key exclusion
+# ---------------------------------------------------------------------------
+
+
+def store_exclusion_diagnostics() -> list[Diagnostic]:
+    """Prove store-selection fields are *excluded* from the trial cache key.
+
+    Two failure modes, each its own rule:
+
+    ``K404``
+        A ``StoreSpec`` field is missing from ``STORE_KEY_EXCLUDED_FIELDS``
+        (or the list names a field that no longer exists) — someone added
+        or renamed a store field without deciding its key status.
+    ``K405``
+        An excluded name collides with a ``TrialSpec`` field or appears in
+        the canonical key payload — store selection would leak into the
+        key, splitting identical trials across stores.
+    """
+    from repro.harness.parallel import TrialSpec
+    from repro.store.base import STORE_KEY_EXCLUDED_FIELDS, StoreSpec
+
+    diagnostics: list[Diagnostic] = []
+    excluded = set(STORE_KEY_EXCLUDED_FIELDS)
+    spec_fields = {
+        field.name for field in dataclasses.fields(StoreSpec) if field.init
+    }
+    for name in sorted(spec_fields - excluded):
+        diagnostics.append(
+            Diagnostic(
+                rule="K404",
+                severity=ERROR,
+                location=f"spec:StoreSpec.{name}",
+                message=(
+                    f"StoreSpec field {name!r} is not audited in "
+                    f"STORE_KEY_EXCLUDED_FIELDS: its cache-key status is "
+                    f"undecided"
+                ),
+                hint=(
+                    "add the field to STORE_KEY_EXCLUDED_FIELDS in "
+                    "repro.store.base (store selection must never key trials)"
+                ),
+            )
+        )
+    for name in sorted(excluded - spec_fields):
+        diagnostics.append(
+            Diagnostic(
+                rule="K404",
+                severity=ERROR,
+                location=f"spec:StoreSpec.{name}",
+                message=(
+                    f"STORE_KEY_EXCLUDED_FIELDS lists {name!r} but StoreSpec "
+                    f"has no such field"
+                ),
+                hint="the audit list and StoreSpec drifted; update one of them",
+            )
+        )
+    baseline, _ = trial_spec_perturbations()
+    payload_keys = set(TrialSpec(**baseline).cache_payload())
+    trial_fields = {
+        field.name for field in dataclasses.fields(TrialSpec) if field.init
+    }
+    for name in sorted(excluded):
+        if name in trial_fields or name in payload_keys:
+            where = "field set" if name in trial_fields else "key payload"
+            diagnostics.append(
+                Diagnostic(
+                    rule="K405",
+                    severity=ERROR,
+                    location=f"spec:TrialSpec.{name}",
+                    message=(
+                        f"store-selection name {name!r} appears in TrialSpec's "
+                        f"{where}: store choice would leak into the cache key "
+                        f"and split identical trials across stores"
+                    ),
+                    hint=(
+                        "rename one side; trial identity and result placement "
+                        "must stay orthogonal"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
 # Capability-matrix coverage
 # ---------------------------------------------------------------------------
 
@@ -379,5 +474,9 @@ def capability_matrix_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
 
 
 def contract_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
-    """All contract checks: cache keys plus capability-matrix coverage."""
-    return cache_key_diagnostics() + capability_matrix_diagnostics(root)
+    """All contract checks: cache keys, store exclusion, capability coverage."""
+    return (
+        cache_key_diagnostics()
+        + store_exclusion_diagnostics()
+        + capability_matrix_diagnostics(root)
+    )

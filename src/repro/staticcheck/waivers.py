@@ -34,6 +34,17 @@ BUILTIN_WAIVERS: tuple[Waiver, ...] = (
         ),
     ),
     Waiver(
+        rule="D302",
+        location="src/repro/store/",
+        justification=(
+            "lease expiry is *about* wall-clock time: claims record "
+            "acquired_at/expires_at so crashed drivers' trials are "
+            "reclaimable, and throughput reports derive from append "
+            "timestamps — all store metadata, never part of a RunRecord, "
+            "so simulation results stay deterministic"
+        ),
+    ),
+    Waiver(
         rule="P102",
         location="protocol:leader",
         justification=(

@@ -1,0 +1,83 @@
+"""Pluggable result stores for distributed sweeps (see :mod:`repro.store.base`).
+
+The one function most callers need is :func:`open_store`, which turns a
+``jsonl:DIR`` / ``sqlite:PATH`` / ``http://HOST:PORT`` URL (or a parsed
+:class:`StoreSpec`) into a live :class:`ResultStore`.
+"""
+
+from __future__ import annotations
+
+from repro.store.base import (
+    CLAIM_ACQUIRED,
+    CLAIM_DONE,
+    CLAIM_LEASED,
+    DEFAULT_LEASE_SECONDS,
+    STORE_KEY_EXCLUDED_FIELDS,
+    STORE_SCHEMES,
+    Claim,
+    LeaseReport,
+    ResultStore,
+    StoreError,
+    StoreSpec,
+    StoreStatus,
+    WorkloadStats,
+    default_owner,
+    parse_store_url,
+    workload_label,
+)
+
+__all__ = [
+    "CLAIM_ACQUIRED",
+    "CLAIM_DONE",
+    "CLAIM_LEASED",
+    "DEFAULT_LEASE_SECONDS",
+    "STORE_KEY_EXCLUDED_FIELDS",
+    "STORE_SCHEMES",
+    "Claim",
+    "LeaseReport",
+    "ResultStore",
+    "StoreError",
+    "StoreSpec",
+    "StoreStatus",
+    "WorkloadStats",
+    "default_owner",
+    "open_store",
+    "parse_store_url",
+    "workload_label",
+]
+
+
+def open_store(
+    store,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    name: str = "sweep",
+) -> ResultStore:
+    """Open a result store from a URL, a :class:`StoreSpec`, or pass through.
+
+    Accepts ``jsonl:DIR`` (single-driver JSONL shard ``<DIR>/<name>.jsonl``),
+    ``sqlite:PATH`` (multi-process, one host) and ``http(s)://HOST:PORT``
+    (``repro store serve`` daemon, many hosts).  An already-open
+    :class:`ResultStore` is returned unchanged, so APIs can take either.
+
+    Implementations import lazily so ``jsonl:`` sweeps never touch sqlite3
+    or the HTTP stack.
+    """
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, StoreSpec):
+        spec = store
+    else:
+        spec = parse_store_url(str(store), lease_seconds=lease_seconds, name=name)
+    if spec.scheme == "jsonl":
+        from repro.store.jsonl import JsonlStore
+
+        return JsonlStore(
+            spec.location, name=spec.name, lease_seconds=spec.lease_seconds
+        )
+    if spec.scheme == "sqlite":
+        from repro.store.sqlite import SqliteStore
+
+        return SqliteStore(spec.location, lease_seconds=spec.lease_seconds)
+    from repro.store.http import HttpStore
+
+    return HttpStore(spec.location, lease_seconds=spec.lease_seconds)

@@ -1,0 +1,125 @@
+"""JSONL result store: the backwards-compatible single-driver default.
+
+Wraps :class:`~repro.harness.cache.ResultCache` behind the
+:class:`~repro.store.base.ResultStore` contract, so the claim-loop driver in
+``harness/parallel.py`` runs unchanged against the same ``<dir>/<name>.jsonl``
+files every existing sweep already produced.
+
+Leases are tracked *in process only*: JSONL files have no atomic
+compare-and-claim primitive, so this store is correct for any number of
+worker processes under **one** driver (the driver serialises claims) but does
+not coordinate multiple concurrent drivers — two drivers pointed at the same
+directory would duplicate work, not corrupt it (appends themselves are
+atomic; last-writer-wins on identical records).  Multi-driver sweeps should
+use ``sqlite:`` or ``http:`` stores.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness.cache import ResultCache
+from repro.harness.results import RunRecord
+from repro.store.base import (
+    CLAIM_ACQUIRED,
+    CLAIM_DONE,
+    CLAIM_LEASED,
+    Claim,
+    DEFAULT_LEASE_SECONDS,
+    LeaseReport,
+    ResultStore,
+    StoreStatus,
+    default_owner,
+    workload_label,
+)
+
+__all__ = ["JsonlStore"]
+
+
+class JsonlStore(ResultStore):
+    """Single-driver store over a :class:`ResultCache` JSONL shard.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (created if missing), as for ``ResultCache``.
+    name:
+        Stem of the shard file (``<name>.jsonl``).
+    lease_seconds:
+        Nominal lease duration; in-process leases never expire (the holder
+        is this very process — if it died, the leases died with it), so the
+        value is informational only.
+    cache:
+        An existing ``ResultCache`` to wrap instead of opening one; used by
+        ``run_trials(cache=...)`` so the legacy keyword keeps its exact
+        behaviour.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        name: str = "sweep",
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if cache is None:
+            if directory is None:
+                raise ValueError("JsonlStore needs a directory or a cache")
+            cache = ResultCache(directory, name=name)
+        self.cache = cache
+        self.lease_seconds = float(lease_seconds)
+        self._leases: dict[str, str] = {}
+
+    def describe(self) -> str:
+        return f"jsonl:{self.cache.path}"
+
+    def get(self, key: str) -> RunRecord | None:
+        return self.cache.get(key)
+
+    def append(
+        self, key: str, record: RunRecord, wall_seconds: float | None = None
+    ) -> None:
+        self.cache.put(key, record)
+        self._leases.pop(key, None)
+
+    def claim(
+        self, key: str, lease: float | None = None, owner: str | None = None
+    ) -> Claim:
+        record = self.cache.get(key)
+        if record is not None:
+            return Claim(status=CLAIM_DONE, record=record)
+        owner = owner or default_owner()
+        holder = self._leases.get(key)
+        if holder is not None and holder != owner:
+            return Claim(status=CLAIM_LEASED, owner=holder)
+        self._leases[key] = owner
+        return Claim(status=CLAIM_ACQUIRED, owner=owner)
+
+    def release(self, key: str, owner: str | None = None) -> None:
+        holder = self._leases.get(key)
+        if holder is None:
+            return
+        if owner is None or holder == owner:
+            del self._leases[key]
+
+    def status(self) -> StoreStatus:
+        leases = tuple(
+            LeaseReport(key=key, owner=owner, expires=None, stale=False)
+            for key, owner in sorted(self._leases.items())
+        )
+        records = [record for _, record in self.cache.items()]
+        rows = (
+            (
+                workload_label(record),
+                int((record.extra or {}).get("interactions", 0) or 0),
+                0.0,
+            )
+            for record in records
+        )
+        return StoreStatus(
+            completed=len(self.cache),
+            leased=len(leases),
+            stale=0,
+            leases=leases,
+            workloads=self._aggregate_workloads(rows),
+        )

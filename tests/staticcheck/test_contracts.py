@@ -14,6 +14,7 @@ from repro.staticcheck.contracts import (
     declared_backend_cells,
     declared_scheduler_cells,
     exercised_cells,
+    store_exclusion_diagnostics,
 )
 
 
@@ -86,6 +87,50 @@ class TestCacheKeyAudit:
             location="spec:FakeSpec",
         )
         assert "K403" in _rules(diagnostics)
+
+
+class TestStoreExclusion:
+    def test_real_store_spec_is_fully_audited(self):
+        assert store_exclusion_diagnostics() == []
+
+    def test_k404_on_unaudited_store_field(self, monkeypatch):
+        # Drop one StoreSpec field from the audit list: the checker must
+        # demand an explicit decision for it.
+        import repro.store.base as base
+
+        monkeypatch.setattr(
+            base, "STORE_KEY_EXCLUDED_FIELDS", ("scheme", "location", "name")
+        )
+        diagnostics = store_exclusion_diagnostics()
+        assert {d.rule for d in diagnostics} == {"K404"}
+        (diag,) = diagnostics
+        assert "lease_seconds" in diag.message
+
+    def test_k404_on_phantom_audited_field(self, monkeypatch):
+        import repro.store.base as base
+
+        monkeypatch.setattr(
+            base,
+            "STORE_KEY_EXCLUDED_FIELDS",
+            base.STORE_KEY_EXCLUDED_FIELDS + ("renamed_away",),
+        )
+        diagnostics = store_exclusion_diagnostics()
+        assert any(
+            d.rule == "K404" and "renamed_away" in d.message for d in diagnostics
+        )
+
+    def test_k405_on_key_payload_collision(self, monkeypatch):
+        # If an excluded name ever coincides with a TrialSpec payload key,
+        # store selection would leak into trial identity.
+        import repro.store.base as base
+
+        monkeypatch.setattr(
+            base,
+            "STORE_KEY_EXCLUDED_FIELDS",
+            base.STORE_KEY_EXCLUDED_FIELDS + ("engine",),
+        )
+        diagnostics = store_exclusion_diagnostics()
+        assert any(d.rule == "K405" and "engine" in d.message for d in diagnostics)
 
 
 class TestCapabilityMatrix:

@@ -903,3 +903,137 @@ class TestProfileCommand:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStoreCli:
+    """--store plumbing on sweeps plus the `repro store` subcommands."""
+
+    @staticmethod
+    def _sweep_args(store_url, sizes="64,128"):
+        return [
+            "sweep",
+            "--protocol",
+            "epidemic",
+            "--sizes",
+            sizes,
+            "--runs",
+            "2",
+            "--engine",
+            "count",
+            "--store",
+            store_url,
+        ]
+
+    def test_store_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "status", "--store", "sqlite:x"])
+        assert args.command == "store"
+        args = parser.parse_args(["store", "serve", "--db", "x.sqlite"])
+        assert args.command == "store"
+
+    def test_store_serve_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--db" in capsys.readouterr().out
+
+    def test_sweep_store_and_cache_dir_are_mutually_exclusive(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            self._sweep_args(f"sqlite:{tmp_path / 'db.sqlite'}")
+            + ["--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_sweep_sqlite_store_resumes(self, capsys, tmp_path):
+        args = self._sweep_args(f"sqlite:{tmp_path / 'db.sqlite'}")
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 total, 4 executed, 0 from cache" in first
+        assert "store: sqlite:" in first
+        # Identical sweep against the same store: nothing left to execute.
+        assert main(args) == 0
+        assert "0 executed, 4 from cache" in capsys.readouterr().out
+        # Growing the sweep executes only the new trials.
+        assert main(self._sweep_args(f"sqlite:{tmp_path / 'db.sqlite'}",
+                                     sizes="64,128,192")) == 0
+        assert "6 total, 2 executed, 4 from cache" in capsys.readouterr().out
+
+    def test_sweep_sqlite_store_resumes_after_midsweep_kill(
+        self, capsys, tmp_path
+    ):
+        import sqlite3
+        import time as _time
+
+        db = tmp_path / "db.sqlite"
+        args = self._sweep_args(f"sqlite:{db}")
+        assert main(args) == 0
+        capsys.readouterr()
+        # Emulate a driver killed mid-trial: one record never landed and the
+        # dead owner still holds an (expired) lease on its key.
+        connection = sqlite3.connect(db)
+        with connection:
+            (key,) = connection.execute(
+                "SELECT key FROM results LIMIT 1"
+            ).fetchone()
+            connection.execute("DELETE FROM results WHERE key = ?", (key,))
+            now = _time.time()
+            connection.execute(
+                "INSERT INTO leases (key, owner, acquired_at, expires_at) "
+                "VALUES (?, ?, ?, ?)",
+                (key, "killed-driver", now - 10.0, now - 5.0),
+            )
+        connection.close()
+        assert main(args) == 0
+        assert "4 total, 1 executed, 3 from cache" in capsys.readouterr().out
+
+    def test_crn_sweep_with_sqlite_store(self, capsys, tmp_path):
+        args = [
+            "crn",
+            "sweep",
+            "--crn",
+            "epidemic",
+            "--sizes",
+            "100",
+            "--runs",
+            "2",
+            "--engine",
+            "count",
+            "--store",
+            f"sqlite:{tmp_path / 'db.sqlite'}",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 total, 2 executed, 0 from cache" in first
+        assert "store: sqlite:" in first
+        assert main(args) == 0
+        assert "0 executed, 2 from cache" in capsys.readouterr().out
+
+    def test_store_status_reports_counts_and_stale_leases(
+        self, capsys, tmp_path
+    ):
+        from repro.store.sqlite import SqliteStore
+
+        url = f"sqlite:{tmp_path / 'db.sqlite'}"
+        assert main(self._sweep_args(url)) == 0
+        with SqliteStore(tmp_path / "db.sqlite") as store:
+            store.claim("unfinished-key", lease=0.01, owner="dead-driver")
+        import time as _time
+
+        _time.sleep(0.05)
+        capsys.readouterr()
+        assert main(["store", "status", "--store", url]) == 0
+        output = capsys.readouterr().out
+        assert "completed trials" in output and ": 4" in output
+        assert "stale leases (reclaimable)" in output
+        assert "dead-driver" in output and "STALE" in output
+        assert "throughput by workload" in output
+        # Finite-state records carry no protocol name, so the workload label
+        # degrades to the engine name.
+        assert "count" in output
+
+    def test_store_status_rejects_bad_url(self, capsys):
+        assert main(["store", "status", "--store", "warp:x"]) == 2
+        assert "error" in capsys.readouterr().err
