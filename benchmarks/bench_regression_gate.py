@@ -1,9 +1,10 @@
-"""T-GATE — the enforced perf-regression gate over the three BENCH families.
+"""T-GATE — the enforced perf-regression gate over the four BENCH families.
 
-``BENCH_engines.json`` / ``BENCH_schedulers.json`` / ``BENCH_crn.json`` are
-*trajectory* artifacts: full-scale benchmark runs committed for the record
-but far too slow to re-measure on every push.  This gate replays a tiny-``n``
-slice of each family against **committed baselines**
+``BENCH_engines.json`` / ``BENCH_schedulers.json`` / ``BENCH_crn.json`` /
+``BENCH_multiscale.json`` are *trajectory* artifacts: full-scale benchmark
+runs committed for the record but far too slow to re-measure on every push.
+This gate replays a tiny-``n`` slice of each family against
+**committed baselines**
 (``benchmarks/baselines/regression_gate.json``) and fails when
 
 * a slice's throughput falls more than ``REGRESSION_TOLERANCE`` (30%) below
@@ -73,7 +74,7 @@ def _timed(thunk):
     return value, time.perf_counter() - started
 
 
-# -- the three slices -----------------------------------------------------------
+# -- the four slices ------------------------------------------------------------
 #
 # Each returns {"interactions": int, "seconds": float, "accuracy": [failures]}.
 # Workload scales are env-tunable but default to a couple of seconds total.
@@ -84,6 +85,7 @@ SCHED_SIZES = (128, 192)
 SCHED_RUNS = 2
 CRN_N = int(os.environ.get("REPRO_GATE_CRN_N", "2000"))
 CRN_RUNS = 2
+MULTISCALE_N = int(float(os.environ.get("REPRO_GATE_MULTISCALE_N", "1e7")))
 #: Additive-error bound for the size-estimation (schedulers-family) slice.
 #: Theorem 3.1 promises error ~1 whp at large n; at these tiny sizes the
 #: committed bound is measured-plus-slack and any drift past it means the
@@ -163,6 +165,41 @@ def slice_crn() -> dict:
     return {"interactions": interactions, "seconds": elapsed, "accuracy": failures}
 
 
+def slice_multiscale() -> dict:
+    """BENCH_multiscale slice: epidemic to completion at n = 10^7.
+
+    Throughput is *effective* interactions/s (``parallel_time * n`` — the
+    work an interaction-bound engine would have had to draw), the same
+    currency BENCH_multiscale.json records.  Accuracy criterion: the
+    epidemic must actually finish (every agent infected) inside the budget.
+    """
+    from repro.engine.selection import build_engine
+    from repro.protocols.epidemic import EpidemicProtocol, EpidemicState
+    from repro.exceptions import ConvergenceError
+
+    simulator = build_engine("multiscale", EpidemicProtocol(), MULTISCALE_N, seed=7)
+    failures = []
+
+    def run():
+        try:
+            simulator.run_until(
+                lambda engine: engine.count(EpidemicState.INFECTED) == MULTISCALE_N,
+                max_parallel_time=100.0,
+            )
+        except ConvergenceError:
+            failures.append(
+                f"multiscale epidemic n={MULTISCALE_N} did not finish "
+                "within 100 units of parallel time"
+            )
+
+    _, elapsed = _timed(run)
+    return {
+        "interactions": int(simulator.interactions),
+        "seconds": elapsed,
+        "accuracy": failures,
+    }
+
+
 def load_baseline() -> dict:
     with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
         return json.load(handle)
@@ -176,6 +213,7 @@ def run_gate() -> tuple[list[dict], list[str]]:
         ("engines", slice_engines()),
         ("schedulers", slice_schedulers(baseline)),
         ("crn", slice_crn()),
+        ("multiscale", slice_multiscale()),
     ]
     records: list[dict] = []
     failures: list[str] = []
@@ -209,9 +247,9 @@ def run_gate() -> tuple[list[dict], list[str]]:
 
 
 def bench_regression_gate():
-    """The CI gate as a test: replay all three slices against the baselines."""
+    """The CI gate as a test: replay all four slices against the baselines."""
     records, failures = run_gate()
-    assert len(records) == 3, "a slice went missing"
+    assert len(records) == 4, "a slice went missing"
     assert not failures, "; ".join(failures)
 
 
@@ -219,7 +257,7 @@ def main() -> int:
     print(
         f"regression gate: engines(n={ENGINE_N:,}), "
         f"schedulers(sizes={list(SCHED_SIZES)} x {SCHED_RUNS}), "
-        f"crn(n={CRN_N:,} x {CRN_RUNS})"
+        f"crn(n={CRN_N:,} x {CRN_RUNS}), multiscale(n={MULTISCALE_N:,})"
         + (f" [throttled +{GATE_THROTTLE:g}s/slice]" if GATE_THROTTLE else "")
     )
     records, failures = run_gate()

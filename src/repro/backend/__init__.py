@@ -103,6 +103,14 @@ class ArrayBackend:
         (diagonal ``(r_i c_i) r_i (c_i - 1)``; ``rates=None`` is the uniform
         policy) — the count-level scheduling computation shared by the
         batched multinomial and the CRN thinned lowering.
+    ``tau_leap_kernel(reactant_a, reactant_b, rate_coeff, stoich, rng)``
+        The multiscale engine's hot kernel over per-channel reaction arrays:
+        ``propensities(counts)`` evaluates the parallel-time channel rates,
+        and ``leap(counts, mask, tau, rng) -> (ok, new_counts)`` fuses the
+        propensity evaluation, Poisson draws (binomial-clamped near a
+        channel's firing headroom) and the stoichiometry apply for one leap,
+        reporting ``ok=False`` when a draw would drive a count negative so
+        the engine can halve ``tau`` and redraw.
     ``draw_matching_arrays(members, rng)`` / ``thin_members(rates, rng)``
         The vector engine's round draws: the shared uniform matching and the
         per-agent rate thinning of the weighted round scheduler.
@@ -167,6 +175,19 @@ class ArrayBackend:
     ) -> np.ndarray:
         """Rate-thinned member selection for weighted matching rounds."""
         return np.nonzero(rng.random(rates.size) < rates)[0]
+
+    def tau_leap_kernel(
+        self,
+        reactant_a: np.ndarray,
+        reactant_b: np.ndarray,
+        rate_coeff: np.ndarray,
+        stoich: np.ndarray,
+        rng: np.random.Generator,
+    ):
+        """Build the multiscale engine's fused tau-leap kernel."""
+        from repro.backend.numpy_backend import NumpyTauLeapKernel
+
+        return NumpyTauLeapKernel(reactant_a, reactant_b, rate_coeff, stoich)
 
     def describe(self) -> str:
         """One-line description for ``repro engines`` output."""

@@ -34,13 +34,18 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.backend import ArrayBackend, register_backend
-from repro.backend.numpy_backend import NumpyFiniteRoundKernel
+from repro.backend.numpy_backend import NumpyFiniteRoundKernel, NumpyTauLeapKernel
 from repro.exceptions import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.protocols.compiled import CompiledTransitionTable
 
-__all__ = ["NUMBA_AVAILABLE", "NumbaBackend", "NumbaBatchedKernel"]
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NumbaBackend",
+    "NumbaBatchedKernel",
+    "NumbaTauLeapKernel",
+]
 
 try:  # pragma: no cover - exercised only where numba is installed
     import numba as _numba
@@ -392,6 +397,101 @@ def _fresh_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**31 - 1))
 
 
+@_maybe_jit
+def _tau_leap_step(counts, reactant_a, reactant_b, rate_coeff, stoich, mask, tau, out):
+    """One fused tau-leap over the masked channels (multiscale engine).
+
+    Propensity evaluation, Poisson draws (binomial-clamped near a channel's
+    firing headroom) and the stoichiometry apply in one loop; returns
+    ``False`` when some count went negative (cross-channel competition), so
+    the engine halves ``tau`` and calls again.
+    """
+    num_species, num_channels = stoich.shape
+    for i in range(num_species):
+        out[i] = counts[i]
+    for e in range(num_channels):
+        if not mask[e]:
+            continue
+        ca = counts[reactant_a[e]]
+        if reactant_a[e] == reactant_b[e]:
+            weight = ca * (ca - 1.0)
+        else:
+            weight = ca * counts[reactant_b[e]]
+        if weight <= 0.0:
+            continue
+        mean = rate_coeff[e] * weight * tau
+        if mean <= 0.0:
+            continue
+        headroom = 1e300
+        for i in range(num_species):
+            if stoich[i, e] < 0:
+                cap = np.floor(counts[i] / -stoich[i, e])
+                if cap < headroom:
+                    headroom = cap
+        if headroom < 1.0:
+            continue
+        if mean > 0.1 * headroom:
+            p = mean / headroom
+            if p > 1.0:
+                p = 1.0
+            fired = np.random.binomial(np.int64(headroom), p)
+        else:
+            fired = np.random.poisson(mean)
+        for i in range(num_species):
+            out[i] += stoich[i, e] * fired
+    for i in range(num_species):
+        if out[i] < 0.0:
+            return False
+    return True
+
+
+class NumbaTauLeapKernel(NumpyTauLeapKernel):
+    """Tau-leap kernel backed by :func:`_tau_leap_step`.
+
+    Propensity evaluation for step-size selection stays on the (cheap,
+    vectorised) reference path; the per-leap draw→apply loop is the fused
+    nopython kernel drawing from the numba stream, seeded once from the
+    engine's generator (the backend's usual distribution-identical
+    contract).
+    """
+
+    def __init__(
+        self,
+        reactant_a: np.ndarray,
+        reactant_b: np.ndarray,
+        rate_coeff: np.ndarray,
+        stoich: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(reactant_a, reactant_b, rate_coeff, stoich)
+        self._stoich_dense = np.ascontiguousarray(stoich, dtype=np.int64)
+        self._out = np.zeros(stoich.shape[0], dtype=np.float64)
+        _seed_stream(_fresh_seed(rng))
+
+    @property
+    def jit(self) -> bool:
+        return NUMBA_AVAILABLE
+
+    def leap(
+        self,
+        counts: np.ndarray,
+        mask: np.ndarray,
+        tau: float,
+        rng: np.random.Generator,
+    ) -> tuple[bool, np.ndarray]:
+        ok = _tau_leap_step(
+            counts,
+            self.reactant_a,
+            self.reactant_b,
+            self.rate_coeff,
+            self._stoich_dense,
+            mask,
+            tau,
+            self._out,
+        )
+        return bool(ok), self._out.copy()
+
+
 class NumbaBatchedKernel:
     """Batched-engine kernel backed by :func:`_batched_advance`.
 
@@ -536,6 +636,16 @@ class NumbaBackend(ArrayBackend):
         self, table: "CompiledTransitionTable"
     ) -> "NumbaFiniteRoundKernel | NumpyFiniteRoundKernel":
         return NumbaFiniteRoundKernel(table)
+
+    def tau_leap_kernel(
+        self,
+        reactant_a: np.ndarray,
+        reactant_b: np.ndarray,
+        rate_coeff: np.ndarray,
+        stoich: np.ndarray,
+        rng: np.random.Generator,
+    ) -> NumbaTauLeapKernel:
+        return NumbaTauLeapKernel(reactant_a, reactant_b, rate_coeff, stoich, rng)
 
     def describe(self) -> str:
         if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba

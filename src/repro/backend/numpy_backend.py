@@ -40,6 +40,7 @@ __all__ = [
     "NumpyBackend",
     "NumpyBatchedKernel",
     "NumpyFiniteRoundKernel",
+    "NumpyTauLeapKernel",
     "pair_weight_matrix",
 ]
 
@@ -483,6 +484,89 @@ class NumpyFiniteRoundKernel:
         j = j[fired]
         state[rec[fired]] = table.outcome_receiver[i, j, outcome]
         state[sen[fired]] = table.outcome_sender[i, j, outcome]
+
+
+class NumpyTauLeapKernel:
+    """Reference tau-leap kernel of the multiscale engine.
+
+    ``propensities`` evaluates the parallel-time channel rates at float
+    counts; ``leap`` draws one Poisson tau-leap over the masked channels and
+    applies the stoichiometry, drawing against the *engine's* generator (the
+    reference-backend convention).  Draws whose mean exceeds 10% of a
+    channel's firing headroom ``L`` (the largest count of firings the
+    consumed species allow) are clamped to ``Binomial(L, mean/L)`` — same
+    mean, support bounded by the headroom — so a single channel can never
+    overdraw its own reactants; cross-channel competition for a shared
+    species is caught by the non-negativity check and reported as
+    ``ok=False`` for the engine's halve-and-redraw loop.
+    """
+
+    def __init__(
+        self,
+        reactant_a: np.ndarray,
+        reactant_b: np.ndarray,
+        rate_coeff: np.ndarray,
+        stoich: np.ndarray,
+    ) -> None:
+        self.reactant_a = reactant_a
+        self.reactant_b = reactant_b
+        self.rate_coeff = rate_coeff
+        self.stoich = stoich
+        self.is_diagonal = reactant_a == reactant_b
+        #: Per-channel consumption coefficients (``max(-stoich, 0)``).
+        self.consumption = np.maximum(-stoich, 0).astype(np.float64)
+        self._consumes = self.consumption > 0.0
+
+    @property
+    def jit(self) -> bool:
+        return False
+
+    def propensities(self, counts: np.ndarray) -> np.ndarray:
+        """Parallel-time channel rates at ``counts`` (clipped at 0)."""
+        ca = counts[self.reactant_a]
+        cb = np.where(self.is_diagonal, ca - 1.0, counts[self.reactant_b])
+        return self.rate_coeff * np.maximum(ca, 0.0) * np.maximum(cb, 0.0)
+
+    def _headroom(self, counts: np.ndarray) -> np.ndarray:
+        """Largest number of firings each channel's consumed species allow."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            caps = np.where(
+                self._consumes,
+                np.floor(counts[:, None] / self.consumption),
+                np.inf,
+            )
+        return caps.min(axis=0)
+
+    def leap(
+        self,
+        counts: np.ndarray,
+        mask: np.ndarray,
+        tau: float,
+        rng: np.random.Generator,
+    ) -> tuple[bool, np.ndarray]:
+        """One fused leap: propensities → clamped draws → apply.
+
+        Returns ``(ok, new_counts)``; ``ok=False`` means some count went
+        negative and the caller should halve ``tau`` and call again.
+        """
+        lam = self.propensities(counts)
+        active = mask & (lam > 0.0)
+        draws = np.zeros(lam.size, dtype=np.int64)
+        if active.any():
+            means = lam[active] * tau
+            headroom = self._headroom(counts)[active]
+            clamp = means > 0.1 * headroom
+            fired = np.zeros(means.size, dtype=np.int64)
+            if clamp.any():
+                trials = headroom[clamp].astype(np.int64)
+                fired[clamp] = rng.binomial(
+                    trials, np.minimum(means[clamp] / headroom[clamp], 1.0)
+                )
+            if (~clamp).any():
+                fired[~clamp] = rng.poisson(means[~clamp])
+            draws[active] = fired
+        new_counts = counts + self.stoich @ draws
+        return bool((new_counts >= 0.0).all()), new_counts
 
 
 from repro.backend import ArrayBackend, register_backend  # noqa: E402

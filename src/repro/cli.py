@@ -838,6 +838,38 @@ def _crn_engines(mode: str) -> tuple[str, ...]:
     return ("count", "batched") if mode == "thinned" else tuple(ENGINE_NAMES)
 
 
+def _regime_thresholds_arg(text: str) -> tuple[float, float]:
+    """Parse ``--regime-thresholds CRITICAL,ODE`` into a float pair."""
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected CRITICAL,ODE (two comma-separated numbers), got {text!r}"
+        )
+    try:
+        critical, ode = (float(part) for part in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected CRITICAL,ODE (two comma-separated numbers), got {text!r}"
+        ) from None
+    return (critical, ode)
+
+
+def _multiscale_options_from_args(args: argparse.Namespace) -> dict:
+    """Collect --leap-eps/--regime-thresholds, rejecting them off-engine."""
+    options = {}
+    if args.leap_eps is not None:
+        options["leap_eps"] = args.leap_eps
+    if args.regime_thresholds is not None:
+        options["regime_thresholds"] = args.regime_thresholds
+    if options and args.engine != "multiscale":
+        raise SimulationError(
+            f"--leap-eps/--regime-thresholds tune the multiscale engine; "
+            f"the {args.engine} engine does not read them "
+            f"(add --engine multiscale)"
+        )
+    return options
+
+
 def _cmd_crn_info(args: argparse.Namespace) -> int:
     if args.crn is None and not args.reaction:
         print("registered CRN workloads (see also `repro protocols`):")
@@ -931,7 +963,7 @@ def _cmd_crn_simulate(args: argparse.Namespace) -> int:
                 "an ad-hoc network needs --chem-time (the chemical duration "
                 "to simulate); registered workloads carry a default budget"
             )
-        engine_options = {}
+        engine_options = _multiscale_options_from_args(args)
         if args.batch_size is not None:
             engine_options["batch_size"] = args.batch_size
         if args.backend is not None:
@@ -972,6 +1004,9 @@ def _cmd_crn_simulate(args: argparse.Namespace) -> int:
         convergence_time = simulator.parallel_time
         summary["parallel_time"] = convergence_time
     summary["interactions"] = simulator.interactions
+    if args.engine == "multiscale":
+        for key, value in simulator.regime_stats().items():
+            summary[f"regime[{key}]"] = value
     if compiled.time_exact and convergence_time is not None:
         summary["chemical_time"] = convergence_time / compiled.rate_scale
     for state, count in sorted(simulator.configuration().items()):
@@ -988,7 +1023,7 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
                 f"the {args.mode} lowering cannot run on the {args.engine} "
                 f"engine; supported: {', '.join(_crn_engines(args.mode))}"
             )
-        engine_options = {}
+        engine_options = _multiscale_options_from_args(args)
         if args.batch_size is not None:
             engine_options["batch_size"] = args.batch_size
         if args.backend is not None:
@@ -1328,6 +1363,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="array backend for the hot-loop kernels (default: "
         "$REPRO_BACKEND or numpy; see `repro engines`)",
     )
+    crn_simulate.add_argument(
+        "--leap-eps", type=float, default=None,
+        help="multiscale engine only: tau-leap relative-propensity "
+        "tolerance (Cao's epsilon; default 0.05, smaller = more exact)",
+    )
+    crn_simulate.add_argument(
+        "--regime-thresholds", type=_regime_thresholds_arg, default=None,
+        metavar="CRITICAL,ODE",
+        help="multiscale engine only: per-species count thresholds — below "
+        "CRITICAL a channel fires by exact SSA, above ODE the whole system "
+        "integrates deterministically (default 20,1e5)",
+    )
     crn_simulate.set_defaults(handler=_cmd_crn_simulate)
 
     crn_sweep = crn_sub.add_parser(
@@ -1386,6 +1433,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list(BACKEND_NAMES), default=None,
         help="array backend for every trial (default: $REPRO_BACKEND or "
         "numpy; participates in the trial cache keys)",
+    )
+    crn_sweep.add_argument(
+        "--leap-eps", type=float, default=None,
+        help="multiscale engine only: tau-leap relative-propensity "
+        "tolerance (participates in the trial cache keys)",
+    )
+    crn_sweep.add_argument(
+        "--regime-thresholds", type=_regime_thresholds_arg, default=None,
+        metavar="CRITICAL,ODE",
+        help="multiscale engine only: exact-SSA and ODE count thresholds "
+        "(participates in the trial cache keys)",
     )
     _add_store_arguments(crn_sweep)
     crn_sweep.set_defaults(handler=_cmd_crn_sweep)

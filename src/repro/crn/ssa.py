@@ -2,16 +2,26 @@
 
 The engines simulate a lowered CRN through interaction sampling; this module
 simulates the *same* continuous-time Markov chain directly on species
-counts, one exponential holding time and one reaction per step.  It is
-``O(reactions)`` Python work per event — only viable at small populations —
-and exists as the ground truth the engine lowerings are validated against
-(``tests/crn/test_cross_engine_crn.py``,
+counts, one exponential holding time and one reaction per step.  It exists
+as the ground truth the engine lowerings are validated against
+(``tests/crn/test_cross_engine_crn.py``, ``tests/crn/test_multiscale.py``,
 ``benchmarks/bench_crn_kinetics.py``).
 
 Propensities follow the convention of :mod:`repro.crn.model` (interaction
 volume ``v = (n - 1) / 2``), which is exactly the chain the uniform lowering
 realises after its ``Gamma`` time rescale: sampling the SSA at chemical time
 ``t`` corresponds to sampling an engine at parallel time ``Gamma * t``.
+
+Per-event work is incremental: a compiled dependency graph maps each
+reaction to the propensities its firing invalidates, so only those are
+recomputed (the classic "next reaction"-style optimisation, applied to the
+direct method).  The optimisation is stream-preserving by construction —
+every recomputed propensity uses the exact floating-point expression of the
+naive full recomputation, the total is re-summed in reaction order, and the
+generator is consumed one ``exponential`` (plus, per fired event, one
+``random``) at a time — so trajectories are bit-for-bit identical to the
+pre-optimisation implementation for any (network, n, seed).
+``tests/crn/test_ssa_golden.py`` pins that stream.
 """
 
 from __future__ import annotations
@@ -84,28 +94,66 @@ def simulate_ssa(
         counts[index[name]] = count
     volume = (population_size - 1) / 2.0
 
-    reactions = []
+    # Compile the network once: per-reaction propensity descriptors, sparse
+    # net stoichiometry, and the dependency graph (reaction j fired ->
+    # propensities to recompute).  UNI/DIAG/PAIR keep the *exact*
+    # floating-point expressions of the naive per-event recomputation (see
+    # the module docstring: the RNG stream is pinned).
+    UNI, DIAG, PAIR = 0, 1, 2
+    table: list[tuple[int, int, int, float]] = []
+    net_changes: list[list[tuple[int, int]]] = []
     for reaction in crn.reactions:
         reactant_idx = tuple(index[name] for name in reaction.reactants)
         product_idx = tuple(index[name] for name in reaction.products)
-        reactions.append((reaction, reactant_idx, product_idx))
-
-    def propensity(entry) -> float:
-        reaction, reactant_idx, _ = entry
         if reaction.is_unimolecular:
-            return reaction.rate * counts[reactant_idx[0]]
-        a, b = reactant_idx
-        if a == b:
-            return reaction.rate * counts[a] * (counts[a] - 1) / (2.0 * volume)
-        return reaction.rate * counts[a] * counts[b] / volume
+            table.append((UNI, reactant_idx[0], reactant_idx[0], reaction.rate))
+        else:
+            a, b = reactant_idx
+            table.append((DIAG if a == b else PAIR, a, b, reaction.rate))
+        net: dict[int, int] = {}
+        for position in reactant_idx:
+            net[position] = net.get(position, 0) - 1
+        for position in product_idx:
+            net[position] = net.get(position, 0) + 1
+        net_changes.append(
+            [(position, change) for position, change in net.items() if change]
+        )
+    depends: list[list[int]] = [[] for _ in species]
+    for number, (_, a, b, _) in enumerate(table):
+        depends[a].append(number)
+        if b != a:
+            depends[b].append(number)
+    affected: list[tuple[int, ...]] = [
+        tuple(
+            sorted(
+                {
+                    dependent
+                    for position, _ in changes
+                    for dependent in depends[position]
+                }
+            )
+        )
+        for changes in net_changes
+    ]
 
+    def propensity(number: int) -> float:
+        mode, a, b, rate = table[number]
+        if mode == UNI:
+            return rate * counts[a]
+        if mode == DIAG:
+            return rate * counts[a] * (counts[a] - 1) / (2.0 * volume)
+        return rate * counts[a] * counts[b] / volume
+
+    propensities = [propensity(number) for number in range(len(table))]
+    last = len(table) - 1
     samples: list[list[int]] = []
     now = 0.0
     fired = 0
     absorbed = False
     cursor = 0
     while cursor < len(times):
-        propensities = [propensity(entry) for entry in reactions]
+        # Re-summed in reaction order each event so the value (and hence
+        # every RNG draw) matches a full recomputation bit-for-bit.
         total = sum(propensities)
         if total <= 0.0:
             absorbed = True
@@ -120,17 +168,16 @@ def simulate_ssa(
             break
         draw = rng.random() * total
         cumulative = 0.0
-        chosen = reactions[-1]
-        for entry, value in zip(reactions, propensities):
+        chosen = last
+        for number, value in enumerate(propensities):
             cumulative += value
             if draw < cumulative:
-                chosen = entry
+                chosen = number
                 break
-        _, reactant_idx, product_idx = chosen
-        for position in reactant_idx:
-            counts[position] -= 1
-        for position in product_idx:
-            counts[position] += 1
+        for position, change in net_changes[chosen]:
+            counts[position] += change
+        for number in affected[chosen]:
+            propensities[number] = propensity(number)
         fired += 1
     while cursor < len(times):
         # Absorbed (or exactly exhausted): the configuration is frozen.

@@ -577,17 +577,19 @@ class SchedulerPolicy(ABC):
     """A named, option-validated scheduling policy.
 
     A policy advertises which engine-facing interfaces it supports through
-    ``capabilities`` (any of ``"pair"``, ``"counts"``, ``"rounds"``; see the
-    module docstring) and builds the corresponding scheduler objects on
-    demand.  Policies are registered by name; :class:`SchedulerSpec` is the
-    serialisable handle used by the harness and the CLI.
+    ``capabilities`` (any of ``"pair"``, ``"counts"``, ``"rounds"``,
+    ``"mean-field"``; see the module docstring) and builds the corresponding
+    scheduler objects on demand.  Policies are registered by name;
+    :class:`SchedulerSpec` is the serialisable handle used by the harness
+    and the CLI.
     """
 
     #: Registry key (``--scheduler <name>``).
     name: ClassVar[str] = ""
     #: One line for ``repro engines`` / ``--help`` output.
     description: ClassVar[str] = ""
-    #: Interfaces the policy supports: subset of {"pair", "counts", "rounds"}.
+    #: Interfaces the policy supports: subset of
+    #: {"pair", "counts", "rounds", "mean-field"}.
     capabilities: ClassVar[frozenset[str]] = frozenset()
     #: Time semantics note for the DESIGN.md taxonomy table.
     time_semantics: ClassVar[str] = ""
@@ -713,7 +715,10 @@ class SequentialPolicy(SchedulerPolicy):
 
     name = "sequential"
     description = "uniform random ordered pair per interaction (the paper's model)"
-    capabilities = frozenset({"pair", "counts"})
+    # "mean-field" marks that this policy's pair distribution is the uniform
+    # well-mixed one the multiscale engine's propensity model presupposes;
+    # it is deliberately the only policy carrying that capability.
+    capabilities = frozenset({"pair", "counts", "mean-field"})
     time_semantics = "1 interaction per step; Poisson(2t) interactions per agent"
     paper_fidelity = "exact"
 

@@ -1,6 +1,6 @@
 """Engine selection for configuration-level experiments.
 
-Four engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
+Five engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
 
 ``"agent"``
     The reference agent-level :class:`~repro.engine.simulator.Simulation`
@@ -22,6 +22,14 @@ Four engines can run a :class:`~repro.protocols.base.FiniteStateProtocol`:
     The same engine also runs the non-finite-state vector kernels
     (``Log-Size-Estimation``, the Theorem 3.13 leader-terminating protocol)
     through :class:`~repro.engine.vector.VectorSimulator` directly.
+``"multiscale"``
+    :class:`~repro.crn.multiscale.MultiscaleSimulator` — adaptive exact-SSA /
+    tau-leap / mean-field-ODE regime switching over the compiled channel
+    propensities; *approximate* (validated in distribution, not bitwise) but
+    count-bound instead of interaction-bound, reaching ``n = 10^9``–``10^12``.
+    Uniform mixing only: its propensity model is the mean-field limit of the
+    sequential scheduler, so it consumes the ``"mean-field"`` capability that
+    only the ``sequential`` policy carries.
 
 :func:`build_engine` hides the choice behind one constructor, and
 :class:`CountingSimulationAdapter` gives the agent engine the same
@@ -44,6 +52,7 @@ from collections import Counter
 from typing import Callable, Hashable, Mapping, Union
 
 from repro.backend import ArrayBackend, resolve_backend
+from repro.crn.multiscale import MultiscaleSimulator
 from repro.engine.batched_simulator import BatchedCountSimulator
 from repro.engine.configuration import Configuration
 from repro.engine.count_simulator import CountSimulator
@@ -75,11 +84,15 @@ __all__ = [
 ]
 
 #: The engine identifiers accepted by :func:`build_engine` (and the CLI).
-ENGINE_NAMES = ("agent", "count", "batched", "vector")
+ENGINE_NAMES = ("agent", "count", "batched", "vector", "multiscale")
 
 #: Which scheduler-policy capability each engine consumes: the agent engine
 #: takes any per-pair stream, the count-level engines any policy exposing
-#: per-state interaction weights, the vector engine any round scheduler.
+#: per-state interaction weights, the vector engine any round scheduler, and
+#: the multiscale engine the uniform well-mixed pair distribution its
+#: mean-field propensity model presupposes (``"mean-field"``, carried only
+#: by the sequential policy — non-uniform scenarios cannot be expressed as
+#: count-level propensities and are rejected with a clear error).
 #: Together with each policy's declared capabilities this *is* the
 #: engine × scheduler compatibility matrix (``repro engines`` prints it).
 ENGINE_SCHEDULER_CAPABILITY = {
@@ -87,6 +100,7 @@ ENGINE_SCHEDULER_CAPABILITY = {
     "count": "counts",
     "batched": "counts",
     "vector": "rounds",
+    "multiscale": "mean-field",
 }
 
 #: The scheduler used when a caller does not choose one: the paper's
@@ -97,6 +111,7 @@ DEFAULT_SCHEDULERS = {
     "count": "sequential",
     "batched": "sequential",
     "vector": "matching",
+    "multiscale": "sequential",
 }
 
 
@@ -159,6 +174,7 @@ CountLevelEngine = Union[
     CountSimulator,
     BatchedCountSimulator,
     VectorFiniteStateSimulator,
+    "MultiscaleSimulator",
 ]
 
 
@@ -269,7 +285,7 @@ def build_engine(
     ----------
     engine:
         One of :data:`ENGINE_NAMES` (``"agent"``, ``"count"``, ``"batched"``,
-        ``"vector"``).
+        ``"vector"``, ``"multiscale"``).
     scheduler:
         Scheduling policy: a registered name or a
         :class:`~repro.engine.scheduler.SchedulerSpec`.  ``None`` selects the
@@ -283,12 +299,13 @@ def build_engine(
         registered name (``"numpy"``, ``"numba"``, ``"native"``), an
         :class:`~repro.backend.ArrayBackend` instance, or ``None`` for the
         process default (``REPRO_BACKEND`` or numpy).  Consumed by the
-        batched and vector engines; the per-interaction reference engines
-        (agent, count) always run plain Python/numpy and warn if a
-        non-default backend is requested for them.
+        batched, vector and multiscale engines; the per-interaction
+        reference engines (agent, count) always run plain Python/numpy and
+        warn if a non-default backend is requested for them.
     engine_options:
-        Extra keyword arguments forwarded to the engine constructor (only the
-        batched engine takes any: ``batch_size``, ``small_count_threshold``).
+        Extra keyword arguments forwarded to the engine constructor (the
+        batched engine takes ``batch_size`` / ``small_count_threshold``, the
+        multiscale engine ``leap_eps`` / ``regime_thresholds``).
 
     Raises
     ------
@@ -356,6 +373,21 @@ def build_engine(
             initial_configuration=initial_configuration,
             scheduler=spec,
             backend=backend,
+        )
+    if engine == "multiscale":
+        allowed = {"leap_eps", "regime_thresholds"}
+        unknown = set(engine_options) - allowed
+        if unknown:
+            raise SimulationError(
+                f"the multiscale engine does not accept options {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        return MultiscaleSimulator(
+            protocol, population_size, seed=seed,
+            initial_configuration=initial_configuration,
+            scheduler=spec,
+            backend=backend,
+            **engine_options,
         )
     # Unreachable while ENGINE_NAMES and the branches above stay in sync;
     # a name added to ENGINE_NAMES without a branch must fail loudly rather

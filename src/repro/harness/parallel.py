@@ -386,6 +386,12 @@ class TrialSpec:
         in the cache key; a cached trial is never replayed for a modified
         network) and the lowering mode (``"uniform"`` or ``"thinned"``; the
         thinned lowering runs only on the count and batched engines).
+    leap_eps / regime_thresholds:
+        Multiscale engine only: the tau-leap relative-propensity tolerance
+        (Cao's epsilon) and the ``(critical, ode)`` per-species count
+        thresholds of the regime controller.  Both change the sampled
+        trajectory, so they participate in the cache key (joining only when
+        set, like the scheduler); ``None`` uses the engine defaults.
     """
 
     kind: str
@@ -406,8 +412,28 @@ class TrialSpec:
     track_states: bool = False
     crn: "object | None" = None
     crn_mode: str = "uniform"
+    leap_eps: float | None = None
+    regime_thresholds: "tuple[float, float] | None" = None
 
     def __post_init__(self) -> None:
+        # leap_eps / regime_thresholds may arrive through **engine_options
+        # (the builders take them as keyword options); hoist them into the
+        # dedicated fields so every spelling hashes to one cache key.
+        options = dict(self.engine_options)
+        hoisted = False
+        for name in ("leap_eps", "regime_thresholds"):
+            if name in options:
+                if getattr(self, name) is not None:
+                    raise SimulationError(
+                        f"{name} was given both as a TrialSpec field and in "
+                        f"engine_options; set it once"
+                    )
+                object.__setattr__(self, name, options.pop(name))
+                hoisted = True
+        if hoisted:
+            object.__setattr__(
+                self, "engine_options", tuple(sorted(options.items()))
+            )
         if self.kind not in _KINDS:
             raise SimulationError(
                 f"unknown trial kind {self.kind!r}; expected one of {', '.join(_KINDS)}"
@@ -467,6 +493,41 @@ class TrialSpec:
                 "scheduler_options were given without a scheduler; they would "
                 "be silently ignored (set scheduler=... as well)"
             )
+        self._validate_multiscale_knobs()
+
+    def _validate_multiscale_knobs(self) -> None:
+        """Fail fast on tau-leap/regime knobs (build time, not mid-sweep)."""
+        if self.leap_eps is None and self.regime_thresholds is None:
+            return
+        if self.engine != "multiscale":
+            raise SimulationError(
+                f"leap_eps/regime_thresholds tune the multiscale engine's "
+                f"tau-leap error control and regime switching; the "
+                f"{self.engine} engine does not read them"
+            )
+        if self.leap_eps is not None:
+            eps = float(self.leap_eps)
+            if not 0.0 < eps <= 0.5:
+                raise SimulationError(
+                    f"leap_eps must be in (0, 0.5], got {eps}"
+                )
+            object.__setattr__(self, "leap_eps", eps)
+        if self.regime_thresholds is not None:
+            try:
+                critical, ode = (
+                    float(value) for value in self.regime_thresholds
+                )
+            except (TypeError, ValueError):
+                raise SimulationError(
+                    f"regime_thresholds must be a (critical, ode) pair of "
+                    f"numbers, got {self.regime_thresholds!r}"
+                ) from None
+            if not 0.0 < critical < ode:
+                raise SimulationError(
+                    f"regime_thresholds must satisfy 0 < critical < ode, "
+                    f"got ({critical}, {ode})"
+                )
+            object.__setattr__(self, "regime_thresholds", (critical, ode))
 
     def _validate_crn(self) -> None:
         """Fail fast on malformed CRN trials (build time, not mid-sweep)."""
@@ -602,12 +663,29 @@ class TrialSpec:
                 "network": self.crn.canonical(),
                 "mode": self.crn_mode,
             }
+        # Multiscale error-control knobs join only when set: they change the
+        # simulated distribution (leap tolerance) or the trajectory (regime
+        # thresholds), so a cached trial is never replayed under different
+        # tolerances — while non-multiscale specs keep their historical keys.
+        if self.leap_eps is not None:
+            payload["leap_eps"] = self.leap_eps
+        if self.regime_thresholds is not None:
+            payload["regime_thresholds"] = list(self.regime_thresholds)
         return payload
 
     def cache_key(self) -> str:
         """Stable content hash of the spec, used as the result-store key."""
         canonical = json.dumps(self.cache_payload(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def engine_option_dict(self) -> dict:
+        """``engine_options`` plus any multiscale knobs, ready for builders."""
+        options = dict(self.engine_options)
+        if self.leap_eps is not None:
+            options["leap_eps"] = self.leap_eps
+        if self.regime_thresholds is not None:
+            options["regime_thresholds"] = self.regime_thresholds
+        return options
 
     def resolve_workload(self) -> tuple[Callable[[], FiniteStateProtocol], Callable]:
         """Resolve the protocol factory and predicate for a finite-state trial.
@@ -766,6 +844,8 @@ def build_crn_trials(
     max_chemical_time: float | Callable[[int], float] | None = None,
     predicate: Callable[..., bool] | None = None,
     check_interval: int | None = None,
+    leap_eps: float | None = None,
+    regime_thresholds: "tuple[float, float] | None" = None,
     **engine_options,
 ) -> list[TrialSpec]:
     """Expand a CRN sweep into one :class:`TrialSpec` per trial.
@@ -777,7 +857,8 @@ def build_crn_trials(
     default: the workload's budget) and converted to the engines'
     parallel-time budgets through the compiled rate scale; for the thinned
     lowering the same scale is a generous event-clock heuristic (see
-    ``DESIGN.md``, CRN front-end).
+    ``DESIGN.md``, CRN front-end).  ``leap_eps`` and ``regime_thresholds``
+    tune the multiscale engine (see :class:`TrialSpec`).
     """
     from repro.crn.compile import compile_crn
     from repro.crn.library import get_crn_workload
@@ -836,6 +917,8 @@ def build_crn_trials(
             engine_options=tuple(sorted(engine_options.items())),
             crn=network,
             crn_mode=mode,
+            leap_eps=leap_eps,
+            regime_thresholds=regime_thresholds,
         )
         for size_index, population_size in enumerate(population_sizes)
         for run_index in range(runs_per_size)
@@ -857,7 +940,7 @@ def _run_finite_state_trial(spec: TrialSpec) -> RunRecord:
         spec.population_size,
         seed=spec.seed,
         scheduler=spec.scheduler_spec(),
-        **dict(spec.engine_options),
+        **spec.engine_option_dict(),
     )
     converged = True
     convergence_time: float | None = None
@@ -1001,7 +1084,7 @@ def _run_crn_trial(spec: TrialSpec) -> RunRecord:
         spec.engine,
         spec.population_size,
         seed=spec.seed,
-        **dict(spec.engine_options),
+        **spec.engine_option_dict(),
     )
     converged = True
     convergence_time: float | None = None

@@ -59,7 +59,7 @@ __all__ = [
 ]
 
 #: Engines that consume the array-backend seam (agent/count are pure Python).
-ARRAY_ENGINE_NAMES = ("batched", "vector")
+ARRAY_ENGINE_NAMES = ("batched", "vector", "multiscale")
 
 #: Where the cross-engine grid declares its coverage.
 GRID_TEST_PATH = Path("tests/engine/test_cross_engine.py")
@@ -196,6 +196,8 @@ def trial_spec_perturbations() -> tuple[Mapping[str, object], list[FieldPerturba
         "track_states": False,
         "crn": None,
         "crn_mode": "uniform",
+        "leap_eps": None,
+        "regime_thresholds": None,
     }
     crn_base = {
         "kind": "crn",
@@ -203,6 +205,10 @@ def trial_spec_perturbations() -> tuple[Mapping[str, object], list[FieldPerturba
         "crn": _epidemic_crn(),
         "crn_mode": "uniform",
     }
+    # The multiscale knobs are conditional fields (they join the payload only
+    # when set, and only the multiscale engine accepts them), so their
+    # perturbations run on a multiscale CRN baseline.
+    multiscale_base = dict(crn_base, engine="multiscale")
     perturbations = [
         FieldPerturbation("kind", "sequential", base={"params": ProtocolParameters()}),
         FieldPerturbation("population_size", 65),
@@ -229,6 +235,10 @@ def trial_spec_perturbations() -> tuple[Mapping[str, object], list[FieldPerturba
         FieldPerturbation("track_states", True),
         FieldPerturbation("crn", _sir_crn(), base=crn_base),
         FieldPerturbation("crn_mode", "thinned", base=crn_base),
+        FieldPerturbation("leap_eps", 0.01, base=multiscale_base),
+        FieldPerturbation(
+            "regime_thresholds", (10.0, 1e4), base=multiscale_base
+        ),
     ]
     return baseline, perturbations
 

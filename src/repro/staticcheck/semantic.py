@@ -41,6 +41,11 @@ protocol and CRN workload:
 ``C205`` extreme rate dynamic range
     ``max rate / min rate`` beyond ``1e6``: the uniform lowering's null-
     interaction padding makes such networks astronomically slow.
+``C206`` tau-leap ill-conditioning
+    ``max rate / min rate`` beyond ``1e3``: on the multiscale engine the
+    fastest channel pins the Cao leap size, so slow channels see a fraction
+    of an event per leap and their relative-change error control loses
+    resolution — the leap tolerance has to be tightened to compensate.
 
 Reachability here is the count-agnostic closure of
 :mod:`repro.termination.producibility` (``Lambda``): it assumes every
@@ -70,6 +75,10 @@ _INITIAL_SAMPLE = 64
 
 #: C205 threshold: rate ratios beyond this make the uniform lowering crawl.
 _RATE_RANGE_LIMIT = 1e6
+
+#: C206 threshold: rate ratios beyond this make tau-leaping ill-conditioned
+#: (the fast channel dictates the leap; slow-channel error control degrades).
+_TAU_STIFFNESS_LIMIT = 1e3
 
 
 def sample_initial_states(protocol) -> tuple[Hashable, ...]:
@@ -311,6 +320,26 @@ def analyze_crn(crn, location: str) -> list[Diagnostic]:
                     f"with null interactions proportionally"
                 ),
                 hint="rescale rates or prefer the thinned lowering",
+            )
+        )
+    if rates and max(rates) / min(rates) > _TAU_STIFFNESS_LIMIT:
+        diagnostics.append(
+            Diagnostic(
+                rule="C206",
+                severity=WARNING,
+                location=location,
+                message=(
+                    f"rate constants span a {max(rates) / min(rates):.1e} "
+                    f"dynamic range: tau-leaping is ill-conditioned (the "
+                    f"fastest channel pins the leap size, so slow channels "
+                    f"average under one event per leap and lose error-control "
+                    f"resolution)"
+                ),
+                hint=(
+                    "on the multiscale engine, tighten --leap-eps (smaller "
+                    "epsilon) to keep slow-channel statistics faithful, or "
+                    "run an exact engine"
+                ),
             )
         )
 

@@ -350,6 +350,7 @@ EXERCISED_CELLS = (
     ("vector", "weighted"),
     ("vector", "two-block"),
     ("vector", "quiescing"),
+    ("multiscale", "sequential"),
 )
 
 EXERCISED_BACKEND_CELLS = (
@@ -359,6 +360,9 @@ EXERCISED_BACKEND_CELLS = (
     ("vector", "numpy"),
     ("vector", "numba"),
     ("vector", "native"),
+    ("multiscale", "numpy"),
+    ("multiscale", "numba"),
+    ("multiscale", "native"),
 )
 
 #: Valid options for the policies that require (or deserve) non-defaults.

@@ -243,6 +243,28 @@ class TestBrokenCRNs:
         c205 = [d for d in diagnostics if d.rule == "C205"]
         assert len(c205) == 1 and c205[0].severity == "warning"
 
+    def test_c206_tau_leap_ill_conditioning(self):
+        # Stiff but below the C205 limit: only the tau-leap warning fires.
+        crn = CRN.from_spec(
+            ["A + B -> B + B @ 1.0", "B + A -> A + A @ 1e4"],
+            name="stiff",
+            fractions={"A": 0.5, "B": 0.5},
+        )
+        diagnostics = analyze_crn(crn, location="crn:stiff")
+        rules = _rules(diagnostics)
+        assert "C206" in rules and "C205" not in rules
+        c206 = [d for d in diagnostics if d.rule == "C206"][0]
+        assert c206.severity == "warning"
+        assert "--leap-eps" in c206.hint
+
+    def test_c206_quiet_below_threshold(self):
+        crn = CRN.from_spec(
+            ["A + B -> B + B @ 1.0", "B + A -> A + A @ 100.0"],
+            name="mild",
+            fractions={"A": 0.5, "B": 0.5},
+        )
+        assert "C206" not in _rules(analyze_crn(crn, location="crn:mild"))
+
     def test_clean_crn_reports_nothing(self):
         crn = CRN.from_spec(
             ["A + B -> B + B"], name="epi", fractions={"A": 0.9, "B": 0.1}
