@@ -1,0 +1,181 @@
+"""T-OBS-OVERHEAD — telemetry cost gate on the batched-epidemic hot path.
+
+The observability layer promises (DESIGN.md "Observability") that the
+process-global recorder is
+
+* **near-free when off** — every instrumented hot path guards its telemetry
+  block with one ``if RECORDER.enabled:`` attribute test and otherwise runs
+  the identical pre-instrumentation code.  Gate: the projected cost of
+  those guard evaluations stays below **0.5%** of the baseline runtime.
+* **cheap when on** — counters and monotonic timers at batch granularity.
+  Gate: an enabled run stays within **3%** of a disabled run.
+
+Both gates measure the batched epidemic at ``REPRO_OBS_N`` agents
+(default 1,000,000 — the acceptance scale) driving ``REPRO_OBS_INTERACTIONS``
+interactions, best-of-``REPRO_OBS_ROUNDS`` to shed scheduler noise.
+
+The no-op gate cannot diff against a truly uninstrumented tree (the guards
+are permanently in the code), so it bounds the overhead from first
+principles: time a tight loop of the exact guard expression, count how many
+guard evaluations one run performs (recorded by an enabled run — one guard
+per kernel advance and per convergence check), and project
+``guard_cost x guard_count / baseline_runtime``.  That projection is an
+overestimate (the measured loop includes its own loop overhead), which is
+the conservative direction for a gate.
+
+Also a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+printing the measurements and exiting non-zero on a gate failure — this is
+what the CI perf-regression job runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for _entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro.engine.selection import build_engine
+from repro.obs.recorder import RECORDER
+from repro.protocols.epidemic import EpidemicProtocol
+
+OBS_N = int(os.environ.get("REPRO_OBS_N", "1000000"))
+OBS_INTERACTIONS = int(os.environ.get("REPRO_OBS_INTERACTIONS", "4000000"))
+OBS_ROUNDS = int(os.environ.get("REPRO_OBS_ROUNDS", "5"))
+
+#: Gate thresholds from the telemetry design contract.
+ENABLED_OVERHEAD_LIMIT = 0.03
+NOOP_OVERHEAD_LIMIT = 0.005
+
+
+def _timed_run(enabled: bool, seed: int = 3) -> tuple[float, dict]:
+    """Best-of-rounds wall time of the batched epidemic hot path.
+
+    Returns ``(seconds, counters)`` where ``counters`` is the recorder
+    delta of the final round when ``enabled`` (empty otherwise).
+    """
+    prior = RECORDER.enabled
+    best = float("inf")
+    counters: dict = {}
+    try:
+        RECORDER.enabled = enabled
+        for round_index in range(OBS_ROUNDS):
+            simulator = build_engine(
+                "batched", EpidemicProtocol(), OBS_N, seed=seed, backend="numpy"
+            )
+            simulator.run_interactions(10_000)  # warm-up outside timed region
+            mark = RECORDER.mark() if enabled else None
+            started = time.perf_counter()
+            simulator.run_interactions(OBS_INTERACTIONS)
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            if enabled:
+                counters = RECORDER.since(mark)["counters"]
+    finally:
+        RECORDER.enabled = prior
+        RECORDER.reset()
+    return best, counters
+
+
+def _guard_cost_seconds(evaluations: int = 2_000_000) -> float:
+    """Measured cost of one ``if RECORDER.enabled:`` no-op guard."""
+    recorder = RECORDER
+    assert not recorder.enabled
+    hits = 0
+    started = time.perf_counter()
+    for _ in range(evaluations):
+        if recorder.enabled:
+            hits += 1
+    elapsed = time.perf_counter() - started
+    assert hits == 0
+    return elapsed / evaluations
+
+
+def run_overhead_gate() -> tuple[dict, list[str]]:
+    """Measure both overheads; return (report, gate failures)."""
+    failures: list[str] = []
+
+    baseline_seconds, _ = _timed_run(enabled=False)
+    enabled_seconds, counters = _timed_run(enabled=True)
+
+    enabled_overhead = enabled_seconds / baseline_seconds - 1.0
+    if enabled_overhead > ENABLED_OVERHEAD_LIMIT:
+        failures.append(
+            f"enabled telemetry costs {enabled_overhead:+.2%} on the batched "
+            f"epidemic hot path (limit {ENABLED_OVERHEAD_LIMIT:.1%})"
+        )
+
+    # One guard fires per timed/counted block: kernel advances plus
+    # convergence bookkeeping; sum every counter that maps 1:1 to a guarded
+    # block and double it as a safety margin for guards without counters.
+    guard_count = 2 * max(
+        1,
+        counters.get("backend.kernel_advances", 0)
+        + counters.get("engine.convergence_checks", 0),
+    )
+    guard_seconds = _guard_cost_seconds()
+    noop_overhead = guard_seconds * guard_count / baseline_seconds
+    if noop_overhead > NOOP_OVERHEAD_LIMIT:
+        failures.append(
+            f"projected no-op guard overhead is {noop_overhead:.3%} "
+            f"({guard_count} guards x {guard_seconds * 1e9:.1f}ns over a "
+            f"{baseline_seconds:.3f}s run; limit {NOOP_OVERHEAD_LIMIT:.1%}) — "
+            f"a guard moved into a per-interaction loop?"
+        )
+
+    report = {
+        "population_size": OBS_N,
+        "interactions": OBS_INTERACTIONS,
+        "rounds": OBS_ROUNDS,
+        "baseline_seconds": baseline_seconds,
+        "enabled_seconds": enabled_seconds,
+        "enabled_overhead": enabled_overhead,
+        "guard_count": guard_count,
+        "guard_ns": guard_seconds * 1e9,
+        "noop_overhead": noop_overhead,
+    }
+    return report, failures
+
+
+# -- pytest entry (collected by the benchmark job's bench_* matcher) ------------
+
+
+def bench_obs_overhead_gate():
+    """The CI gate as a test: telemetry must stay within its overhead budget."""
+    report, failures = run_overhead_gate()
+    assert report["baseline_seconds"] > 0
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    print(
+        f"telemetry overhead: batched epidemic, n={OBS_N:,}, "
+        f"{OBS_INTERACTIONS:,} interactions, best of {OBS_ROUNDS}"
+    )
+    report, failures = run_overhead_gate()
+    print(
+        f"  telemetry off : {report['baseline_seconds']:7.3f}s"
+    )
+    print(
+        f"  telemetry on  : {report['enabled_seconds']:7.3f}s "
+        f"({report['enabled_overhead']:+.2%}, limit {ENABLED_OVERHEAD_LIMIT:.1%})"
+    )
+    print(
+        f"  no-op guards  : {report['guard_count']} x {report['guard_ns']:.1f}ns "
+        f"= {report['noop_overhead']:.4%} projected (limit {NOOP_OVERHEAD_LIMIT:.1%})"
+    )
+    for failure in failures:
+        print(f"  GATE FAILURE: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

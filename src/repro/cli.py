@@ -163,6 +163,68 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--telemetry`` / ``--trace-spool`` / ``--progress`` flags."""
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the observability recorder: every trial's record gains "
+        "a run manifest (spec hash, seed lineage, engine/backend/scheduler "
+        "resolution, hot-path counters, timing breakdown) under the "
+        "'telemetry' key — excluded from cache keys, so records stay "
+        "interchangeable with plain runs",
+    )
+    parser.add_argument(
+        "--trace-spool", default="", metavar="DIR",
+        help="spool span-level trace events to per-process JSONL files in "
+        "DIR (implies --telemetry); merge into a Perfetto-loadable Chrome "
+        "trace with `repro trace export --spool DIR --out FILE`",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line on stderr while the sweep runs "
+        "(trials done/executed/cached, throughput, ETA)",
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Resolve the telemetry flags: enable the recorder, build the progress
+    callback.  Returns ``(progress_view or None)``."""
+    from repro.obs import ProgressView, set_telemetry
+
+    spool = getattr(args, "trace_spool", "") or None
+    if getattr(args, "telemetry", False) or spool:
+        set_telemetry(True, spool_dir=spool)
+    return ProgressView() if getattr(args, "progress", False) else None
+
+
+def _print_telemetry_summary(outcome) -> None:
+    """One-screen driver-side metrics after a ``--telemetry`` sweep."""
+    from repro.obs import RECORDER
+
+    if not RECORDER.enabled:
+        return
+    snapshot = RECORDER.snapshot()
+    interesting = {
+        name: value
+        for name, value in sorted(snapshot["counters"].items())
+        if not name.startswith("engine.interactions")
+    }
+    timing = {
+        name: f"{seconds:.3f}s"
+        for name, seconds in sorted(snapshot["timing"].items())
+    }
+    if interesting or timing:
+        print()
+        print("telemetry (driver-side totals):")
+        print(format_key_values({**interesting, **timing}))
+    if RECORDER.spool_dir:
+        print(
+            f"trace spool: {RECORDER.spool_dir} "
+            f"(export: repro trace export --spool {RECORDER.spool_dir} "
+            f"--out trace.json)"
+        )
+
+
 def _parse_scheduler_options(pairs: Sequence[str] | None) -> dict:
     """Parse repeated ``--scheduler-opt key=value`` flags.
 
@@ -632,10 +694,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache, store = _sweep_persistence_from_args(
             args, f"{args.protocol}-{args.engine}"
         )
-        outcome = run_trials(
-            specs, workers=args.workers, cache=cache, store=store,
-            lease_seconds=args.lease,
-        )
+        progress_view = _telemetry_from_args(args)
+        try:
+            outcome = run_trials(
+                specs, workers=args.workers, cache=cache, store=store,
+                lease_seconds=args.lease, progress=progress_view,
+            )
+        finally:
+            if progress_view is not None:
+                progress_view.close()
     except SimulationError as error:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 2
@@ -663,6 +730,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"store: {store.describe()}")
     print()
     _print_sweep_summary(result)
+    _print_telemetry_summary(outcome)
     return 0 if all(record.converged for record in outcome.records) else 1
 
 
@@ -1047,10 +1115,15 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
         cache, store = _sweep_persistence_from_args(
             args, f"crn-{args.crn}-{args.engine}"
         )
-        outcome = run_trials(
-            specs, workers=args.workers, cache=cache, store=store,
-            lease_seconds=args.lease,
-        )
+        progress_view = _telemetry_from_args(args)
+        try:
+            outcome = run_trials(
+                specs, workers=args.workers, cache=cache, store=store,
+                lease_seconds=args.lease, progress=progress_view,
+            )
+        finally:
+            if progress_view is not None:
+                progress_view.close()
     except SimulationError as error:
         print(f"repro crn sweep: error: {error}", file=sys.stderr)
         return 2
@@ -1073,6 +1146,40 @@ def _cmd_crn_sweep(args: argparse.Namespace) -> int:
         print(f"store: {store.describe()}")
     print()
     _print_sweep_summary(result)
+    # Multiscale trials carry per-regime work counters in their records
+    # (exact SSA events, tau-leaps, ODE steps, regime switches); aggregate
+    # them per population size so the sweep output shows where the engine
+    # actually spent its events — previously only `repro crn simulate`
+    # exposed this.
+    regime_rows = []
+    by_size: dict[int, dict[str, int]] = {}
+    for record in outcome.records:
+        regime = record.extra.get("regime")
+        if regime:
+            totals = by_size.setdefault(record.population_size, {})
+            for name, value in regime.items():
+                totals[name] = totals.get(name, 0) + int(value)
+    for size in sorted(by_size):
+        totals = by_size[size]
+        regime_rows.append(
+            [
+                size,
+                totals.get("exact_events", 0),
+                totals.get("leaps", 0),
+                totals.get("ode_steps", 0),
+                totals.get("regime_switches", 0),
+            ]
+        )
+    if regime_rows:
+        print()
+        print("multiscale regime totals (summed over runs):")
+        print(
+            format_table(
+                ["n", "exact events", "leaps", "ode steps", "switches"],
+                regime_rows,
+            )
+        )
+    _print_telemetry_summary(outcome)
     return 0 if all(record.converged for record in outcome.records) else 1
 
 
@@ -1097,9 +1204,46 @@ def _cmd_store_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_store_status(store, interval: float, iterations: int | None) -> int:
+    """Poll ``store.status()`` and render per-driver health until interrupted.
+
+    The snapshot diffing (per-driver completion attribution, lease churn,
+    stale alerts) lives in :class:`repro.obs.StatusWatcher`; this loop only
+    polls and prints.  ``iterations`` bounds the poll count (None = forever,
+    for terminals; tests and scripts pass a finite count).
+    """
+    import time as _time
+
+    from repro.obs import StatusWatcher
+
+    watcher = StatusWatcher()
+    polls = 0
+    print(f"watching {store.describe()} every {interval:g}s (ctrl-c to stop)")
+    try:
+        while iterations is None or polls < iterations:
+            status = store.status()
+            for line in watcher.update(status):
+                print(line)
+            sys.stdout.flush()
+            polls += 1
+            if iterations is not None and polls >= iterations:
+                break
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_store_status(args: argparse.Namespace) -> int:
     try:
         store = open_store(args.store)
+        if getattr(args, "watch", False):
+            try:
+                return _watch_store_status(
+                    store, args.interval, args.iterations
+                )
+            finally:
+                store.close()
         status = store.status()
     except SimulationError as error:
         print(f"repro store status: error: {error}", file=sys.stderr)
@@ -1149,6 +1293,43 @@ def _cmd_store_status(args: argparse.Namespace) -> int:
             )
         )
     store.close()
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs import export_spool
+
+    try:
+        trace = export_spool(args.spool, args.out)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"repro trace export: error: {error}", file=sys.stderr)
+        return 2
+    events = trace["traceEvents"]
+    pids = sorted({event.get("pid") for event in events})
+    print(
+        f"wrote {args.out}: {len(events)} events from {len(pids)} process(es)"
+    )
+    print("open in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    from repro.obs import validate_trace
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"repro trace validate: error: {error}", file=sys.stderr)
+        return 2
+    problems = validate_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"INVALID {problem}")
+        print(f"{args.trace}: {len(problems)} schema problem(s)")
+        return 1
+    events = trace.get("traceEvents", [])
+    print(f"{args.trace}: valid Chrome trace ({len(events)} events)")
     return 0
 
 
@@ -1446,6 +1627,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(participates in the trial cache keys)",
     )
     _add_store_arguments(crn_sweep)
+    _add_telemetry_arguments(crn_sweep)
     crn_sweep.set_defaults(handler=_cmd_crn_sweep)
 
     store = subparsers.add_parser(
@@ -1488,7 +1670,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", required=True,
         help="store URL: jsonl:DIR, sqlite:PATH or http://HOST:PORT",
     )
+    store_status.add_argument(
+        "--watch", action="store_true",
+        help="poll the store and render live distributed-sweep health: "
+        "per-driver throughput (attributed by lease hand-off), lease "
+        "churn, and stale-lease alerts",
+    )
+    store_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="--watch only: seconds between polls (default 2)",
+    )
+    store_status.add_argument(
+        "--iterations", type=int, default=None,
+        help="--watch only: stop after this many polls (default: forever)",
+    )
     store_status.set_defaults(handler=_cmd_store_status)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="export/validate Chrome trace-event files from telemetry spools",
+        description=(
+            "Span-level traces: sweeps run with --trace-spool DIR write "
+            "per-process trace-event JSONL spools; `export` merges a spool "
+            "into one Chrome trace-event JSON file loadable in Perfetto "
+            "(https://ui.perfetto.dev) or chrome://tracing, and `validate` "
+            "checks any trace file against the event schema."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export", help="merge a spool directory into one Perfetto-loadable file"
+    )
+    trace_export.add_argument(
+        "--spool", required=True,
+        help="spool directory written by a --trace-spool sweep",
+    )
+    trace_export.add_argument(
+        "--out", required=True, help="output trace JSON path"
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
+    trace_validate = trace_sub.add_parser(
+        "validate", help="schema-check a Chrome trace-event JSON file"
+    )
+    trace_validate.add_argument("trace", help="trace JSON file to validate")
+    trace_validate.set_defaults(handler=_cmd_trace_validate)
 
     simulate = subparsers.add_parser(
         "simulate", help="run a finite-state protocol on a selectable engine"
@@ -1689,6 +1914,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler-opt lazy_rate=0.25)",
     )
     _add_store_arguments(sweep)
+    _add_telemetry_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     return parser

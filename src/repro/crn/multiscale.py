@@ -73,6 +73,7 @@ from repro.engine.running import (
 )
 from repro.engine.scheduler import SchedulerSpec
 from repro.exceptions import SimulationError
+from repro.obs.recorder import RECORDER as _REC
 from repro.protocols.base import FiniteStateProtocol
 from repro.protocols.compiled import compile_transition_table
 
@@ -553,6 +554,29 @@ class MultiscaleSimulator:
     # -- the regime loop ------------------------------------------------------
 
     def _advance_to(self, target: float) -> None:
+        if _REC.enabled:
+            # Mirror the per-regime work counters into the telemetry
+            # recorder as deltas around the advance; the regime loop itself
+            # stays clock-free (determinism: regime decisions depend only
+            # on counts and the RNG stream, never on telemetry).
+            t0 = _REC.now_ns()
+            exact0, leaps0 = self.exact_events, self.leaps
+            ode0, switches0 = self.ode_steps, self.controller.switches
+            try:
+                self._advance_to_inner(target)
+            finally:
+                _REC.add_time("multiscale.advance", _REC.now_ns() - t0)
+                _REC.count("multiscale.exact_events", self.exact_events - exact0)
+                _REC.count("multiscale.leaps", self.leaps - leaps0)
+                _REC.count("multiscale.ode_steps", self.ode_steps - ode0)
+                _REC.count(
+                    "multiscale.regime_switches",
+                    self.controller.switches - switches0,
+                )
+            return
+        self._advance_to_inner(target)
+
+    def _advance_to_inner(self, target: float) -> None:
         guard = 1e-12 * max(1.0, abs(target))
         while self.parallel_time < target - guard:
             lam = self._kernel.propensities(self._counts)

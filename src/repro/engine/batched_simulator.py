@@ -86,6 +86,7 @@ from repro.engine.running import (
 )
 from repro.engine.scheduler import SchedulerSpec
 from repro.exceptions import SimulationError
+from repro.obs.recorder import RECORDER as _REC
 from repro.protocols.base import FiniteStateProtocol
 from repro.protocols.compiled import CompiledTransitionTable, compile_transition_table
 from repro.types import interactions_for_time
@@ -265,14 +266,38 @@ class BatchedCountSimulator:
         if count < 0:
             raise SimulationError(f"interaction count must be non-negative, got {count}")
         remaining = count
-        while remaining > 0:
-            done, batched, fallback = self._kernel.advance(
-                self._counts, remaining, self.batch_size, self._rng
-            )
-            self.interactions += done
-            self.batched_batches += batched
-            self.fallback_batches += fallback
-            remaining -= done
+        if _REC.enabled:
+            # Instrumented twin: time the fused backend kernel dispatch and
+            # mirror the batch counters into the recorder.  Guarded once per
+            # run_interactions call; the disabled branch below is the
+            # historical loop untouched.
+            t0 = _REC.now_ns()
+            advances = batched_delta = fallback_delta = 0
+            while remaining > 0:
+                done, batched, fallback = self._kernel.advance(
+                    self._counts, remaining, self.batch_size, self._rng
+                )
+                self.interactions += done
+                self.batched_batches += batched
+                self.fallback_batches += fallback
+                remaining -= done
+                advances += 1
+                batched_delta += batched
+                fallback_delta += fallback
+            _REC.add_time("backend.kernel_advance", _REC.now_ns() - t0)
+            _REC.count("backend.kernel_advances", advances)
+            _REC.count("engine.batched_batches", batched_delta)
+            _REC.count("engine.fallback_batches", fallback_delta)
+            _REC.count("engine.interactions", count)
+        else:
+            while remaining > 0:
+                done, batched, fallback = self._kernel.advance(
+                    self._counts, remaining, self.batch_size, self._rng
+                )
+                self.interactions += done
+                self.batched_batches += batched
+                self.fallback_batches += fallback
+                remaining -= done
 
     def run_parallel_time(self, time: float) -> None:
         """Execute (at least) ``time`` additional units of parallel time."""

@@ -20,7 +20,13 @@ from typing import Sequence
 
 from repro.core.parameters import ProtocolParameters
 from repro.harness.experiment import ExperimentSpec, run_array_experiment
-from repro.harness.reporting import format_table, render_ascii_series
+from repro.harness.reporting import (
+    PHASE_ORDER,
+    format_table,
+    phase_breakdown,
+    render_ascii_series,
+)
+from repro.obs.manifest import TELEMETRY_KEY
 from repro.harness.results import SeriesSummary, SweepResult
 
 
@@ -31,6 +37,9 @@ class Figure2Point:
     ``convergence_time`` is ``NaN`` (and ``converged`` is ``False``) for a
     run that exhausted its budget; such runs appear only in
     :attr:`Figure2Result.non_converged_points`.
+
+    ``timing`` carries the run's telemetry timing breakdown (seconds per
+    recorder timer) when the sweep ran with telemetry enabled, else ``None``.
     """
 
     population_size: int
@@ -38,6 +47,7 @@ class Figure2Point:
     convergence_time: float
     max_additive_error: float
     converged: bool = True
+    timing: dict | None = None
 
 
 @dataclass
@@ -84,46 +94,69 @@ class Figure2Result:
             return math.nan
         return max(point.max_additive_error for point in self.points)
 
+    def timing_phases(self) -> list[str]:
+        """Per-phase timing columns present in this sweep's telemetry.
+
+        Empty when the sweep ran without telemetry, so existing tables and
+        CSV exports are byte-identical to the pre-telemetry format.
+        """
+        present: set[str] = set()
+        for point in self.points + self.non_converged_points:
+            present.update(phase_breakdown(point.timing))
+        return [phase for phase in PHASE_ORDER if phase in present]
+
     def table(self) -> str:
         """Aligned text table: size, runs, non-converged, time stats, max error.
 
         ``runs`` counts only the converged runs feeding the time statistics;
         ``non-conv`` makes budget-exhausted runs visible instead of letting
         the ``runs`` column quietly shrink below the requested
-        ``runs_per_size``.
+        ``runs_per_size``.  Sweeps run with telemetry enabled gain one
+        ``mean <phase> s`` column per recorded phase (draw vs apply vs
+        convergence check wall time, averaged over the size's runs).
         """
         non_converged = self.non_converged_by_size()
+        phases = self.timing_phases()
         rows = []
         for size in self.sizes():
             summary = self.summaries.get(size)
-            errors = [
-                point.max_additive_error
-                for point in self.points
+            size_points = [
+                point
+                for point in self.points + self.non_converged_points
                 if point.population_size == size
             ]
-            rows.append(
-                [
-                    size,
-                    summary.count if summary else 0,
-                    non_converged[size],
-                    summary.mean if summary else math.nan,
-                    summary.minimum if summary else math.nan,
-                    summary.maximum if summary else math.nan,
-                    max(errors) if errors else math.nan,
+            errors = [
+                point.max_additive_error
+                for point in size_points
+                if point.converged
+            ]
+            row = [
+                size,
+                summary.count if summary else 0,
+                non_converged[size],
+                summary.mean if summary else math.nan,
+                summary.minimum if summary else math.nan,
+                summary.maximum if summary else math.nan,
+                max(errors) if errors else math.nan,
+            ]
+            for phase in phases:
+                values = [
+                    phase_breakdown(point.timing)[phase]
+                    for point in size_points
+                    if phase in phase_breakdown(point.timing)
                 ]
-            )
-        return format_table(
-            [
-                "n",
-                "runs",
-                "non-conv",
-                "mean time",
-                "min time",
-                "max time",
-                "max |err|",
-            ],
-            rows,
-        )
+                row.append(sum(values) / len(values) if values else None)
+            rows.append(row)
+        headers = [
+            "n",
+            "runs",
+            "non-conv",
+            "mean time",
+            "min time",
+            "max time",
+            "max |err|",
+        ] + [f"mean {phase} s" for phase in phases]
+        return format_table(headers, rows)
 
     def ascii_plot(self) -> str:
         """Coarse ASCII scatter matching the paper's log-x convergence plot."""
@@ -146,18 +179,33 @@ class Figure2Result:
         empty ``convergence_time`` (so per-size non-converged counts are
         part of the export rather than an invisible shortfall), after the
         converged points, both in sweep order.
+
+        When at least one point carries a telemetry timing breakdown, one
+        ``<phase>_seconds`` column per recorded phase is appended; runs
+        without telemetry leave those cells empty.  Without telemetry the
+        header is exactly the historical five-column format.
         """
-        lines = ["population_size,seed,converged,convergence_time,max_additive_error"]
+        phases = self.timing_phases()
+        header = "population_size,seed,converged,convergence_time,max_additive_error"
+        for phase in phases:
+            header += f",{phase}_seconds"
+        lines = [header]
         for point in self.points + self.non_converged_points:
             time_text = (
                 "" if math.isnan(point.convergence_time) else point.convergence_time
             )
             error = point.max_additive_error
             error_text = "" if not math.isfinite(error) else error
-            lines.append(
+            row = (
                 f"{point.population_size},{point.seed},{point.converged},"
                 f"{time_text},{error_text}"
             )
+            if phases:
+                breakdown = phase_breakdown(point.timing)
+                for phase in phases:
+                    value = breakdown.get(phase)
+                    row += "," if value is None else f",{value:.9f}"
+            lines.append(row)
         return "\n".join(lines)
 
     def growth_exponent(self) -> float | None:
@@ -221,6 +269,8 @@ def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure
     points = []
     non_converged_points = []
     for record in sweep.records:
+        telemetry = record.extra.get(TELEMETRY_KEY) if record.extra else None
+        timing = telemetry.get("timing") if isinstance(telemetry, dict) else None
         if record.converged and record.convergence_time is not None:
             points.append(
                 Figure2Point(
@@ -228,6 +278,7 @@ def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure
                     seed=record.seed,
                     convergence_time=record.convergence_time,
                     max_additive_error=record.max_additive_error,
+                    timing=timing,
                 )
             )
         else:
@@ -238,6 +289,7 @@ def figure2_from_sweep(sweep: SweepResult, params: ProtocolParameters) -> Figure
                     convergence_time=math.nan,
                     max_additive_error=record.max_additive_error,
                     converged=False,
+                    timing=timing,
                 )
             )
     return Figure2Result(

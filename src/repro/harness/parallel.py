@@ -51,6 +51,9 @@ from repro.core.parameters import ProtocolParameters
 from repro.exceptions import ConvergenceError, SimulationError
 from repro.harness.cache import ResultCache
 from repro.harness.results import RunRecord
+from repro.obs.manifest import TELEMETRY_KEY, trial_manifest
+from repro.obs.progress import SweepProgress
+from repro.obs.recorder import RECORDER as _REC
 from repro.protocols.base import FiniteStateProtocol
 from repro.rng import spawn_seed
 
@@ -1109,6 +1112,14 @@ def _run_crn_trial(spec: TrialSpec) -> RunRecord:
     }
     if compiled.time_exact and convergence_time is not None:
         extra["chemical_time"] = compiled.to_chemical_time(convergence_time)
+    # Multiscale engines expose per-regime work counters; persist them so
+    # sweep records (and `repro crn sweep` output) carry the exact/leap/ODE
+    # breakdown that was previously visible only via `repro crn simulate`.
+    regime_stats = getattr(simulator, "regime_stats", None)
+    if regime_stats is not None:
+        extra["regime"] = {
+            str(name): int(value) for name, value in regime_stats().items()
+        }
     return RunRecord(
         population_size=spec.population_size,
         seed=spec.seed,
@@ -1128,8 +1139,47 @@ _TRIAL_RUNNERS = {
 
 
 def run_trial(spec: TrialSpec) -> RunRecord:
-    """Execute one trial (in whatever process this is called from)."""
-    return _TRIAL_RUNNERS[spec.kind](spec)
+    """Execute one trial (in whatever process this is called from).
+
+    With telemetry enabled (``repro.obs.set_telemetry``), the trial's run
+    manifest — spec hash, seed lineage, resolved engine/backend/scheduler,
+    hot-path counters and the timing breakdown accumulated during *this*
+    execution window — is attached under ``record.extra["telemetry"]``.
+    The key is contractually excluded from cache keys (staticcheck K406)
+    and the simulated trajectory is bit-identical either way: telemetry
+    only observes.
+    """
+    if not _REC.enabled:
+        return _TRIAL_RUNNERS[spec.kind](spec)
+    mark = _REC.mark()
+    record = _TRIAL_RUNNERS[spec.kind](spec)
+    end_ns = _REC.now_ns()
+    delta = _REC.since(mark)
+    _REC.add_span(
+        "trial",
+        mark.t_ns,
+        end_ns,
+        category="sweep",
+        args={
+            "kind": spec.kind,
+            "engine": spec.engine,
+            "n": spec.population_size,
+            "seed": spec.seed,
+        },
+    )
+    record.extra[TELEMETRY_KEY] = trial_manifest(spec, delta)
+    # Workers persist their span events per trial so a crashed worker
+    # loses at most one trial's trace; a no-op without a spool directory.
+    _REC.flush_spool()
+    return record
+
+
+def _enable_worker_telemetry(spool_dir: str | None) -> None:
+    """``multiprocessing.Pool`` initializer: mirror the driver's telemetry
+    state into the worker process (fresh processes start disabled)."""
+    from repro.obs.recorder import set_telemetry
+
+    set_telemetry(True, spool_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -1172,6 +1222,7 @@ def run_trials(
     lease_seconds: float | None = None,
     owner: str | None = None,
     poll_interval: float = 0.05,
+    progress: Callable[[SweepProgress], None] | None = None,
 ) -> SweepOutcome:
     """Run a sweep of trials through a claim-loop over a result store.
 
@@ -1211,6 +1262,12 @@ def run_trials(
     poll_interval:
         Seconds to wait between claim passes when every remaining trial is
         leased by other drivers (or in flight locally).
+    progress:
+        Optional callback invoked with a
+        :class:`~repro.obs.progress.SweepProgress` after every resolved
+        trial (executed locally *or* replayed from the store); drives the
+        ``repro sweep --progress`` live view.  Purely observational — it
+        must not raise.
 
     Returns
     -------
@@ -1226,19 +1283,39 @@ def run_trials(
         raise SimulationError("pass either store= or cache=, not both")
     records: list[RunRecord | None] = [None] * len(specs)
 
+    # Workers start with telemetry disabled; when the driver records, the
+    # pool initializer mirrors its enabled/spool state into each worker.
+    pool_kwargs: dict = (
+        {"initializer": _enable_worker_telemetry, "initargs": (_REC.spool_dir,)}
+        if _REC.enabled
+        else {}
+    )
+
+    def _emit_progress(total: int, done: int, executed: int, replayed: int) -> None:
+        if progress is not None:
+            progress(
+                SweepProgress(
+                    total=total, done=done, executed=executed, from_cache=replayed
+                )
+            )
+
     if store is None and cache is None:
         # No persistence: plain fan-out, no keys to compute or claim.
         if workers == 1 or len(specs) <= 1:
             for index, spec in enumerate(specs):
                 records[index] = run_trial(spec)
+                _emit_progress(len(specs), index + 1, index + 1, 0)
         else:
             with multiprocessing.get_context().Pool(
-                processes=min(workers, len(specs))
+                processes=min(workers, len(specs)), **pool_kwargs
             ) as pool:
                 for index, record in enumerate(
                     pool.imap(run_trial, specs, chunksize=1)
                 ):
                     records[index] = record
+                    _emit_progress(len(specs), index + 1, index + 1, 0)
+        if _REC.enabled:
+            _REC.flush_spool()
         return SweepOutcome(records=records, executed=len(specs), from_cache=0)
 
     if cache is not None:
@@ -1262,18 +1339,41 @@ def run_trials(
 
     executed_keys: list[str] = []
     from_cache = 0
+    replayed_unique = 0
+    total_unique = len(indices_by_key)
 
     def _replay(key: str, record: RunRecord) -> None:
-        nonlocal from_cache
+        nonlocal from_cache, replayed_unique
         for index in indices_by_key[key]:
             records[index] = record
         from_cache += len(indices_by_key[key])
+        replayed_unique += 1
+        if _REC.enabled:
+            _REC.count("store.replays")
+        _emit_progress(
+            total_unique,
+            replayed_unique + len(executed_keys),
+            len(executed_keys),
+            replayed_unique,
+        )
 
     def _finish(key: str, record: RunRecord) -> None:
-        resolved.append(key, record)
+        if _REC.enabled:
+            t0 = _REC.now_ns()
+            resolved.append(key, record)
+            _REC.add_time("store.append", _REC.now_ns() - t0)
+            _REC.count("store.appends")
+        else:
+            resolved.append(key, record)
         for index in indices_by_key[key]:
             records[index] = record
         executed_keys.append(key)
+        _emit_progress(
+            total_unique,
+            replayed_unique + len(executed_keys),
+            len(executed_keys),
+            replayed_unique,
+        )
 
     # Replay everything already finished (batch query), then claim-loop
     # over the remainder.
@@ -1295,11 +1395,11 @@ def run_trials(
     try:
         if workers > 1 and len(queue) > 1:
             pool = multiprocessing.get_context().Pool(
-                processes=min(workers, len(queue))
+                processes=min(workers, len(queue)), **pool_kwargs
             )
         capacity = workers if pool is not None else 1
         while queue or deferred or in_flight:
-            progress = False
+            moved = False
             # 1. Harvest finished pool trials.
             for key in list(in_flight):
                 handle = in_flight[key]
@@ -1312,14 +1412,22 @@ def run_trials(
                     resolved.release(key, owner=owner)
                     raise
                 _finish(key, record)
-                progress = True
+                moved = True
             # 2. Claim and dispatch up to capacity.
             while queue and len(in_flight) < capacity:
                 key = queue.popleft()
-                claim = resolved.claim(key, lease=lease_seconds, owner=owner)
+                if _REC.enabled:
+                    t0 = _REC.now_ns()
+                    claim = resolved.claim(key, lease=lease_seconds, owner=owner)
+                    _REC.add_time("store.claim", _REC.now_ns() - t0)
+                    _REC.count("store.claims")
+                    if claim.acquired:
+                        _REC.count("store.claims_acquired")
+                else:
+                    claim = resolved.claim(key, lease=lease_seconds, owner=owner)
                 if claim.done:
                     _replay(key, claim.record)
-                    progress = True
+                    moved = True
                 elif claim.acquired:
                     spec = specs[indices_by_key[key][0]]
                     if pool is not None:
@@ -1331,12 +1439,12 @@ def run_trials(
                             resolved.release(key, owner=owner)
                             raise
                         _finish(key, record)
-                    progress = True
+                    moved = True
                 else:
                     deferred.append(key)
             # 3. Nothing moved: wait for in-flight trials or foreign leases
             #    (which either complete -> done, or expire -> acquired).
-            if not progress and (deferred or in_flight):
+            if not moved and (deferred or in_flight):
                 time.sleep(poll_interval)
                 queue.extend(deferred)
                 deferred.clear()
@@ -1344,6 +1452,8 @@ def run_trials(
         if pool is not None:
             pool.terminate()
             pool.join()
+        if _REC.enabled:
+            _REC.flush_spool()
 
     return SweepOutcome(
         records=records,

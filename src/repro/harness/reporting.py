@@ -12,6 +12,58 @@ import math
 from typing import Sequence
 
 
+#: Canonical per-phase column order for telemetry timing breakdowns.
+PHASE_ORDER = ("draw", "apply", "check", "total")
+
+#: Recorder timer names feeding each phase column.  ``apply`` falls back to
+#: ``engine.step`` for the count-level engines, whose fused kernels do the
+#: draw and the apply in one timed region.
+_PHASE_SOURCES = {
+    "draw": ("scheduler.draw_round",),
+    "apply": ("engine.apply_round", "engine.step"),
+    "check": ("engine.convergence_check",),
+    "total": ("total",),
+}
+
+
+def phase_breakdown(timing) -> dict[str, float]:
+    """Map a recorder timing dict onto the canonical per-phase columns.
+
+    ``timing`` is the ``timing`` section of a run manifest
+    (``record.extra["telemetry"]["timing"]``, seconds per recorder timer).
+    Returns ``{phase: seconds}`` with only the phases the engine actually
+    reported — the vector engine splits draw vs apply, count engines report
+    one fused ``engine.step``, and every instrumented run-loop reports the
+    convergence-check share.
+    """
+    if not timing:
+        return {}
+    breakdown: dict[str, float] = {}
+    for phase in PHASE_ORDER:
+        for source in _PHASE_SOURCES[phase]:
+            value = timing.get(source)
+            if value is not None:
+                breakdown[phase] = float(value)
+                break
+    return breakdown
+
+
+def mean_phase_breakdown(timings) -> dict[str, float]:
+    """Per-phase means over many timing dicts (phases missing everywhere
+    are omitted; a phase present in only some dicts averages over those)."""
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for timing in timings:
+        for phase, value in phase_breakdown(timing).items():
+            sums[phase] = sums.get(phase, 0.0) + value
+            counts[phase] = counts.get(phase, 0) + 1
+    return {
+        phase: sums[phase] / counts[phase]
+        for phase in PHASE_ORDER
+        if phase in sums
+    }
+
+
 def format_cell(value) -> str:
     """Render one table cell."""
     if value is None:

@@ -1,0 +1,160 @@
+"""Live views over sweep progress and distributed-store health.
+
+Two consumers:
+
+``repro sweep --progress``
+    :class:`SweepProgress` updates stream from the claim-loop driver
+    (:func:`repro.harness.parallel.run_trials` invokes its ``progress``
+    callback after every completed/replayed trial); :class:`ProgressView`
+    renders them as a single carriage-returned status line on stderr so
+    the progress display never pollutes piped stdout output.
+
+``repro store status --watch``
+    :class:`StatusWatcher` diffs successive
+    :class:`~repro.store.base.StoreStatus` snapshots into per-driver
+    throughput (completions attributed to the owner whose lease covered
+    the trial), lease churn, and stale-lease alerts.  The watcher is a
+    pure fold over snapshots — the CLI owns the poll loop — so the
+    distributed-health logic is unit-testable without sleeping.
+
+Rendering is plain text; timing comes from the recorder's monotonic
+clock (D302-waivered in this package), never ``time.time``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.obs.recorder import RECORDER
+
+__all__ = ["SweepProgress", "ProgressView", "StatusWatcher", "render_progress_line"]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One driver-side progress update: counts over *unique* trials."""
+
+    total: int
+    done: int
+    executed: int
+    from_cache: int
+
+
+def render_progress_line(progress: SweepProgress, elapsed_seconds: float) -> str:
+    """Format one status line: counts, throughput, and a naive ETA."""
+    rate = progress.executed / elapsed_seconds if elapsed_seconds > 0 else 0.0
+    remaining = progress.total - progress.done
+    if rate > 0 and remaining > 0:
+        eta = f"eta {remaining / rate:.0f}s"
+    else:
+        eta = "eta --"
+    return (
+        f"[sweep] {progress.done}/{progress.total} trials · "
+        f"{progress.executed} executed · {progress.from_cache} cached · "
+        f"{rate:.2f} trials/s · {eta}"
+    )
+
+
+class ProgressView:
+    """Renders sweep progress as one live line on a terminal stream.
+
+    Writes carriage-returned updates to ``stream`` (default stderr);
+    :meth:`close` terminates the line so subsequent output starts clean.
+    Safe on non-tty streams — each update is then its own line, which is
+    what a CI log wants anyway.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._start_ns = RECORDER.now_ns()
+        self._wrote = False
+
+    def __call__(self, progress: SweepProgress) -> None:
+        elapsed = (RECORDER.now_ns() - self._start_ns) / 1e9
+        line = render_progress_line(progress, elapsed)
+        if self.stream.isatty():
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._wrote = True
+
+    def close(self) -> None:
+        if self._wrote and self.stream.isatty():
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+@dataclass
+class StatusWatcher:
+    """Folds successive store-status snapshots into distributed health lines.
+
+    Per-driver throughput is attributed by lease hand-off: when a lease
+    held by ``owner`` disappears between snapshots while the completed
+    count rises, that owner finished trials.  (Results do not record their
+    executing owner — trial identity is deliberately owner-free — so the
+    lease lifecycle is the only honest attribution signal.)
+    """
+
+    _previous_completed: int | None = None
+    _previous_leases: dict[str, set[str]] = field(default_factory=dict)
+    #: Cumulative per-owner completion attribution.
+    completions_by_owner: dict[str, int] = field(default_factory=dict)
+    #: Cumulative lease acquisitions observed (churn).
+    leases_acquired: int = 0
+
+    def update(self, status) -> list[str]:
+        """Fold one :class:`StoreStatus` snapshot; return rendered lines."""
+        leases_by_owner: dict[str, set[str]] = {}
+        stale: list = []
+        for lease in status.leases:
+            leases_by_owner.setdefault(lease.owner, set()).add(lease.key)
+            if lease.stale:
+                stale.append(lease)
+
+        completed_delta = 0
+        if self._previous_completed is not None:
+            completed_delta = status.completed - self._previous_completed
+            # Lease churn: keys leased now that were not leased before.
+            previously_leased = set().union(*self._previous_leases.values(), set())
+            currently_leased = set().union(*leases_by_owner.values(), set())
+            self.leases_acquired += len(currently_leased - previously_leased)
+            # Attribute completions to owners whose leases were released.
+            finished_by_owner = {
+                owner: len(keys - leases_by_owner.get(owner, set()))
+                for owner, keys in self._previous_leases.items()
+            }
+            total_finished = sum(finished_by_owner.values())
+            for owner, finished in finished_by_owner.items():
+                if finished and completed_delta > 0:
+                    share = round(completed_delta * finished / total_finished)
+                    self.completions_by_owner[owner] = (
+                        self.completions_by_owner.get(owner, 0) + share
+                    )
+
+        self._previous_completed = status.completed
+        self._previous_leases = leases_by_owner
+
+        lines = [
+            f"completed={status.completed} (+{max(0, completed_delta)}) "
+            f"leased={status.leased} stale={status.stale} "
+            f"lease-churn={self.leases_acquired}"
+        ]
+        for owner in sorted(leases_by_owner):
+            attributed = self.completions_by_owner.get(owner, 0)
+            lines.append(
+                f"  driver {owner}: {len(leases_by_owner[owner])} leased, "
+                f"{attributed} completed (attributed)"
+            )
+        for owner in sorted(set(self.completions_by_owner) - set(leases_by_owner)):
+            lines.append(
+                f"  driver {owner}: idle, "
+                f"{self.completions_by_owner[owner]} completed (attributed)"
+            )
+        for lease in stale:
+            lines.append(
+                f"  ALERT stale lease: key={lease.key[:12]}… owner={lease.owner} "
+                f"(expired; reclaimable by any driver)"
+            )
+        return lines

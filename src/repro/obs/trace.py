@@ -1,0 +1,127 @@
+"""Chrome trace-event export and validation for recorder span events.
+
+Spans accumulate in memory (or spool to per-process ``trace-{pid}.jsonl``
+files, see :meth:`repro.obs.recorder.Recorder.flush_spool`) already in
+Chrome trace-event form.  This module merges spool files into the
+``{"traceEvents": [...]}`` JSON object format that ``chrome://tracing``
+and Perfetto (https://ui.perfetto.dev) load directly, and validates that
+shape — the validation runs in the packaging CI smoke so a drift in the
+event schema fails the build, not the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "collect_spool_events",
+    "write_chrome_trace",
+    "export_spool",
+    "validate_trace",
+]
+
+#: Chrome trace-event phases this layer may legitimately emit.  Only "X"
+#: (complete spans) today; "i" (instants) and "C" (counter samples) are
+#: reserved for the service API layer.
+_KNOWN_PHASES = {"X", "i", "C", "B", "E", "M"}
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def collect_spool_events(spool_dir: str | Path) -> list[dict]:
+    """Read every ``trace-*.jsonl`` spool file under ``spool_dir``.
+
+    Events are ordered by (pid, timestamp) so merged multi-driver traces
+    render each process as a contiguous, time-ordered track.
+    """
+    events: list[dict] = []
+    spool = Path(spool_dir)
+    for path in sorted(spool.glob("trace-*.jsonl")):
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+    events.sort(key=lambda event: (event.get("pid", 0), event.get("ts", 0.0)))
+    return events
+
+
+def write_chrome_trace(path: str | Path, events: Iterable[dict]) -> dict:
+    """Write ``events`` as a Chrome trace-event JSON object; return it."""
+    trace = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    path = Path(path)
+    if path.parent != Path(""):
+        os.makedirs(path.parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return trace
+
+
+def export_spool(spool_dir: str | Path, out_path: str | Path) -> dict:
+    """Merge a spool directory into one Perfetto-loadable trace file.
+
+    Raises ``ValueError`` when the merged trace fails schema validation —
+    a spool that exports is a spool that loads.
+    """
+    events = collect_spool_events(spool_dir)
+    trace = write_chrome_trace(out_path, events)
+    problems = validate_trace(trace)
+    if problems:
+        raise ValueError(
+            "exported trace failed schema validation: " + "; ".join(problems)
+        )
+    return trace
+
+
+def validate_trace(trace: object) -> list[str]:
+    """Validate the Chrome trace-event JSON object format.
+
+    Returns a list of human-readable problems (empty = valid).  Checks the
+    container shape plus, per event: required keys, a known phase, numeric
+    non-negative ``ts`` (and ``dur`` for complete events), and JSON-ready
+    ``args``.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' must be a list"]
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing required key {key!r}")
+        phase = event.get("ph")
+        if phase is not None and phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if value is None:
+                if key == "dur" and phase == "X":
+                    problems.append(f"{where}: complete event missing 'dur'")
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where}: {key!r} must be a number")
+            elif value < 0:
+                problems.append(f"{where}: {key!r} must be non-negative")
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                problems.append(f"{where}: {key!r} must be an integer")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems

@@ -23,6 +23,16 @@ Store-field key exclusion (``K404``/``K405``)
     without auditing it fails CI), and no excluded name may appear among
     ``TrialSpec``'s fields or in its canonical key payload (``K405``).
 
+Telemetry key exclusion (``K406``)
+    Same inverse contract for the observability layer: run manifests ride
+    on records under ``RunRecord.extra["telemetry"]`` and describe *how* a
+    trial ran, never *what* it is — so no manifest field name may collide
+    with a ``TrialSpec`` field or cache-payload key, and flipping the
+    process-global recorder on must leave every spec's ``cache_key()``
+    byte-identical (proved by perturbation: the key is computed with
+    telemetry off and on and compared).  Otherwise enabling ``--telemetry``
+    would fork a sweep's cache.
+
 Capability-matrix coverage (``M501``/``M502``/``M503``)
     ``ENGINE_SCHEDULER_CAPABILITY`` plus the registered policies' declared
     capabilities define which (engine × scheduler) cells exist; the backend
@@ -55,6 +65,7 @@ __all__ = [
     "exercised_cells",
     "scheduler_spec_perturbations",
     "store_exclusion_diagnostics",
+    "telemetry_exclusion_diagnostics",
     "trial_spec_perturbations",
 ]
 
@@ -367,6 +378,100 @@ def store_exclusion_diagnostics() -> list[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# Telemetry key exclusion
+# ---------------------------------------------------------------------------
+
+
+def telemetry_exclusion_diagnostics(
+    manifest_fields: Sequence[str] | None = None,
+    telemetry_key: str | None = None,
+) -> list[Diagnostic]:
+    """Prove telemetry can never participate in trial identity (``K406``).
+
+    Three sub-checks, all under one rule:
+
+    1. Flipping the process-global recorder on must leave every audited
+       spec's ``cache_key()`` byte-identical (perturbation over the K401
+       baselines).
+    2. The ``extra`` key manifests ride under (``"telemetry"``) must not be
+       a ``TrialSpec`` field or cache-payload key.
+    3. No top-level manifest field name may collide with a ``TrialSpec``
+       field or payload key — a collision is how a future refactor would
+       silently promote telemetry into identity.
+
+    ``manifest_fields`` / ``telemetry_key`` default to the real constants
+    from :mod:`repro.obs.manifest`; tests inject drifted values to prove
+    the rule actually fires.
+    """
+    from repro.harness.parallel import TrialSpec
+    from repro.obs.manifest import MANIFEST_FIELDS, TELEMETRY_KEY
+    from repro.obs.recorder import RECORDER
+
+    if manifest_fields is None:
+        manifest_fields = MANIFEST_FIELDS
+    if telemetry_key is None:
+        telemetry_key = TELEMETRY_KEY
+
+    diagnostics: list[Diagnostic] = []
+    baseline, _ = trial_spec_perturbations()
+    spec = TrialSpec(**baseline)
+
+    prior = RECORDER.enabled
+    try:
+        RECORDER.enabled = False
+        key_off = spec.cache_key()
+        RECORDER.enabled = True
+        key_on = spec.cache_key()
+    finally:
+        RECORDER.enabled = prior
+    if key_off != key_on:
+        diagnostics.append(
+            Diagnostic(
+                rule="K406",
+                severity=ERROR,
+                location="spec:TrialSpec.cache_key",
+                message=(
+                    "enabling the telemetry recorder changes cache_key(): "
+                    "telemetry state leaks into trial identity, so a "
+                    "--telemetry sweep would fork the cache of an identical "
+                    "plain sweep"
+                ),
+                hint=(
+                    "cache_payload() must not read repro.obs state; "
+                    "telemetry belongs only under record.extra['telemetry']"
+                ),
+            )
+        )
+
+    payload_keys = set(spec.cache_payload())
+    trial_fields = {
+        field.name for field in dataclasses.fields(TrialSpec) if field.init
+    }
+    for name in sorted({telemetry_key, *manifest_fields}):
+        if name in trial_fields or name in payload_keys:
+            where = "field set" if name in trial_fields else "key payload"
+            diagnostics.append(
+                Diagnostic(
+                    rule="K406",
+                    severity=ERROR,
+                    location=f"spec:TrialSpec.{name}",
+                    message=(
+                        f"telemetry/manifest name {name!r} appears in "
+                        f"TrialSpec's {where}: manifest content would leak "
+                        f"into the cache key and split identical trials by "
+                        f"how they were observed"
+                    ),
+                    hint=(
+                        "rename the manifest field (repro.obs.manifest."
+                        "MANIFEST_FIELDS) or the spec field; trial identity "
+                        "and observation must stay orthogonal"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
 # Capability-matrix coverage
 # ---------------------------------------------------------------------------
 
@@ -484,9 +589,10 @@ def capability_matrix_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
 
 
 def contract_diagnostics(root: str | Path = ".") -> list[Diagnostic]:
-    """All contract checks: cache keys, store exclusion, capability coverage."""
+    """All contract checks: cache keys, store/telemetry exclusion, coverage."""
     return (
         cache_key_diagnostics()
         + store_exclusion_diagnostics()
+        + telemetry_exclusion_diagnostics()
         + capability_matrix_diagnostics(root)
     )

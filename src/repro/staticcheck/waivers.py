@@ -45,6 +45,19 @@ BUILTIN_WAIVERS: tuple[Waiver, ...] = (
         ),
     ),
     Waiver(
+        rule="D302",
+        location="src/repro/obs/",
+        justification=(
+            "the telemetry recorder is the repository's single clock site: "
+            "instrumented hot paths read time only through "
+            "Recorder.now_ns() (time.perf_counter_ns, monotonic), metrics "
+            "and manifests are observational — excluded from cache keys by "
+            "contract K406 and never read back by any simulation path, so "
+            "trajectories and records stay bit-identical with telemetry on "
+            "or off (tests/obs/test_telemetry_identical.py)"
+        ),
+    ),
+    Waiver(
         rule="P102",
         location="protocol:leader",
         justification=(

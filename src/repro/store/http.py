@@ -17,6 +17,7 @@ from urllib.parse import quote
 
 from repro.harness.cache import record_from_dict, record_to_dict
 from repro.harness.results import RunRecord
+from repro.obs.recorder import RECORDER as _REC
 from repro.store.base import (
     Claim,
     DEFAULT_LEASE_SECONDS,
@@ -106,6 +107,8 @@ class HttpStore(ResultStore):
     def append(
         self, key: str, record: RunRecord, wall_seconds: float | None = None
     ) -> None:
+        if _REC.enabled:
+            _REC.count("store.http.appends")
         self._request(
             "/append",
             {
@@ -118,6 +121,8 @@ class HttpStore(ResultStore):
     def claim(
         self, key: str, lease: float | None = None, owner: str | None = None
     ) -> Claim:
+        if _REC.enabled:
+            _REC.count("store.http.claims")
         payload = self._request(
             "/claim",
             {

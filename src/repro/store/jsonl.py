@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.harness.cache import ResultCache
 from repro.harness.results import RunRecord
+from repro.obs.recorder import RECORDER as _REC
 from repro.store.base import (
     CLAIM_ACQUIRED,
     CLAIM_DONE,
@@ -79,12 +80,16 @@ class JsonlStore(ResultStore):
     def append(
         self, key: str, record: RunRecord, wall_seconds: float | None = None
     ) -> None:
+        if _REC.enabled:
+            _REC.count("store.jsonl.appends")
         self.cache.put(key, record)
         self._leases.pop(key, None)
 
     def claim(
         self, key: str, lease: float | None = None, owner: str | None = None
     ) -> Claim:
+        if _REC.enabled:
+            _REC.count("store.jsonl.claims")
         record = self.cache.get(key)
         if record is not None:
             return Claim(status=CLAIM_DONE, record=record)

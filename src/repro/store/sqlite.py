@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro.harness.cache import record_from_dict, record_to_dict
 from repro.harness.results import RunRecord
+from repro.obs.recorder import RECORDER as _REC
 from repro.store.base import (
     CLAIM_ACQUIRED,
     CLAIM_DONE,
@@ -137,6 +138,8 @@ class SqliteStore(ResultStore):
     def append(
         self, key: str, record: RunRecord, wall_seconds: float | None = None
     ) -> None:
+        if _REC.enabled:
+            _REC.count("store.sqlite.appends")
         payload = json.dumps(
             record_to_dict(record), sort_keys=True, allow_nan=False
         )
@@ -179,6 +182,8 @@ class SqliteStore(ResultStore):
     def claim(
         self, key: str, lease: float | None = None, owner: str | None = None
     ) -> Claim:
+        if _REC.enabled:
+            _REC.count("store.sqlite.claims")
         owner = owner or default_owner()
         duration = self.lease_seconds if lease is None else float(lease)
         if duration <= 0:

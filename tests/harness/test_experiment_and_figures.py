@@ -244,3 +244,97 @@ class TestTables:
         row = table.rows[0]
         assert row[0] == 64
         assert row[4] == 5.7
+
+
+class TestTimingBreakdown:
+    """Satellite of the telemetry PR: per-phase time in tables and CSV."""
+
+    def _points(self):
+        from repro.harness.figures import Figure2Point
+
+        timing = {
+            "scheduler.draw_round": 0.4,
+            "engine.apply_round": 0.3,
+            "engine.convergence_check": 0.1,
+            "total": 0.9,
+        }
+        return [
+            Figure2Point(64, 1, 5.0, 0.5, timing=timing),
+            Figure2Point(64, 2, 6.0, 0.4),  # telemetry-less run in same sweep
+        ]
+
+    def test_phase_breakdown_maps_recorder_timers(self):
+        from repro.harness.reporting import mean_phase_breakdown, phase_breakdown
+
+        assert phase_breakdown(
+            {"scheduler.draw_round": 0.4, "engine.convergence_check": 0.1, "total": 1.0}
+        ) == {"draw": 0.4, "check": 0.1, "total": 1.0}
+        # Count engines report one fused engine.step: it feeds "apply".
+        assert phase_breakdown({"engine.step": 0.7, "total": 0.8}) == {
+            "apply": 0.7,
+            "total": 0.8,
+        }
+        assert phase_breakdown(None) == {}
+        means = mean_phase_breakdown(
+            [{"engine.step": 0.6, "total": 1.0}, {"engine.step": 0.2, "total": 2.0}]
+        )
+        assert means == {"apply": 0.4, "total": 1.5}
+
+    def test_csv_without_telemetry_keeps_the_historical_header(self):
+        from repro.harness.figures import Figure2Point, Figure2Result
+
+        result = Figure2Result(
+            points=[Figure2Point(64, 2, 6.0, 0.4)],
+            summaries={},
+            params=FAST,
+            non_converged_runs=0,
+        )
+        header = result.to_csv().splitlines()[0]
+        assert header == (
+            "population_size,seed,converged,convergence_time,max_additive_error"
+        )
+
+    def test_csv_with_telemetry_appends_phase_columns(self):
+        from repro.harness.figures import Figure2Result
+
+        result = Figure2Result(
+            points=self._points(), summaries={}, params=FAST, non_converged_runs=0
+        )
+        lines = result.to_csv().splitlines()
+        assert lines[0].endswith(
+            ",draw_seconds,apply_seconds,check_seconds,total_seconds"
+        )
+        assert lines[1].endswith(",0.400000000,0.300000000,0.100000000,0.900000000")
+        assert lines[2].endswith(",0.4,,,,")  # no telemetry: empty phase cells
+
+    def test_table_with_telemetry_gains_mean_phase_columns(self):
+        from repro.harness.figures import Figure2Result
+        from repro.harness.results import SeriesSummary
+
+        summary = SeriesSummary.from_values([5.0, 6.0])
+        result = Figure2Result(
+            points=self._points(),
+            summaries={64: summary},
+            params=FAST,
+            non_converged_runs=0,
+        )
+        table = result.table()
+        assert "mean draw s" in table
+        assert "mean check s" in table
+
+    def test_figure2_from_sweep_extracts_manifest_timing(self):
+        from repro.harness.figures import figure2_from_sweep
+        from repro.harness.results import RunRecord, SweepResult
+
+        record = RunRecord(
+            population_size=64,
+            seed=3,
+            converged=True,
+            convergence_time=4.0,
+            max_additive_error=0.3,
+            extra={"telemetry": {"timing": {"engine.step": 0.5, "total": 0.6}}},
+        )
+        sweep = SweepResult(name="t", records=[record])
+        result = figure2_from_sweep(sweep, FAST)
+        assert result.points[0].timing == {"engine.step": 0.5, "total": 0.6}
+        assert result.timing_phases() == ["apply", "total"]

@@ -1,0 +1,22 @@
+"""Fixtures for the telemetry tests.
+
+The recorder is process-global mutable state; every test here starts and
+ends with it disabled and empty so test order can never leak telemetry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.recorder import RECORDER
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    RECORDER.enabled = False
+    RECORDER.spool_dir = None
+    RECORDER.reset()
+    yield RECORDER
+    RECORDER.enabled = False
+    RECORDER.spool_dir = None
+    RECORDER.reset()

@@ -1,0 +1,153 @@
+"""Run manifests: construction, store round-trips, cache-key exclusion."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.harness.parallel import (
+    build_finite_state_trials,
+    run_trial,
+    run_trials,
+)
+from repro.obs.manifest import (
+    MANIFEST_FIELDS,
+    MANIFEST_SCHEMA_VERSION,
+    TELEMETRY_KEY,
+    trial_manifest,
+)
+from repro.obs.recorder import RECORDER, recording
+from repro.protocols.epidemic import EpidemicProtocol, epidemic_completion_predicate
+from repro.store.jsonl import JsonlStore
+from repro.store.server import StoreServer
+from repro.store.sqlite import SqliteStore
+
+
+def epidemic_specs(sizes=(48,), runs=1, engine="batched", **overrides):
+    options = dict(
+        population_sizes=list(sizes),
+        runs_per_size=runs,
+        base_seed=11,
+        engine=engine,
+        max_parallel_time=200.0,
+        protocol_factory=EpidemicProtocol,
+        predicate=epidemic_completion_predicate,
+    )
+    options.update(overrides)
+    return build_finite_state_trials(**options)
+
+
+class TestTrialManifest:
+    def test_manifest_shape_and_provenance(self):
+        (spec,) = epidemic_specs()
+        delta = {"counters": {"engine.interactions": 7}, "timing": {"total": 0.5}}
+        manifest = trial_manifest(spec, delta)
+        assert tuple(manifest) == MANIFEST_FIELDS
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["spec_hash"] == spec.cache_key()
+        assert manifest["seed_lineage"] == {
+            "base_seed": spec.base_seed,
+            "size_index": spec.size_index,
+            "run_index": spec.run_index,
+            "seed": spec.seed,
+        }
+        assert manifest["resolution"]["kind"] == spec.kind
+        assert manifest["resolution"]["engine"] == "batched"
+        assert manifest["counters"] == {"engine.interactions": 7}
+        assert manifest["timing"] == {"total": 0.5}
+
+    def test_run_trial_attaches_manifest_only_when_enabled(self):
+        (spec,) = epidemic_specs()
+        plain = run_trial(spec)
+        assert TELEMETRY_KEY not in plain.extra
+        with recording():
+            observed = run_trial(spec)
+        manifest = observed.extra[TELEMETRY_KEY]
+        assert manifest["spec_hash"] == spec.cache_key()
+        assert manifest["counters"]["engine.interactions"] > 0
+        assert manifest["timing"]["total"] > 0.0
+        assert manifest["resolution"]["backend"] is not None
+
+    def test_cache_key_is_identical_with_telemetry_on_and_off(self):
+        (spec,) = epidemic_specs()
+        RECORDER.enabled = False
+        key_off = spec.cache_key()
+        with recording():
+            key_on = spec.cache_key()
+        assert key_on == key_off
+
+
+def run_store_sweep(store):
+    specs = epidemic_specs(sizes=(40, 56), runs=1)
+    with recording():
+        outcome = run_trials(specs, store=store)
+    return specs, outcome
+
+
+class RoundTripContract:
+    """Shared assertions: manifests survive append -> fetch bit-for-bit."""
+
+    def open_store(self, tmp_path):
+        """Yield ``(fetch, url)``: a fresh-read ``fetch(key)`` and a store URL."""
+        raise NotImplementedError
+
+    def test_manifest_round_trip(self, tmp_path):
+        with self.open_store(tmp_path) as (fetch, url):
+            specs, outcome = run_store_sweep(url)
+            assert len(outcome.records) == len(specs)
+            for spec, record in zip(specs, outcome.records):
+                manifest = record.extra[TELEMETRY_KEY]
+                fetched = fetch(spec.cache_key())
+                assert fetched is not None
+                assert fetched.extra[TELEMETRY_KEY] == manifest
+                assert manifest["spec_hash"] == spec.cache_key()
+
+    def test_replay_from_store_preserves_manifest(self, tmp_path):
+        with self.open_store(tmp_path) as (fetch, url):
+            specs, first = run_store_sweep(url)
+            second = run_trials(specs, store=url)  # telemetry off: pure replay
+            assert second.from_cache == len(specs)
+            for a, b in zip(first.records, second.records):
+                assert a.extra[TELEMETRY_KEY] == b.extra[TELEMETRY_KEY]
+
+
+class TestJsonlRoundTrip(RoundTripContract):
+    @contextmanager
+    def open_store(self, tmp_path):
+        yield (
+            lambda key: JsonlStore(tmp_path / "cache").get(key),
+            f"jsonl:{tmp_path / 'cache'}",
+        )
+
+
+class TestSqliteRoundTrip(RoundTripContract):
+    @contextmanager
+    def open_store(self, tmp_path):
+        def fetch(key):
+            store = SqliteStore(tmp_path / "db.sqlite")
+            try:
+                return store.get(key)
+            finally:
+                store.close()
+
+        yield fetch, f"sqlite:{tmp_path / 'db.sqlite'}"
+
+
+class TestHttpRoundTrip(RoundTripContract):
+    @contextmanager
+    def open_store(self, tmp_path):
+        from repro.store.http import HttpStore
+
+        with StoreServer(tmp_path / "db.sqlite", port=0) as server:
+            yield HttpStore(server.url).get, server.url
+
+
+class TestStoreCounters:
+    def test_store_backends_count_appends_and_claims(self, tmp_path):
+        with recording():
+            RECORDER.reset()
+            run_trials(epidemic_specs(), store=f"sqlite:{tmp_path / 'db.sqlite'}")
+            counters = dict(RECORDER.counters)
+        assert counters["store.sqlite.appends"] == 1
+        assert counters["store.sqlite.claims"] >= 1
+        assert counters["store.appends"] == 1
+        assert counters["store.claims_acquired"] == 1

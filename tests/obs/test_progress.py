@@ -1,0 +1,92 @@
+"""Progress rendering and distributed store-health watching."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs.progress import (
+    ProgressView,
+    StatusWatcher,
+    SweepProgress,
+    render_progress_line,
+)
+from repro.store.base import LeaseReport, StoreStatus
+
+
+def status(completed=0, leases=()):
+    return StoreStatus(
+        completed=completed,
+        leased=sum(1 for lease in leases if not lease.stale),
+        stale=sum(1 for lease in leases if lease.stale),
+        leases=tuple(leases),
+        workloads=(),
+    )
+
+
+def lease(key, owner, stale=False):
+    return LeaseReport(key=key, owner=owner, expires=9e9, stale=stale)
+
+
+class TestRenderProgressLine:
+    def test_counts_rate_and_eta(self):
+        line = render_progress_line(
+            SweepProgress(total=10, done=4, executed=2, from_cache=2),
+            elapsed_seconds=4.0,
+        )
+        assert "4/10 trials" in line
+        assert "2 executed" in line
+        assert "2 cached" in line
+        assert "0.50 trials/s" in line
+        assert "eta 12s" in line  # 6 remaining / 0.5 per second
+
+    def test_eta_dashes_without_throughput(self):
+        line = render_progress_line(
+            SweepProgress(total=3, done=0, executed=0, from_cache=0), 0.0
+        )
+        assert line.endswith("eta --")
+
+
+class TestProgressView:
+    def test_non_tty_stream_gets_one_line_per_update(self):
+        stream = io.StringIO()  # StringIO.isatty() is False
+        view = ProgressView(stream=stream)
+        view(SweepProgress(total=2, done=1, executed=1, from_cache=0))
+        view(SweepProgress(total=2, done=2, executed=2, from_cache=0))
+        view.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[1].startswith("[sweep] 2/2 trials")
+
+
+class TestStatusWatcher:
+    def test_first_snapshot_establishes_baseline(self):
+        watcher = StatusWatcher()
+        lines = watcher.update(status(completed=3, leases=[lease("k1", "d1")]))
+        assert lines[0].startswith("completed=3 (+0)")
+        assert "driver d1: 1 leased" in lines[1]
+
+    def test_completions_attributed_to_releasing_owner(self):
+        watcher = StatusWatcher()
+        watcher.update(
+            status(completed=0, leases=[lease("k1", "d1"), lease("k2", "d2")])
+        )
+        # d1 released its lease while completed rose by one: d1 finished it.
+        lines = watcher.update(status(completed=1, leases=[lease("k2", "d2")]))
+        assert watcher.completions_by_owner == {"d1": 1}
+        assert any("driver d1: idle, 1 completed" in line for line in lines)
+
+    def test_lease_churn_counts_new_acquisitions(self):
+        watcher = StatusWatcher()
+        watcher.update(status(leases=[lease("k1", "d1")]))
+        watcher.update(status(leases=[lease("k1", "d1"), lease("k2", "d1")]))
+        watcher.update(status(leases=[lease("k3", "d2")]))
+        assert watcher.leases_acquired == 2
+
+    def test_stale_lease_raises_alert_line(self):
+        watcher = StatusWatcher()
+        lines = watcher.update(
+            status(leases=[lease("deadbeefdeadbeef", "d9", stale=True)])
+        )
+        assert any(
+            "ALERT stale lease" in line and "owner=d9" in line for line in lines
+        )

@@ -1,0 +1,145 @@
+"""Trace spool merging, Chrome trace export, and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.recorder import Recorder
+from repro.obs.trace import (
+    collect_spool_events,
+    export_spool,
+    validate_trace,
+    write_chrome_trace,
+)
+
+
+def event(**overrides) -> dict:
+    base = {"name": "trial", "ph": "X", "ts": 1.0, "dur": 2.0, "pid": 1, "tid": 1}
+    base.update(overrides)
+    return base
+
+
+def write_spool(path, events) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in events:
+            handle.write(json.dumps(item) + "\n")
+
+
+class TestCollectSpool:
+    def test_merges_files_sorted_by_pid_then_ts(self, tmp_path):
+        write_spool(
+            tmp_path / "trace-200.jsonl",
+            [event(pid=200, ts=5.0), event(pid=200, ts=1.0)],
+        )
+        write_spool(tmp_path / "trace-100.jsonl", [event(pid=100, ts=9.0)])
+        events = collect_spool_events(tmp_path)
+        assert [(e["pid"], e["ts"]) for e in events] == [
+            (100, 9.0),
+            (200, 1.0),
+            (200, 5.0),
+        ]
+
+    def test_ignores_blank_lines_and_non_spool_files(self, tmp_path):
+        (tmp_path / "trace-1.jsonl").write_text(
+            json.dumps(event()) + "\n\n", encoding="utf-8"
+        )
+        (tmp_path / "notes.txt").write_text("not a trace", encoding="utf-8")
+        assert len(collect_spool_events(tmp_path)) == 1
+
+    def test_empty_spool_dir(self, tmp_path):
+        assert collect_spool_events(tmp_path) == []
+
+
+class TestExport:
+    def test_export_writes_perfetto_loadable_container(self, tmp_path):
+        write_spool(tmp_path / "trace-1.jsonl", [event()])
+        out = tmp_path / "trace.json"
+        trace = export_spool(tmp_path, out)
+        assert validate_trace(trace) == []
+        on_disk = json.loads(out.read_text(encoding="utf-8"))
+        assert on_disk["traceEvents"] == [event()]
+        assert on_disk["displayTimeUnit"] == "ms"
+
+    def test_export_rejects_invalid_events(self, tmp_path):
+        write_spool(tmp_path / "trace-1.jsonl", [event(ph="Z")])
+        with pytest.raises(ValueError, match="unknown phase"):
+            export_spool(tmp_path, tmp_path / "trace.json")
+
+    def test_recorder_spool_round_trips_through_export(self, tmp_path):
+        recorder = Recorder()
+        recorder.spool_dir = str(tmp_path / "spool")
+        start = recorder.now_ns()
+        recorder.add_span("trial", start, start + 1_000_000, args={"n": 64})
+        recorder.flush_spool()
+        trace = export_spool(tmp_path / "spool", tmp_path / "trace.json")
+        (exported,) = trace["traceEvents"]
+        assert exported["name"] == "trial"
+        assert exported["args"] == {"n": 64}
+
+
+class TestValidateTrace:
+    def test_valid_trace_has_no_problems(self):
+        assert validate_trace({"traceEvents": [event()]}) == []
+
+    @pytest.mark.parametrize(
+        "bad, fragment",
+        [
+            ("not a dict", "top level must be an object"),
+            ({"traceEvents": "nope"}, "'traceEvents' must be a list"),
+            ({"traceEvents": ["nope"]}, "event must be an object"),
+            ({"traceEvents": [event(ph="Z")]}, "unknown phase"),
+            ({"traceEvents": [event(ts=-1.0)]}, "'ts' must be non-negative"),
+            ({"traceEvents": [event(ts="soon")]}, "'ts' must be a number"),
+            ({"traceEvents": [event(pid="one")]}, "'pid' must be an integer"),
+            ({"traceEvents": [event(args=[1])]}, "'args' must be an object"),
+        ],
+    )
+    def test_malformed_traces_are_reported(self, bad, fragment):
+        problems = validate_trace(bad)
+        assert problems
+        assert any(fragment in problem for problem in problems)
+
+    def test_complete_event_requires_dur(self):
+        incomplete = event()
+        del incomplete["dur"]
+        problems = validate_trace({"traceEvents": [incomplete]})
+        assert any("missing 'dur'" in problem for problem in problems)
+
+    def test_missing_required_key_is_reported(self):
+        nameless = event()
+        del nameless["name"]
+        problems = validate_trace({"traceEvents": [nameless]})
+        assert any("missing required key 'name'" in problem for problem in problems)
+
+
+class TestTraceCli:
+    def test_trace_export_then_validate(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        write_spool(spool / "trace-1.jsonl", [event(), event(ts=4.0)])
+        out = tmp_path / "trace.json"
+        assert main(["trace", "export", "--spool", str(spool), "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "2 events" in output
+        assert main(["trace", "validate", str(out)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"traceEvents": [event(ph="Q")]}), encoding="utf-8"
+        )
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_trace_export_fails_cleanly_on_corrupt_spool(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        write_spool(spool / "trace-1.jsonl", [event(tid="main")])
+        code = main(
+            ["trace", "export", "--spool", str(spool), "--out", str(tmp_path / "t.json")]
+        )
+        assert code != 0

@@ -15,6 +15,7 @@ from repro.staticcheck.contracts import (
     declared_scheduler_cells,
     exercised_cells,
     store_exclusion_diagnostics,
+    telemetry_exclusion_diagnostics,
 )
 
 
@@ -131,6 +132,49 @@ class TestStoreExclusion:
         )
         diagnostics = store_exclusion_diagnostics()
         assert any(d.rule == "K405" and "engine" in d.message for d in diagnostics)
+
+
+class TestTelemetryExclusion:
+    def test_real_telemetry_layer_is_excluded_from_cache_keys(self):
+        # K406 on the live tree: flipping the recorder must not move any
+        # cache key, and no manifest name may shadow spec identity.
+        assert telemetry_exclusion_diagnostics() == []
+
+    def test_recorder_state_is_restored_after_the_audit(self):
+        from repro.obs.recorder import RECORDER
+
+        prior = RECORDER.enabled
+        telemetry_exclusion_diagnostics()
+        assert RECORDER.enabled == prior
+        RECORDER.enabled = True
+        try:
+            telemetry_exclusion_diagnostics()
+            assert RECORDER.enabled is True
+        finally:
+            RECORDER.enabled = prior
+
+    def test_k406_on_manifest_field_colliding_with_spec_field(self):
+        # Inject a drifted manifest schema: a field named like a TrialSpec
+        # field would let telemetry leak into trial identity.
+        diagnostics = telemetry_exclusion_diagnostics(
+            manifest_fields=("schema", "engine")
+        )
+        assert _rules(diagnostics) == {"K406"}
+        assert any(
+            "'engine'" in d.message and d.location == "spec:TrialSpec.engine"
+            for d in diagnostics
+        )
+
+    def test_k406_on_telemetry_key_colliding_with_payload_key(self):
+        diagnostics = telemetry_exclusion_diagnostics(telemetry_key="kind")
+        assert any(d.rule == "K406" and "'kind'" in d.message for d in diagnostics)
+
+    def test_k406_findings_are_errors(self):
+        diagnostics = telemetry_exclusion_diagnostics(
+            manifest_fields=("base_seed", "engine"), telemetry_key="kind"
+        )
+        assert len(diagnostics) == 3
+        assert all(d.severity == "error" for d in diagnostics)
 
 
 class TestCapabilityMatrix:
